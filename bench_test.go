@@ -1,0 +1,266 @@
+package datacyclotron
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// One benchmark per table/figure of the paper. Each iteration runs the
+// corresponding experiment harness at a reduced workload scale (the
+// topology, dataset, and dynamics stay at paper values; only the query
+// volume shrinks). Run `go run ./cmd/dcsim -exp all` for the
+// full-volume reproduction.
+
+const benchScale = experiments.Scale(0.05)
+
+func BenchmarkFig1CPUModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if res := experiments.CPUBreakdown(); len(res.Rows) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig6aThroughput covers Figure 6a (and 6b/7, which share the
+// §5.1 run): the static-LOIT sweep. One iteration = 11 simulated runs.
+func BenchmarkFig6aThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.LimitedRingCapacity(benchScale, 1)
+		if len(res.Runs) != 11 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig6bLifetime isolates one LOIT level and reports the query
+// lifetime statistics of Figure 6b.
+func BenchmarkFig6bLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := singleLOITRun(0.1, 1)
+		if res.Metrics().Lifetime.Count() == 0 {
+			b.Fatal("no lifetimes")
+		}
+	}
+}
+
+// BenchmarkFig7RingLoad measures the §5.1 scenario that produces the
+// ring-load series of Figures 7a/7b.
+func BenchmarkFig7RingLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := singleLOITRun(0.5, 1)
+		if res.Metrics().RingBytes.Len() == 0 {
+			b.Fatal("no ring series")
+		}
+	}
+}
+
+func BenchmarkFig8Skewed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.SkewedWorkloads(experiments.Scale(0.1), 2)
+		if res.FinishedBySW["sw1"] == nil {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFig9Gaussian(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.GaussianWorkload(experiments.Scale(0.1), 3)
+		if res.Touches.Total() == 0 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkTable4TPCH runs the TPC-H trace on rings of 1..4 nodes.
+func BenchmarkTable4TPCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TPCH(experiments.Scale(0.05), 4, 4)
+		if len(res.Rows) != 5 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkFig10MaxLatency and BenchmarkFig11MaxCycles share the §6.3
+// ring-size sweep.
+func BenchmarkFig10MaxLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RingSizeSweep(experiments.Scale(0.05), 5, []int{5, 10})
+		if len(res.Runs) != 2 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFig11MaxCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RingSizeSweep(experiments.Scale(0.05), 5, []int{15, 20})
+		if len(res.Runs) != 2 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// singleLOITRun is one §5.1 iteration at a fixed threshold.
+func singleLOITRun(loit float64, seed int64) *cluster.Cluster {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 10
+	cfg.Core.LOITLevels = []float64{loit}
+	cfg.Core.AdaptiveLOIT = false
+	c := cluster.New(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	ds := workload.DefaultDataset(10)
+	owners := workload.Populate(c, ds.Build(rng))
+	syn := workload.DefaultSynthetic(10)
+	syn.Duration = 3 * time.Second
+	specs := syn.Build(rng, owners)
+	workload.Submit(c, specs)
+	c.Run(5 * time.Minute)
+	return c
+}
+
+// --- ablation benches for the design decisions DESIGN.md calls out ---
+
+// BenchmarkAblationStaticVsAdaptiveLOIT compares the static threshold
+// of §5.1 against the watermark-driven adaptation of §5.2 on the same
+// turbulent workload; the adaptive runtime should finish the stream in
+// fewer simulated seconds.
+func BenchmarkAblationStaticVsAdaptiveLOIT(b *testing.B) {
+	run := func(adaptive bool) time.Duration {
+		cfg := cluster.DefaultConfig()
+		cfg.Nodes = 10
+		if adaptive {
+			cfg.Core.LOITLevels = []float64{0.1, 0.6, 1.1}
+			cfg.Core.AdaptiveLOIT = true
+		} else {
+			cfg.Core.LOITLevels = []float64{0.1}
+			cfg.Core.AdaptiveLOIT = false
+		}
+		c := cluster.New(cfg)
+		rng := rand.New(rand.NewSource(7))
+		ds := workload.DefaultDataset(10)
+		owners := workload.Populate(c, ds.Build(rng))
+		syn := workload.DefaultSynthetic(10)
+		syn.Duration = 3 * time.Second
+		specs := syn.Build(rng, owners)
+		workload.Submit(c, specs)
+		return c.Run(10 * time.Minute)
+	}
+	b.Run("static0.1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(run(false).Seconds(), "simsec/op")
+		}
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(run(true).Seconds(), "simsec/op")
+		}
+	})
+}
+
+// BenchmarkAblationParallelQueries compares serial queries against the
+// §6.1 intra-query split on identical step lists.
+func BenchmarkAblationParallelQueries(b *testing.B) {
+	run := func(parallel bool) float64 {
+		cfg := cluster.DefaultConfig()
+		cfg.Nodes = 4
+		c := cluster.New(cfg)
+		for i := 0; i < 32; i++ {
+			c.AddBAT(cluster.BATSpec{ID: core.BATID(i), Size: 1 << 20, Owner: core.NodeID(i % 4)})
+		}
+		rng := rand.New(rand.NewSource(3))
+		for q := 0; q < 50; q++ {
+			var steps []cluster.Step
+			for j := 0; j < 6; j++ {
+				bid := core.BATID(rng.Intn(32))
+				steps = append(steps, cluster.Step{BAT: bid, Proc: 100 * time.Millisecond})
+			}
+			spec := cluster.QuerySpec{ID: core.QueryID(q), Node: core.NodeID(q % 4),
+				Arrival: time.Duration(q) * 50 * time.Millisecond, Steps: steps}
+			if parallel {
+				c.SubmitParallel(spec, 3)
+			} else {
+				c.Submit(spec)
+			}
+		}
+		c.Run(10 * time.Minute)
+		return c.Metrics().Lifetime.Mean()
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(run(false), "meanlife-sec")
+		}
+	})
+	b.Run("parallel3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(run(true), "meanlife-sec")
+		}
+	})
+}
+
+// BenchmarkAblationRequestAbsorption quantifies the anti-clockwise
+// request-combining of §4.2.2: with many nodes wanting the same BATs,
+// most upstream requests are absorbed before reaching the owner.
+func BenchmarkAblationRequestAbsorption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Nodes = 10
+		c := cluster.New(cfg)
+		for j := 0; j < 20; j++ {
+			c.AddBAT(cluster.BATSpec{ID: core.BATID(j), Size: 1 << 20, Owner: core.NodeID(j % 10)})
+		}
+		// Every node asks for the same hot fragment.
+		for q := 0; q < 100; q++ {
+			node := core.NodeID(q % 10)
+			bid := core.BATID(11) // owned by node 1
+			if node == 1 {
+				bid = 12
+			}
+			c.Submit(cluster.QuerySpec{ID: core.QueryID(q), Node: node,
+				Arrival: time.Duration(q) * time.Millisecond,
+				Steps:   []cluster.Step{{BAT: bid, Proc: 10 * time.Millisecond}}})
+		}
+		c.Run(time.Minute)
+		absorbed := uint64(0)
+		for n := 0; n < 10; n++ {
+			absorbed += c.Node(n).Stats().RequestsAbsorbed
+		}
+		b.ReportMetric(float64(absorbed), "absorbed/op")
+	}
+}
+
+// BenchmarkTPCHMix measures trace generation alone (workload synthesis
+// cost, not simulation).
+func BenchmarkTPCHMix(b *testing.B) {
+	cat := tpch.BuildCatalog(5, 8)
+	w := tpch.DefaultWorkload(8)
+	w.QueriesPerNode = 100
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if specs := w.Build(rng, cat); len(specs) != 800 {
+			b.Fatal("bad workload")
+		}
+	}
+}
+
+// BenchmarkSimulatedSecondThroughput reports how fast the event kernel
+// simulates the paper's base scenario (virtual seconds per wall second).
+func BenchmarkSimulatedSecondThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		c := singleLOITRun(0.5, 9)
+		wall := time.Since(start).Seconds()
+		virtual := float64(c.Sim().Now()) / float64(time.Second)
+		b.ReportMetric(virtual/wall, "simsec/wallsec")
+	}
+}

@@ -1,0 +1,53 @@
+// Command dcsim regenerates the tables and figures of "The Data
+// Cyclotron Query Processing Scheme" (EDBT 2010) from the simulated
+// ring, printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	dcsim -exp fig6            # one experiment
+//	dcsim -exp all             # everything (a few minutes at scale 1)
+//	dcsim -exp table4 -scale 0.1 -seed 7
+//	dcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	dc "repro"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id or 'all'")
+		scale = flag.Float64("scale", 1.0, "workload scale (1.0 = paper volume)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range dc.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		// fig6/fig7 share a run, as do fig10/fig11.
+		ids = []string{"fig1", "fig6", "fig8", "fig9", "table4", "fig10"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := dc.RunExperiment(id, *scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (scale %.3g, seed %d, %.1fs wall) ===\n%s\n",
+			id, *scale, *seed, time.Since(start).Seconds(), res)
+	}
+}

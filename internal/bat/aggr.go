@@ -1,0 +1,315 @@
+package bat
+
+import "fmt"
+
+// Sum reduces the tail column to a scalar sum. Int columns sum to int64,
+// float columns to float64.
+func (b *BAT) Sum() any {
+	switch b.t.kind {
+	case KInt:
+		var s int64
+		for _, v := range b.t.ints {
+			s += v
+		}
+		return s
+	case KFloat:
+		var s float64
+		for _, v := range b.t.floats {
+			s += v
+		}
+		return s
+	case KOid:
+		var s int64
+		for i := 0; i < b.t.Len(); i++ {
+			s += int64(b.t.Oid(i))
+		}
+		return s
+	}
+	panic(fmt.Sprintf("bat: Sum over %s tail", b.t.kind))
+}
+
+// Count reports the number of rows (aggr.count).
+func (b *BAT) Count() int64 { return int64(b.Len()) }
+
+// Min returns the minimum tail value, or nil when empty.
+func (b *BAT) Min() any { return b.extreme(-1) }
+
+// Max returns the maximum tail value, or nil when empty.
+func (b *BAT) Max() any { return b.extreme(1) }
+
+func (b *BAT) extreme(sign int) any {
+	if b.Len() == 0 {
+		return nil
+	}
+	best := b.t.Value(0)
+	for i := 1; i < b.Len(); i++ {
+		v := b.t.Value(i)
+		if cmpValues(b.t.kind, v, best) == sign {
+			best = v
+		}
+	}
+	return best
+}
+
+// Avg returns the arithmetic mean of a numeric tail as float64.
+func (b *BAT) Avg() float64 {
+	if b.Len() == 0 {
+		return 0
+	}
+	switch v := b.Sum().(type) {
+	case int64:
+		return float64(v) / float64(b.Len())
+	case float64:
+		return v / float64(b.Len())
+	}
+	panic("bat: Avg over non-numeric tail")
+}
+
+// GroupIDs assigns a dense group id to each row based on its tail value
+// (group.new): the result is [head | group oid], plus a representative
+// BAT [group oid | tail value] in first-appearance order.
+func (b *BAT) GroupIDs() (groups, reps *BAT) {
+	ids := make([]Oid, b.Len())
+	idOf := make(map[any]Oid, b.Len())
+	var repIdx []int
+	for i := 0; i < b.Len(); i++ {
+		k := b.t.Value(i)
+		id, ok := idOf[k]
+		if !ok {
+			id = Oid(len(repIdx))
+			idOf[k] = id
+			repIdx = append(repIdx, i)
+		}
+		ids[i] = id
+	}
+	groups = &BAT{Name: b.Name, h: b.h.take(identity(b.Len())), t: OidColumn(ids)}
+	reps = &BAT{Name: b.Name, h: DenseColumn(0, len(repIdx)), t: b.t.take(repIdx)}
+	// groups keeps b's head; take(identity) materializes it.
+	groups.h = b.h.take(identity(b.Len()))
+	return groups, reps
+}
+
+func identity(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// GroupedSum computes per-group sums: groups maps row position to group
+// id (tail), vals holds the values (tail, aligned by row position).
+// The result is [group oid | sum].
+func GroupedSum(groups, vals *BAT) *BAT {
+	if groups.Len() != vals.Len() {
+		panic("bat: GroupedSum length mismatch")
+	}
+	ngroups := maxGroup(groups) + 1
+	switch vals.t.kind {
+	case KInt:
+		sums := make([]int64, ngroups)
+		for i := 0; i < groups.Len(); i++ {
+			sums[groups.t.Oid(i)] += vals.t.ints[i]
+		}
+		return New(vals.Name, DenseColumn(0, ngroups), IntColumn(sums))
+	case KFloat:
+		sums := make([]float64, ngroups)
+		for i := 0; i < groups.Len(); i++ {
+			sums[groups.t.Oid(i)] += vals.t.floats[i]
+		}
+		return New(vals.Name, DenseColumn(0, ngroups), FloatColumn(sums))
+	}
+	panic(fmt.Sprintf("bat: GroupedSum over %s", vals.t.kind))
+}
+
+// GroupedCount counts rows per group: [group oid | count].
+func GroupedCount(groups *BAT) *BAT {
+	ngroups := maxGroup(groups) + 1
+	counts := make([]int64, ngroups)
+	for i := 0; i < groups.Len(); i++ {
+		counts[groups.t.Oid(i)]++
+	}
+	return New(groups.Name, DenseColumn(0, ngroups), IntColumn(counts))
+}
+
+// GroupedAvg computes per-group means: [group oid | avg].
+func GroupedAvg(groups, vals *BAT) *BAT {
+	sums := GroupedSum(groups, vals)
+	counts := GroupedCount(groups)
+	n := sums.Len()
+	avgs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := float64(counts.t.ints[i])
+		if c == 0 {
+			continue
+		}
+		switch sums.t.kind {
+		case KInt:
+			avgs[i] = float64(sums.t.ints[i]) / c
+		case KFloat:
+			avgs[i] = sums.t.floats[i] / c
+		}
+	}
+	return New(vals.Name, DenseColumn(0, n), FloatColumn(avgs))
+}
+
+// GroupedMin computes per-group minima: [group oid | min].
+func GroupedMin(groups, vals *BAT) *BAT { return groupedExtreme(groups, vals, -1) }
+
+// GroupedMax computes per-group maxima: [group oid | max].
+func GroupedMax(groups, vals *BAT) *BAT { return groupedExtreme(groups, vals, 1) }
+
+func groupedExtreme(groups, vals *BAT, sign int) *BAT {
+	if groups.Len() != vals.Len() {
+		panic("bat: grouped extreme length mismatch")
+	}
+	ngroups := maxGroup(groups) + 1
+	out := NewColumn(vals.t.kind)
+	set := make([]bool, ngroups)
+	tmp := make([]any, ngroups)
+	for i := 0; i < groups.Len(); i++ {
+		g := groups.t.Oid(i)
+		v := vals.t.Value(i)
+		if !set[g] || cmpValues(vals.t.kind, v, tmp[g]) == sign {
+			set[g] = true
+			tmp[g] = v
+		}
+	}
+	for g := 0; g < ngroups; g++ {
+		if !set[g] {
+			panic("bat: empty group in grouped extreme")
+		}
+		out.Append(tmp[g])
+	}
+	return New(vals.Name, DenseColumn(0, ngroups), out)
+}
+
+// GroupIDsPos is GroupIDs but returns representatives as row positions:
+// reps is [group oid | head oid of first row in group], so representative
+// key values can be fetched by joining reps against any aligned column.
+func (b *BAT) GroupIDsPos() (groups, reps *BAT) {
+	ids := make([]Oid, b.Len())
+	idOf := make(map[any]Oid, b.Len())
+	var repIdx []int
+	for i := 0; i < b.Len(); i++ {
+		k := b.t.Value(i)
+		id, ok := idOf[k]
+		if !ok {
+			id = Oid(len(repIdx))
+			idOf[k] = id
+			repIdx = append(repIdx, i)
+		}
+		ids[i] = id
+	}
+	groups = &BAT{Name: b.Name, h: b.h.take(identity(b.Len())), t: OidColumn(ids)}
+	repOids := make([]Oid, len(repIdx))
+	for i, r := range repIdx {
+		repOids[i] = b.h.Oid(r)
+	}
+	reps = New(b.Name, DenseColumn(0, len(repIdx)), OidColumn(repOids))
+	return groups, reps
+}
+
+// GroupDerive refines an existing grouping by an additional key column
+// (MAL's group.derive): rows belong to the same refined group iff they
+// share both the old group id and the key value. Returns the refined
+// [head | group oid] plus a representative row BAT [group oid | row pos]
+// usable to fetch representative key values.
+func GroupDerive(groups, keys *BAT) (refined, reps *BAT) {
+	if groups.Len() != keys.Len() {
+		panic("bat: GroupDerive length mismatch")
+	}
+	type pair struct {
+		g Oid
+		v any
+	}
+	ids := make([]Oid, groups.Len())
+	idOf := make(map[pair]Oid, groups.Len())
+	var repIdx []int
+	for i := 0; i < groups.Len(); i++ {
+		k := pair{groups.t.Oid(i), keys.t.Value(i)}
+		id, ok := idOf[k]
+		if !ok {
+			id = Oid(len(repIdx))
+			idOf[k] = id
+			repIdx = append(repIdx, i)
+		}
+		ids[i] = id
+	}
+	refined = &BAT{Name: groups.Name, h: groups.h.take(identity(groups.Len())), t: OidColumn(ids)}
+	repOids := make([]Oid, len(repIdx))
+	for i, r := range repIdx {
+		repOids[i] = groups.h.Oid(r)
+	}
+	reps = New(groups.Name, DenseColumn(0, len(repIdx)), OidColumn(repOids))
+	return refined, reps
+}
+
+func maxGroup(groups *BAT) int {
+	if groups.t.kind != KOid {
+		panic("bat: group column must be oid")
+	}
+	max := -1
+	for i := 0; i < groups.Len(); i++ {
+		if g := int(groups.t.Oid(i)); g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// MulIF multiplies an int-tail BAT by a float-tail BAT positionally,
+// producing a float tail. Used by arithmetic in query plans
+// (e.g. extendedprice * (1 - discount)).
+func MulIF(a, b *BAT) *BAT {
+	if a.Len() != b.Len() {
+		panic("bat: MulIF length mismatch")
+	}
+	out := make([]float64, a.Len())
+	for i := range out {
+		out[i] = tailAsFloat(a, i) * tailAsFloat(b, i)
+	}
+	return New(a.Name, DenseColumn(0, len(out)), FloatColumn(out))
+}
+
+// AddF adds two numeric-tail BATs positionally into a float tail.
+func AddF(a, b *BAT) *BAT {
+	if a.Len() != b.Len() {
+		panic("bat: AddF length mismatch")
+	}
+	out := make([]float64, a.Len())
+	for i := range out {
+		out[i] = tailAsFloat(a, i) + tailAsFloat(b, i)
+	}
+	return New(a.Name, DenseColumn(0, len(out)), FloatColumn(out))
+}
+
+// ConstMinusF computes c - tail for each row.
+func ConstMinusF(c float64, b *BAT) *BAT {
+	out := make([]float64, b.Len())
+	for i := range out {
+		out[i] = c - tailAsFloat(b, i)
+	}
+	return New(b.Name, DenseColumn(0, len(out)), FloatColumn(out))
+}
+
+// ConstPlusF computes c + tail for each row.
+func ConstPlusF(c float64, b *BAT) *BAT {
+	out := make([]float64, b.Len())
+	for i := range out {
+		out[i] = c + tailAsFloat(b, i)
+	}
+	return New(b.Name, DenseColumn(0, len(out)), FloatColumn(out))
+}
+
+func tailAsFloat(b *BAT, i int) float64 {
+	switch b.t.kind {
+	case KInt:
+		return float64(b.t.ints[i])
+	case KFloat:
+		return b.t.floats[i]
+	case KOid:
+		return float64(b.t.Oid(i))
+	}
+	panic(fmt.Sprintf("bat: non-numeric tail %s", b.t.kind))
+}

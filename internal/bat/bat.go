@@ -1,0 +1,429 @@
+// Package bat implements the column-store kernel the Data Cyclotron is
+// layered on: Binary Association Tables (BATs) in the style of MonetDB.
+//
+// A BAT is a two-column table mapping a head value to a tail value. Both
+// columns are typed; the head is most often a (dense) OID column. The
+// package provides the binary relational algebra the MAL plans in the
+// paper use — select, join, reverse, mark, mirror, semijoin — plus the
+// grouping/aggregation operators needed by the SQL front-end, and
+// property metadata (sortedness, density) used to pick fast paths,
+// mirroring §3.1.
+package bat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Oid is an object identifier, the glue between decomposed columns.
+type Oid uint64
+
+// NilOid is the out-of-band OID value.
+const NilOid Oid = ^Oid(0)
+
+// Kind enumerates column types.
+type Kind int
+
+// Column kinds.
+const (
+	KOid Kind = iota
+	KInt
+	KFloat
+	KStr
+	KBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KOid:
+		return "oid"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KStr:
+		return "str"
+	case KBool:
+		return "bool"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Width reports the in-memory width of a fixed-size kind in bytes.
+// Strings report 0; their size is data-dependent.
+func (k Kind) Width() int {
+	switch k {
+	case KStr:
+		return 0
+	case KBool:
+		return 1
+	default:
+		return 8
+	}
+}
+
+// Column is one typed column of a BAT. A column is either materialized
+// (one of the slices is used, per kind) or dense (an arithmetic sequence
+// of OIDs starting at Base — MonetDB's virtual OID column).
+type Column struct {
+	kind   Kind
+	dense  bool
+	base   Oid
+	n      int // length when dense
+	oids   []Oid
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	sorted bool // non-decreasing tail order (trivially true when dense)
+}
+
+// NewColumn returns an empty materialized column of the given kind.
+func NewColumn(kind Kind) *Column { return &Column{kind: kind} }
+
+// DenseColumn returns a dense OID column [base, base+n).
+func DenseColumn(base Oid, n int) *Column {
+	return &Column{kind: KOid, dense: true, base: base, n: n, sorted: true}
+}
+
+// OidColumn materializes an OID column.
+func OidColumn(v []Oid) *Column { return &Column{kind: KOid, oids: v} }
+
+// IntColumn materializes an int column.
+func IntColumn(v []int64) *Column { return &Column{kind: KInt, ints: v} }
+
+// FloatColumn materializes a float column.
+func FloatColumn(v []float64) *Column { return &Column{kind: KFloat, floats: v} }
+
+// StrColumn materializes a string column.
+func StrColumn(v []string) *Column { return &Column{kind: KStr, strs: v} }
+
+// BoolColumn materializes a bool column.
+func BoolColumn(v []bool) *Column { return &Column{kind: KBool, bools: v} }
+
+// Kind reports the column type.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Dense reports whether the column is a virtual dense OID sequence.
+func (c *Column) Dense() bool { return c.dense }
+
+// Base reports the first OID of a dense column.
+func (c *Column) Base() Oid { return c.base }
+
+// Sorted reports whether the column is known to be non-decreasing.
+func (c *Column) Sorted() bool { return c.sorted || c.dense }
+
+// SetSorted records the sortedness property.
+func (c *Column) SetSorted(v bool) { c.sorted = v }
+
+// Len reports the number of values.
+func (c *Column) Len() int {
+	if c.dense {
+		return c.n
+	}
+	switch c.kind {
+	case KOid:
+		return len(c.oids)
+	case KInt:
+		return len(c.ints)
+	case KFloat:
+		return len(c.floats)
+	case KStr:
+		return len(c.strs)
+	case KBool:
+		return len(c.bools)
+	}
+	return 0
+}
+
+// Value returns element i as an any. Slow path; operators use the typed
+// accessors.
+func (c *Column) Value(i int) any {
+	if c.dense {
+		return c.base + Oid(i)
+	}
+	switch c.kind {
+	case KOid:
+		return c.oids[i]
+	case KInt:
+		return c.ints[i]
+	case KFloat:
+		return c.floats[i]
+	case KStr:
+		return c.strs[i]
+	case KBool:
+		return c.bools[i]
+	}
+	panic("bat: bad kind")
+}
+
+// Oid returns element i of an OID column.
+func (c *Column) Oid(i int) Oid {
+	if c.dense {
+		return c.base + Oid(i)
+	}
+	return c.oids[i]
+}
+
+// Int returns element i of an int column.
+func (c *Column) Int(i int) int64 { return c.ints[i] }
+
+// Float returns element i of a float column.
+func (c *Column) Float(i int) float64 { return c.floats[i] }
+
+// Str returns element i of a string column.
+func (c *Column) Str(i int) string { return c.strs[i] }
+
+// Bool returns element i of a bool column.
+func (c *Column) Bool(i int) bool { return c.bools[i] }
+
+// Append adds v, which must match the column kind. Dense columns cannot
+// be appended to.
+func (c *Column) Append(v any) {
+	if c.dense {
+		panic("bat: append to dense column")
+	}
+	switch c.kind {
+	case KOid:
+		c.oids = append(c.oids, v.(Oid))
+	case KInt:
+		c.ints = append(c.ints, v.(int64))
+	case KFloat:
+		c.floats = append(c.floats, v.(float64))
+	case KStr:
+		c.strs = append(c.strs, v.(string))
+	case KBool:
+		c.bools = append(c.bools, v.(bool))
+	default:
+		panic("bat: bad kind")
+	}
+}
+
+// take returns a new column with the rows at the given positions.
+func (c *Column) take(idx []int) *Column {
+	out := &Column{kind: c.kind}
+	switch c.kind {
+	case KOid:
+		out.oids = make([]Oid, len(idx))
+		if c.dense {
+			for k, i := range idx {
+				out.oids[k] = c.base + Oid(i)
+			}
+		} else {
+			for k, i := range idx {
+				out.oids[k] = c.oids[i]
+			}
+		}
+	case KInt:
+		out.ints = make([]int64, len(idx))
+		for k, i := range idx {
+			out.ints[k] = c.ints[i]
+		}
+	case KFloat:
+		out.floats = make([]float64, len(idx))
+		for k, i := range idx {
+			out.floats[k] = c.floats[i]
+		}
+	case KStr:
+		out.strs = make([]string, len(idx))
+		for k, i := range idx {
+			out.strs[k] = c.strs[i]
+		}
+	case KBool:
+		out.bools = make([]bool, len(idx))
+		for k, i := range idx {
+			out.bools[k] = c.bools[i]
+		}
+	}
+	return out
+}
+
+// Bytes reports the memory footprint of the column payload.
+func (c *Column) Bytes() int {
+	if c.dense {
+		return 16 // base + count
+	}
+	switch c.kind {
+	case KStr:
+		total := 0
+		for _, s := range c.strs {
+			total += len(s) + 8 // payload + offset
+		}
+		return total
+	case KBool:
+		return c.Len()
+	default:
+		return c.Len() * 8
+	}
+}
+
+// equalAt reports whether c[i] == d[j]; kinds must match.
+func (c *Column) equalAt(i int, d *Column, j int) bool {
+	switch c.kind {
+	case KOid:
+		return c.Oid(i) == d.Oid(j)
+	case KInt:
+		return c.ints[i] == d.ints[j]
+	case KFloat:
+		return c.floats[i] == d.floats[j]
+	case KStr:
+		return c.strs[i] == d.strs[j]
+	case KBool:
+		return c.bools[i] == d.bools[j]
+	}
+	return false
+}
+
+// BAT is a binary association table: a head and a tail column of equal
+// length. The zero value is not useful; use New or the Make helpers.
+type BAT struct {
+	Name string
+	h, t *Column
+}
+
+// New creates a BAT from a head and tail column. The columns must have
+// equal lengths.
+func New(name string, h, t *Column) *BAT {
+	if h.Len() != t.Len() {
+		panic(fmt.Sprintf("bat: head/tail length mismatch %d != %d", h.Len(), t.Len()))
+	}
+	return &BAT{Name: name, h: h, t: t}
+}
+
+// MakeInts builds a [dense OID | int] BAT, the workhorse layout.
+func MakeInts(name string, vals []int64) *BAT {
+	return New(name, DenseColumn(0, len(vals)), IntColumn(vals))
+}
+
+// MakeFloats builds a [dense OID | float] BAT.
+func MakeFloats(name string, vals []float64) *BAT {
+	return New(name, DenseColumn(0, len(vals)), FloatColumn(vals))
+}
+
+// MakeStrs builds a [dense OID | str] BAT.
+func MakeStrs(name string, vals []string) *BAT {
+	return New(name, DenseColumn(0, len(vals)), StrColumn(vals))
+}
+
+// MakeOids builds a [dense OID | oid] BAT (e.g. a join index).
+func MakeOids(name string, vals []Oid) *BAT {
+	return New(name, DenseColumn(0, len(vals)), OidColumn(vals))
+}
+
+// Head returns the head column.
+func (b *BAT) Head() *Column { return b.h }
+
+// Tail returns the tail column.
+func (b *BAT) Tail() *Column { return b.t }
+
+// Len reports the number of BUNs (rows).
+func (b *BAT) Len() int { return b.h.Len() }
+
+// Bytes reports the payload size, used as the wire size when the BAT
+// travels the storage ring.
+func (b *BAT) Bytes() int { return b.h.Bytes() + b.t.Bytes() }
+
+// Reverse returns the BAT with head and tail swapped. Like MonetDB this
+// is a view: O(1), sharing the columns.
+func (b *BAT) Reverse() *BAT { return &BAT{Name: b.Name, h: b.t, t: b.h} }
+
+// Mirror returns [head | head]: both columns are the head column.
+func (b *BAT) Mirror() *BAT { return &BAT{Name: b.Name, h: b.h, t: b.h} }
+
+// MarkT returns [head | dense OIDs from base], per MAL's markT.
+func (b *BAT) MarkT(base Oid) *BAT {
+	return &BAT{Name: b.Name, h: b.h, t: DenseColumn(base, b.Len())}
+}
+
+// MarkH returns [dense OIDs from base | tail].
+func (b *BAT) MarkH(base Oid) *BAT {
+	return &BAT{Name: b.Name, h: DenseColumn(base, b.Len()), t: b.t}
+}
+
+// Slice returns rows [from, to).
+func (b *BAT) Slice(from, to int) *BAT {
+	if from < 0 || to > b.Len() || from > to {
+		panic(fmt.Sprintf("bat: slice [%d,%d) out of range 0..%d", from, to, b.Len()))
+	}
+	idx := make([]int, to-from)
+	for i := range idx {
+		idx[i] = from + i
+	}
+	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+}
+
+// Copy returns a deep(-enough) materialized copy of b.
+func (b *BAT) Copy() *BAT {
+	idx := make([]int, b.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	nb := &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	nb.h.sorted = b.h.Sorted()
+	nb.t.sorted = b.t.Sorted()
+	return nb
+}
+
+// String renders a compact description, not the payload.
+func (b *BAT) String() string {
+	return fmt.Sprintf("BAT(%s)[%s|%s]#%d", b.Name, b.h.kind, b.t.kind, b.Len())
+}
+
+// Dump renders up to max rows for debugging and examples.
+func (b *BAT) Dump(max int) string {
+	n := b.Len()
+	if max > 0 && n > max {
+		n = max
+	}
+	s := b.String() + " {"
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%v->%v", b.h.Value(i), b.t.Value(i))
+	}
+	if n < b.Len() {
+		s += ", ..."
+	}
+	return s + "}"
+}
+
+// sortIdxByTail returns row positions ordered by tail value.
+func (b *BAT) sortIdxByTail(desc bool) []int {
+	idx := make([]int, b.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := b.t
+	less := func(i, j int) bool {
+		switch t.kind {
+		case KOid:
+			return t.Oid(idx[i]) < t.Oid(idx[j])
+		case KInt:
+			return t.ints[idx[i]] < t.ints[idx[j]]
+		case KFloat:
+			return t.floats[idx[i]] < t.floats[idx[j]]
+		case KStr:
+			return t.strs[idx[i]] < t.strs[idx[j]]
+		case KBool:
+			return !t.bools[idx[i]] && t.bools[idx[j]]
+		}
+		return false
+	}
+	if desc {
+		sort.SliceStable(idx, func(i, j int) bool { return less(j, i) })
+	} else {
+		sort.SliceStable(idx, less)
+	}
+	return idx
+}
+
+// SortT returns b ordered by tail value (stable).
+func (b *BAT) SortT(desc bool) *BAT {
+	idx := b.sortIdxByTail(desc)
+	nb := &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	if !desc {
+		nb.t.sorted = true
+	}
+	return nb
+}

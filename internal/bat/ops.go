@@ -1,0 +1,347 @@
+package bat
+
+import "fmt"
+
+// Predicate bounds for Select. Nil means unbounded on that side.
+type Bound struct {
+	Value     any
+	Inclusive bool
+}
+
+func cmpValues(kind Kind, a, b any) int {
+	switch kind {
+	case KOid:
+		x, y := a.(Oid), b.(Oid)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case KInt:
+		// Mixed int/float comparisons (e.g. an int column against a
+		// float literal) are compared as floats.
+		if isFloat(a) || isFloat(b) {
+			x, y := toFloat64(a), toFloat64(b)
+			switch {
+			case x < y:
+				return -1
+			case x > y:
+				return 1
+			}
+			return 0
+		}
+		x, y := toInt64(a), toInt64(b)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case KFloat:
+		x, y := toFloat64(a), toFloat64(b)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case KStr:
+		x, y := a.(string), b.(string)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case KBool:
+		x, y := a.(bool), b.(bool)
+		switch {
+		case !x && y:
+			return -1
+		case x && !y:
+			return 1
+		}
+	}
+	return 0
+}
+
+func isFloat(v any) bool {
+	_, ok := v.(float64)
+	return ok
+}
+
+func toInt64(v any) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case Oid:
+		return int64(x)
+	}
+	panic(fmt.Sprintf("bat: cannot convert %T to int64", v))
+}
+
+func toFloat64(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int64:
+		return float64(x)
+	case int:
+		return float64(x)
+	}
+	panic(fmt.Sprintf("bat: cannot convert %T to float64", v))
+}
+
+// Select returns the BUNs whose tail value lies within [lo, hi]
+// (respecting inclusiveness; nil bounds are open). The result preserves
+// head values and tail values of the qualifying rows, like MAL's
+// algebra.select.
+func (b *BAT) Select(lo, hi *Bound) *BAT {
+	var idx []int
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		v := b.t.Value(i)
+		if lo != nil {
+			c := cmpValues(b.t.kind, v, lo.Value)
+			if c < 0 || (c == 0 && !lo.Inclusive) {
+				continue
+			}
+		}
+		if hi != nil {
+			c := cmpValues(b.t.kind, v, hi.Value)
+			if c > 0 || (c == 0 && !hi.Inclusive) {
+				continue
+			}
+		}
+		idx = append(idx, i)
+	}
+	nb := &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	nb.h.sorted = b.h.Sorted()
+	nb.t.sorted = b.t.Sorted()
+	return nb
+}
+
+// SelectEq returns the BUNs whose tail equals v.
+func (b *BAT) SelectEq(v any) *BAT {
+	bd := &Bound{Value: v, Inclusive: true}
+	return b.Select(bd, bd)
+}
+
+// SelectNe returns the BUNs whose tail differs from v.
+func (b *BAT) SelectNe(v any) *BAT {
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		if cmpValues(b.t.kind, b.t.Value(i), v) != 0 {
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+}
+
+// SelectFunc filters rows by an arbitrary tail predicate (used for LIKE
+// and other non-range predicates).
+func (b *BAT) SelectFunc(pred func(v any) bool) *BAT {
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		if pred(b.t.Value(i)) {
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+}
+
+// EqRows returns the rows of a whose tail equals b's tail at the same
+// position (a positional equality filter, used for cyclic join
+// predicates).
+func (b *BAT) EqRows(r *BAT) *BAT {
+	if b.Len() != r.Len() {
+		panic("bat: EqRows length mismatch")
+	}
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		if cmpValues(b.t.kind, b.t.Value(i), r.t.Value(i)) == 0 {
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+}
+
+// hashKey normalizes a value for map lookup across numeric kinds.
+func hashKey(kind Kind, v any) any {
+	switch kind {
+	case KOid:
+		return v.(Oid)
+	default:
+		return v
+	}
+}
+
+// buildHash indexes column c: value -> row positions.
+func buildHash(c *Column) map[any][]int {
+	m := make(map[any][]int, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		k := c.Value(i)
+		m[k] = append(m[k], i)
+	}
+	return m
+}
+
+// Join computes the natural join of b and r on b.tail == r.head,
+// returning [b.head | r.tail], MAL's algebra.join. When r's head is a
+// dense OID column the join degenerates to positional fetch
+// (leftfetchjoin), the fast path MonetDB uses for projections.
+func (b *BAT) Join(r *BAT) *BAT {
+	if b.t.kind != r.h.kind {
+		panic(fmt.Sprintf("bat: join type mismatch %s != %s", b.t.kind, r.h.kind))
+	}
+	// Fast path: positional fetch against a dense head.
+	if r.h.dense {
+		var li, ri []int
+		base, n := r.h.base, r.h.Len()
+		for i := 0; i < b.Len(); i++ {
+			o := b.t.Oid(i)
+			if o >= base && o < base+Oid(n) {
+				li = append(li, i)
+				ri = append(ri, int(o-base))
+			}
+		}
+		return &BAT{Name: b.Name, h: b.h.take(li), t: r.t.take(ri)}
+	}
+	// Hash join: build on the smaller side when possible.
+	hash := buildHash(r.h)
+	var li, ri []int
+	for i := 0; i < b.Len(); i++ {
+		for _, j := range hash[b.t.Value(i)] {
+			li = append(li, i)
+			ri = append(ri, j)
+		}
+	}
+	return &BAT{Name: b.Name, h: b.h.take(li), t: r.t.take(ri)}
+}
+
+// Project is leftfetchjoin with explicit naming: positions in b's tail
+// (OIDs) fetch values from r (whose head must cover them). Equivalent to
+// b.Join(r) but requires r's head to be dense.
+func (b *BAT) Project(r *BAT) *BAT {
+	if !r.h.dense {
+		panic("bat: Project requires dense head on the value BAT")
+	}
+	return b.Join(r)
+}
+
+// Semijoin returns the rows of b whose head value appears among r's head
+// values (MAL's algebra.semijoin).
+func (b *BAT) Semijoin(r *BAT) *BAT {
+	if b.h.kind != r.h.kind {
+		panic(fmt.Sprintf("bat: semijoin type mismatch %s != %s", b.h.kind, r.h.kind))
+	}
+	if r.h.dense {
+		var idx []int
+		base, n := r.h.base, r.h.Len()
+		for i := 0; i < b.Len(); i++ {
+			o := b.h.Oid(i)
+			if o >= base && o < base+Oid(n) {
+				idx = append(idx, i)
+			}
+		}
+		return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	}
+	set := make(map[any]bool, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		set[r.h.Value(i)] = true
+	}
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		if set[b.h.Value(i)] {
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+}
+
+// Diff returns the rows of b whose head value does NOT appear among r's
+// head values (MAL's kdiff).
+func (b *BAT) Diff(r *BAT) *BAT {
+	set := make(map[any]bool, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		set[r.h.Value(i)] = true
+	}
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		if !set[b.h.Value(i)] {
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+}
+
+// Union appends r's rows to b's (kunion without duplicate elimination).
+func (b *BAT) Union(r *BAT) *BAT {
+	if b.h.kind != r.h.kind || b.t.kind != r.t.kind {
+		panic("bat: union kind mismatch")
+	}
+	bi := make([]int, b.Len())
+	for i := range bi {
+		bi[i] = i
+	}
+	ri := make([]int, r.Len())
+	for i := range ri {
+		ri[i] = i
+	}
+	h := b.h.take(bi)
+	t := b.t.take(bi)
+	rh := r.h.take(ri)
+	rt := r.t.take(ri)
+	switch h.kind {
+	case KOid:
+		h.oids = append(h.oids, rh.oids...)
+	case KInt:
+		h.ints = append(h.ints, rh.ints...)
+	case KFloat:
+		h.floats = append(h.floats, rh.floats...)
+	case KStr:
+		h.strs = append(h.strs, rh.strs...)
+	case KBool:
+		h.bools = append(h.bools, rh.bools...)
+	}
+	switch t.kind {
+	case KOid:
+		t.oids = append(t.oids, rt.oids...)
+	case KInt:
+		t.ints = append(t.ints, rt.ints...)
+	case KFloat:
+		t.floats = append(t.floats, rt.floats...)
+	case KStr:
+		t.strs = append(t.strs, rt.strs...)
+	case KBool:
+		t.bools = append(t.bools, rt.bools...)
+	}
+	return &BAT{Name: b.Name, h: h, t: t}
+}
+
+// UniqueT returns the first row for each distinct tail value, in first-
+// appearance order.
+func (b *BAT) UniqueT() *BAT {
+	seen := make(map[any]bool, b.Len())
+	var idx []int
+	for i := 0; i < b.Len(); i++ {
+		k := b.t.Value(i)
+		if !seen[k] {
+			seen[k] = true
+			idx = append(idx, i)
+		}
+	}
+	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+}
+
+// TopN returns the first n rows of b ordered by tail (desc if desc).
+func (b *BAT) TopN(n int, desc bool) *BAT {
+	s := b.SortT(desc)
+	if n > s.Len() {
+		n = s.Len()
+	}
+	return s.Slice(0, n)
+}

@@ -1,0 +1,84 @@
+package bat
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundtrip(t *testing.T, b *BAT) *BAT {
+	t.Helper()
+	data, err := Marshal(b)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	return out
+}
+
+func TestSerialRoundtripKinds(t *testing.T) {
+	cases := []*BAT{
+		MakeInts("ints", []int64{1, -2, 3}),
+		MakeFloats("floats", []float64{1.5, -2.25}),
+		MakeStrs("strs", []string{"a", "", "hello world"}),
+		MakeOids("oids", []Oid{0, 5, NilOid}),
+		New("bools", DenseColumn(10, 2), BoolColumn([]bool{true, false})),
+		MakeInts("empty", nil),
+	}
+	for _, b := range cases {
+		got := roundtrip(t, b)
+		if got.Name != b.Name || got.Len() != b.Len() {
+			t.Fatalf("%s: shape mismatch", b.Name)
+		}
+		for i := 0; i < b.Len(); i++ {
+			if !reflect.DeepEqual(got.Head().Value(i), b.Head().Value(i)) ||
+				!reflect.DeepEqual(got.Tail().Value(i), b.Tail().Value(i)) {
+				t.Fatalf("%s: row %d differs", b.Name, i)
+			}
+		}
+		if got.Head().Dense() != b.Head().Dense() || got.Head().Base() != b.Head().Base() {
+			t.Fatalf("%s: dense head metadata lost", b.Name)
+		}
+	}
+}
+
+func TestSerialPreservesSorted(t *testing.T) {
+	b := MakeInts("x", []int64{3, 1, 2}).SortT(false)
+	got := roundtrip(t, b)
+	if !got.Tail().Sorted() {
+		t.Fatal("sorted property lost")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not a bat")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: round-trip preserves arbitrary int BATs.
+func TestPropertySerialRoundtrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		b := MakeInts("p", vals)
+		data, err := Marshal(b)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil || got.Len() != b.Len() {
+			return false
+		}
+		for i := range vals {
+			if got.Tail().Int(i) != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Failure-injection tests: the robustness properties §4.2.3 claims
+// ("robust against request losses and starvation due to scheduling
+// anomalies") plus membership churn with data in flight.
+
+func TestInFlightBATAdoptedAfterRemoval(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Nodes = 4
+	cfg.Core.LOITLevels = []float64{0} // keep BATs circulating
+	c := New(cfg)
+	buildUniform(c, 8, 1<<20)
+
+	// Load a BAT owned by node 3 into the ring and let it circulate.
+	c.Submit(QuerySpec{ID: 1, Node: 1, Arrival: 0,
+		Steps: []Step{{BAT: 3, Proc: 10 * time.Millisecond}}})
+	c.Run(time.Minute)
+	if !c.Node(3).Loaded(3) {
+		t.Fatal("BAT 3 not loaded at its owner")
+	}
+
+	// Remove the owner while its BAT is mid-flight. The successor
+	// (node 0) adopts it; the circulating copy must be recognized and
+	// kept under hot-set management rather than orbiting forever.
+	if err := c.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Node(0).Owns(3) || !c.Node(0).Loaded(3) {
+		t.Fatal("adoption did not preserve hot-set state")
+	}
+	// New queries for the adopted BAT are served by the new owner.
+	c.Submit(QuerySpec{ID: 2, Node: 1, Arrival: c.Sim().Now().Sub(0),
+		Steps: []Step{{BAT: 3, Proc: 10 * time.Millisecond}}})
+	c.Run(5 * time.Minute)
+	if c.QueriesDone() != 2 || c.Metrics().Errors != 0 {
+		t.Fatalf("done=%d errors=%d", c.QueriesDone(), c.Metrics().Errors)
+	}
+	// The adopted BAT must eventually pass hot-set management at the
+	// new owner (cycle accounting continues).
+	if c.Metrics().MaxCycles.Get(3) == 0 {
+		t.Fatal("adopted BAT never completed a cycle at its new owner")
+	}
+}
+
+func TestStarvationRecoveryViaLoadAll(t *testing.T) {
+	// A big BAT is starved by small ones filling the queue; once demand
+	// fades, loadAll must eventually admit it (§4.2.3/§5.1).
+	cfg := smallConfig()
+	cfg.Ring.Data.QueueCap = 4 << 20
+	cfg.Core.LOITLevels = []float64{0.4}
+	c := New(cfg)
+	// One 3MB BAT and many 1MB BATs, all owned by node 0.
+	c.AddBAT(BATSpec{ID: 100, Size: 3 << 20, Owner: 0})
+	for i := 0; i < 12; i++ {
+		c.AddBAT(BATSpec{ID: core.BATID(i), Size: 1 << 20, Owner: 0})
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Heavy interest in the small BATs...
+	for q := 0; q < 60; q++ {
+		c.Submit(QuerySpec{ID: core.QueryID(q), Node: core.NodeID(1 + rng.Intn(3)),
+			Arrival: time.Duration(q*30) * time.Millisecond,
+			Steps:   []Step{{BAT: core.BATID(rng.Intn(12)), Proc: 50 * time.Millisecond}}})
+	}
+	// ...and one query for the big one.
+	c.Submit(QuerySpec{ID: 999, Node: 2, Arrival: 0,
+		Steps: []Step{{BAT: 100, Proc: 10 * time.Millisecond}}})
+	c.Run(10 * time.Minute)
+	if c.QueriesDone() != 61 {
+		t.Fatalf("done = %d, want 61 (big-BAT query must not starve forever)", c.QueriesDone())
+	}
+	if c.Metrics().Loads.Get(100) == 0 {
+		t.Fatal("big BAT never admitted")
+	}
+}
+
+func TestResendSurvivesRepeatedLoss(t *testing.T) {
+	// Extremely lossy request links: every burst beyond one in-flight
+	// message drops. Resend must still drive completion.
+	cfg := smallConfig()
+	cfg.Ring.Request.QueueCap = core.RequestWireSize
+	cfg.Core.ResendTimeout = 300 * time.Millisecond
+	c := New(cfg)
+	buildUniform(c, 16, 1<<19)
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 30; q++ {
+		node := core.NodeID(rng.Intn(4))
+		b := core.BATID(rng.Intn(16))
+		for int(b)%4 == int(node) {
+			b = core.BATID(rng.Intn(16))
+		}
+		// Deliberately bursty arrivals: multiple same-instant requests.
+		c.Submit(QuerySpec{ID: core.QueryID(q), Node: node,
+			Arrival: time.Duration(q/6) * 100 * time.Millisecond,
+			Steps:   []Step{{BAT: b, Proc: time.Millisecond}}})
+	}
+	c.Run(5 * time.Minute)
+	if c.QueriesDone() != 30 {
+		t.Fatalf("done = %d, want 30", c.QueriesDone())
+	}
+}
+
+func TestChurnManyMembershipChanges(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Nodes = 5
+	cfg.SpareNodes = 2
+	c := New(cfg)
+	buildUniform(c, 40, 1<<20)
+	rng := rand.New(rand.NewSource(6))
+	for q := 0; q < 150; q++ {
+		node := core.NodeID(rng.Intn(5))
+		b := core.BATID(rng.Intn(40))
+		for int(b)%5 == int(node) {
+			b = core.BATID(rng.Intn(40))
+		}
+		c.Submit(QuerySpec{ID: core.QueryID(q), Node: node,
+			Arrival: time.Duration(rng.Intn(8000)) * time.Millisecond,
+			Steps:   []Step{{BAT: b, Proc: 30 * time.Millisecond}}})
+	}
+	// Interleave growth and shrink while the workload runs.
+	c.RunFor(time.Second)
+	if _, err := c.ActivateNode(); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	if err := c.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	if _, err := c.ActivateNode(); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	if err := c.RemoveNode(4); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10 * time.Minute)
+	if c.QueriesDone() != 150 {
+		t.Fatalf("done = %d, want 150 across churn", c.QueriesDone())
+	}
+}

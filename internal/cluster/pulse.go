@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file implements the pulsating-ring membership operations of
+// §6.3: rings shrink when resources are underused and grow by calling
+// up spare nodes from a named service. Ring updates are localized to
+// the removed/added node's two neighbours (netsim re-routes in-flight
+// traffic), and data ownership hands over to the clockwise successor.
+
+// RemoveNode takes node i out of the ring:
+//
+//   - its active queries are aborted (counted in Metrics.Errors),
+//   - ownership of its BATs (hot or cold) moves to the next active
+//     node clockwise, which adopts their hot-set state,
+//   - the ring re-routes around it.
+//
+// The node's outbound queues drain normally; circulating BATs that
+// still carry the old owner id are adopted by the new owner on their
+// next pass (see Node.HandleData).
+func (c *Cluster) RemoveNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range", i)
+	}
+	if !c.ring.Active(i) {
+		return fmt.Errorf("cluster: node %d is not active", i)
+	}
+	if c.ring.ActiveCount() <= 2 {
+		return fmt.Errorf("cluster: cannot shrink below 2 nodes")
+	}
+	n := c.nodes[i]
+
+	// Abort queries still running here.
+	for _, run := range n.activeRuns() {
+		c.m.Errors++
+		n.finish(run, true)
+	}
+
+	// Hand ownership to the clockwise successor.
+	succIdx := c.nextActiveAfter(i)
+	succ := c.nodes[succIdx]
+	for _, b := range n.rt.OwnedBATs() {
+		size, loaded, ok := n.rt.RemoveOwned(b)
+		if !ok {
+			continue
+		}
+		succ.rt.AdoptOwned(b, size, loaded)
+		if spec, ok := c.bats[b]; ok {
+			spec.Owner = core.NodeID(succIdx)
+			c.bats[b] = spec
+		}
+	}
+	n.rt.Stop()
+	c.ring.SetActive(i, false)
+	return nil
+}
+
+// ActivateNode brings one spare node into the ring (the named service
+// of §6.3 answering a call of duty). It returns the node id.
+func (c *Cluster) ActivateNode() (core.NodeID, error) {
+	for i := range c.nodes {
+		if !c.ring.Active(i) {
+			c.ring.SetActive(i, true)
+			c.nodes[i].rt.Start()
+			return core.NodeID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: no spare nodes available")
+}
+
+// ActiveNodes reports the current ring membership.
+func (c *Cluster) ActiveNodes() []int {
+	var out []int
+	for i := range c.nodes {
+		if c.ring.Active(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// nextActiveAfter returns the first active node clockwise after i.
+func (c *Cluster) nextActiveAfter(i int) int {
+	for k := 1; k <= len(c.nodes); k++ {
+		j := (i + k) % len(c.nodes)
+		if c.ring.Active(j) {
+			return j
+		}
+	}
+	return i
+}
+
+// leastLoadedNodes returns up to k distinct active nodes ordered by
+// load (the bidding heuristic of §6.1: the price is the node's current
+// outstanding work).
+func (c *Cluster) leastLoadedNodes(k int) []int {
+	type bid struct {
+		node int
+		cost int
+	}
+	var bids []bid
+	for i, n := range c.nodes {
+		if !c.ring.Active(i) {
+			continue
+		}
+		bids = append(bids, bid{node: i, cost: len(n.queries)})
+	}
+	// insertion sort: tiny n
+	for i := 1; i < len(bids); i++ {
+		for j := i; j > 0 && (bids[j].cost < bids[j-1].cost ||
+			(bids[j].cost == bids[j-1].cost && bids[j].node < bids[j-1].node)); j-- {
+			bids[j], bids[j-1] = bids[j-1], bids[j]
+		}
+	}
+	if k > len(bids) {
+		k = len(bids)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = bids[i].node
+	}
+	return out
+}
+
+// activeRuns snapshots the node's running queries.
+func (n *Node) activeRuns() []*queryRun {
+	out := make([]*queryRun, 0, len(n.queries))
+	for _, run := range n.queries {
+		out = append(out, run)
+	}
+	return out
+}

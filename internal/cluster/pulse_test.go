@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func submitRemoteSingles(c *Cluster, rng *rand.Rand, nq, nBATs int, spread time.Duration) {
+	for q := 0; q < nq; q++ {
+		node := core.NodeID(rng.Intn(c.Nodes()))
+		b := core.BATID(rng.Intn(nBATs))
+		for int(b)%c.Nodes() == int(node) {
+			b = core.BATID(rng.Intn(nBATs))
+		}
+		arr := time.Duration(0)
+		if spread > 0 {
+			arr = time.Duration(rng.Int63n(int64(spread)))
+		}
+		c.Submit(QuerySpec{ID: core.QueryID(q), Node: node, Arrival: arr,
+			Steps: []Step{{BAT: b, Proc: 20 * time.Millisecond}}})
+	}
+}
+
+func TestRemoveNodeHandsOverOwnership(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Nodes = 4
+	c := New(cfg)
+	buildUniform(c, 16, 1<<20)
+	// Warm up: run some queries so BATs are loaded.
+	rng := rand.New(rand.NewSource(1))
+	submitRemoteSingles(c, rng, 20, 16, time.Second)
+	c.Run(time.Minute)
+	if c.QueriesDone() != 20 {
+		t.Fatalf("warmup done = %d", c.QueriesDone())
+	}
+
+	ownedBy3 := c.Node(3).OwnedBATs()
+	if len(ownedBy3) == 0 {
+		t.Fatal("node 3 owns nothing")
+	}
+	if err := c.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	// Ownership moved to the clockwise successor (node 0).
+	for _, b := range ownedBy3 {
+		if !c.Node(0).Owns(b) {
+			t.Fatalf("BAT %d not adopted by node 0", b)
+		}
+		if c.Node(3).Owns(b) {
+			t.Fatalf("BAT %d still owned by removed node", b)
+		}
+	}
+	if got := len(c.ActiveNodes()); got != 3 {
+		t.Fatalf("active = %d, want 3", got)
+	}
+
+	// The shrunken ring still serves queries, including for adopted BATs.
+	next := 1000
+	for _, b := range ownedBy3 {
+		c.Submit(QuerySpec{ID: core.QueryID(next), Node: 1, Arrival: c.Sim().Now().Sub(0),
+			Steps: []Step{{BAT: b, Proc: 5 * time.Millisecond}}})
+		next++
+	}
+	c.Run(10 * time.Minute)
+	if c.QueriesDone() != 20+len(ownedBy3) {
+		t.Fatalf("done = %d, want %d", c.QueriesDone(), 20+len(ownedBy3))
+	}
+	if c.Metrics().Errors != 0 {
+		t.Fatalf("errors = %d", c.Metrics().Errors)
+	}
+}
+
+func TestRemoveNodeAbortsItsQueries(t *testing.T) {
+	cfg := smallConfig()
+	c := New(cfg)
+	buildUniform(c, 8, 1<<20)
+	// A query at node 2 that will still be running when we remove it.
+	c.Submit(QuerySpec{ID: 1, Node: 2, Arrival: 0,
+		Steps: []Step{{BAT: 1, Proc: 10 * time.Second}}})
+	c.RunFor(time.Second)
+	if err := c.RemoveNode(2); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Minute)
+	if c.Metrics().Errors != 1 {
+		t.Fatalf("errors = %d, want 1 (aborted query)", c.Metrics().Errors)
+	}
+}
+
+func TestRemoveNodeValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Nodes = 3
+	c := New(cfg)
+	if err := c.RemoveNode(99); err == nil {
+		t.Fatal("out of range should fail")
+	}
+	if err := c.RemoveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode(0); err == nil {
+		t.Fatal("double removal should fail")
+	}
+	if err := c.RemoveNode(1); err == nil {
+		t.Fatal("shrinking below 2 should fail")
+	}
+}
+
+func TestActivateSpareNode(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Nodes = 3
+	cfg.SpareNodes = 1
+	c := New(cfg)
+	buildUniform(c, 12, 1<<20) // owners round-robin over the 3 active
+	if got := len(c.ActiveNodes()); got != 3 {
+		t.Fatalf("active = %d, want 3 (spare inactive)", got)
+	}
+	id, err := c.ActivateNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(id) != 3 {
+		t.Fatalf("activated = %d, want 3", id)
+	}
+	if got := len(c.ActiveNodes()); got != 4 {
+		t.Fatalf("active = %d, want 4", got)
+	}
+	if _, err := c.ActivateNode(); err == nil {
+		t.Fatal("no more spares: expected error")
+	}
+	// The new node executes queries against data it does not own.
+	c.Submit(QuerySpec{ID: 1, Node: id, Arrival: 0,
+		Steps: []Step{{BAT: 5, Proc: 10 * time.Millisecond}}})
+	c.Run(time.Minute)
+	if c.QueriesDone() != 1 || c.Metrics().Errors != 0 {
+		t.Fatalf("done=%d errors=%d", c.QueriesDone(), c.Metrics().Errors)
+	}
+}
+
+func TestPulsatingGrowShrinkUnderLoad(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Nodes = 4
+	cfg.SpareNodes = 2
+	c := New(cfg)
+	buildUniform(c, 32, 1<<20)
+	rng := rand.New(rand.NewSource(9))
+	submitRemoteSingles(c, rng, 100, 32, 5*time.Second)
+	c.RunFor(time.Second)
+	if _, err := c.ActivateNode(); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	if err := c.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10 * time.Minute)
+	// All queries completed or were aborted by the removal; none hang.
+	if c.QueriesDone() != 100 {
+		t.Fatalf("done = %d, want 100", c.QueriesDone())
+	}
+}
+
+func TestNomadicSubmitBalances(t *testing.T) {
+	cfg := smallConfig()
+	c := New(cfg)
+	buildUniform(c, 16, 1<<20)
+	// All nomadic queries nominally enter at node 0; bidding must
+	// spread them.
+	for q := 0; q < 40; q++ {
+		b := core.BATID(1 + (q % 15))
+		c.SubmitNomadic(QuerySpec{ID: core.QueryID(q), Node: 0, Arrival: 0,
+			Steps: []Step{{BAT: b, Proc: 200 * time.Millisecond}}})
+	}
+	c.RunFor(50 * time.Millisecond)
+	spread := 0
+	for i := 0; i < c.Nodes(); i++ {
+		if len(c.nodes[i].queries) > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("nomadic queries settled on %d nodes, want >= 2", spread)
+	}
+	c.Run(time.Minute)
+	if c.QueriesDone() != 40 {
+		t.Fatalf("done = %d", c.QueriesDone())
+	}
+}
+
+func TestParallelSubmitSplitsAndMerges(t *testing.T) {
+	cfg := smallConfig()
+	c := New(cfg)
+	buildUniform(c, 16, 1<<20)
+	spec := QuerySpec{
+		ID: 7, Node: 0, Arrival: 0,
+		Steps: []Step{
+			{BAT: 1, Proc: 300 * time.Millisecond},
+			{BAT: 2, Proc: 300 * time.Millisecond},
+			{BAT: 5, Proc: 300 * time.Millisecond},
+			{BAT: 6, Proc: 300 * time.Millisecond},
+		},
+	}
+	c.SubmitParallel(spec, 4)
+	c.Run(time.Minute)
+	if c.QueriesDone() != 1 {
+		t.Fatalf("done = %d, want 1 merged query", c.QueriesDone())
+	}
+	m := c.Metrics()
+	if m.Finished.Count() != 1 || m.Registered.Count() != 1 {
+		t.Fatalf("metrics: finished=%d registered=%d", m.Finished.Count(), m.Registered.Count())
+	}
+	// Wall-clock should be far below the 1.2s serial CPU (parallel
+	// sub-queries overlap): generous bound accounts for data waits.
+	if life := m.Lifetime.Max(); life >= 1.2 {
+		t.Fatalf("parallel lifetime = %.2fs, want < serial 1.2s", life)
+	}
+}
+
+func TestParallelSpeedsUpVsSerial(t *testing.T) {
+	run := func(parallel bool) float64 {
+		cfg := smallConfig()
+		c := New(cfg)
+		buildUniform(c, 16, 1<<20)
+		var steps []Step
+		for i := 1; i <= 6; i++ {
+			b := core.BATID(i)
+			if int(b)%4 == 0 {
+				b++
+			}
+			steps = append(steps, Step{BAT: b, Proc: 500 * time.Millisecond})
+		}
+		spec := QuerySpec{ID: 1, Node: 0, Arrival: 0, Steps: steps}
+		if parallel {
+			c.SubmitParallel(spec, 3)
+		} else {
+			c.Submit(spec)
+		}
+		c.Run(time.Minute)
+		if c.QueriesDone() != 1 {
+			t.Fatalf("done = %d", c.QueriesDone())
+		}
+		return c.Metrics().Lifetime.Mean()
+	}
+	serial := run(false)
+	par := run(true)
+	if par >= serial {
+		t.Fatalf("parallel %.2fs not faster than serial %.2fs", par, serial)
+	}
+}
+
+func TestSplitSteps(t *testing.T) {
+	steps := []Step{{BAT: 1}, {BAT: 2}, {BAT: 3}, {BAT: 4}, {BAT: 5}}
+	parts := splitSteps(steps, 2)
+	if len(parts) != 2 || len(parts[0]) != 3 || len(parts[1]) != 2 {
+		t.Fatalf("split = %v", parts)
+	}
+	if got := splitSteps(steps, 99); len(got) != 5 {
+		t.Fatalf("oversplit = %d parts", len(got))
+	}
+	if got := splitSteps(steps, 0); len(got) != 1 {
+		t.Fatalf("undersplit = %d parts", len(got))
+	}
+}

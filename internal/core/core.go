@@ -1,0 +1,736 @@
+// Package core implements the Data Cyclotron runtime layer of §4: the
+// control center on every ring node. It is a pure event-driven state
+// machine — inputs are local DBMS calls (request/pin/unpin), messages
+// from the ring neighbours, and timers; outputs are actions on an Env
+// interface. This lets the exact same protocol code run on the
+// discrete-event simulator (package cluster) and on the live
+// goroutine-per-node ring (package live), mirroring how the paper
+// validates its protocols in NS-2 before targeting the RDMA cluster.
+//
+// The runtime maintains the three catalog structures of Figure 2:
+//
+//	S1 — the BATs owned by this node's data loader,
+//	S2 — outstanding BAT requests of the local queries,
+//	S3 — the pin() calls currently blocked per BAT.
+//
+// and executes the Request Propagation (Fig. 3), BAT Propagation
+// (Fig. 4), and Hot Data Set Management (Fig. 5) algorithms, the
+// loadAll/resend resource-management functions of §4.2.3, and the
+// dynamic LOIT adaptation of §4.4/§5.2.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a ring node.
+type NodeID int
+
+// BATID identifies a data fragment (one BAT).
+type BATID int
+
+// QueryID identifies a query registered at some node.
+type QueryID int64
+
+// RequestMsg travels anti-clockwise towards the BAT's owner (§4).
+type RequestMsg struct {
+	Origin NodeID // the node whose queries want the BAT
+	BAT    BATID
+}
+
+// RequestWireSize is the on-wire size of a BAT request message: the
+// fields owner and bat_id of §4.3 plus framing.
+const RequestWireSize = 64
+
+// WireSize implements netsim.Message.
+func (m RequestMsg) WireSize() int { return RequestWireSize }
+
+// BATMsg is the administrative header that travels clockwise with each
+// hot-set fragment (§4.3): owner, bat_id, bat_size, loi, copies, hops,
+// cycles. In simulation only the header travels and Size accounts for
+// the payload; in the live ring the payload BAT rides along.
+type BATMsg struct {
+	Owner  NodeID
+	BAT    BATID
+	Size   int // payload bytes
+	LOI    float64
+	Copies int
+	Hops   int
+	Cycles int
+}
+
+// BATHeaderSize is the header overhead of a BAT message on the wire.
+const BATHeaderSize = 64
+
+// WireSize implements netsim.Message.
+func (m BATMsg) WireSize() int { return m.Size + BATHeaderSize }
+
+// TimerHandle cancels a pending timer.
+type TimerHandle interface{ Cancel() }
+
+// Env is the driver surface the runtime acts through.
+type Env interface {
+	// Now returns the current time (virtual or wall clock).
+	Now() time.Duration
+	// SendData forwards a BAT message clockwise to the successor.
+	SendData(BATMsg)
+	// SendRequest forwards a request anti-clockwise to the predecessor.
+	// It reports false when the message was dropped (DropTail), in
+	// which case the resend timeout will recover (§4.2.3).
+	SendRequest(RequestMsg) bool
+	// QueueLoad reports the local BAT queue occupancy and capacity in
+	// bytes; the LOIT adaptation is driven by this (§4.4).
+	QueueLoad() (used, capacity int)
+	// After schedules fn after d; the returned handle cancels it.
+	After(d time.Duration, fn func()) TimerHandle
+	// Deliver hands BAT b to query q, unblocking its pin() call.
+	Deliver(q QueryID, b BATID)
+	// QueryError aborts query q: the requested BAT does not exist
+	// (first outcome of Request Propagation).
+	QueryError(q QueryID, b BATID, reason string)
+	// OnLoad and OnUnload observe hot-set membership changes of BATs
+	// owned by this node (for ring-load accounting and Figure 7/9).
+	OnLoad(b BATID, size int)
+	OnUnload(b BATID, size int)
+}
+
+// Config tunes the runtime.
+type Config struct {
+	// LOITLevels are the discrete threshold levels (§5.2 uses
+	// 0.1/0.6/1.1). With AdaptiveLOIT off, only level StartLevel is
+	// used, reproducing the static sweeps of §5.1.
+	LOITLevels []float64
+	// StartLevel indexes LOITLevels at start-up.
+	StartLevel int
+	// AdaptiveLOIT moves the level with the queue watermarks.
+	AdaptiveLOIT bool
+	// HighWater and LowWater are queue-load fractions: above HighWater
+	// the LOIT steps up one level, below LowWater it steps down (§5.2
+	// uses 0.8 and 0.4).
+	HighWater, LowWater float64
+	// InitialLOI is the level of interest assigned when a BAT enters
+	// the ring.
+	InitialLOI float64
+	// LoadAllPeriod is the T of §4.2.3: how often postponed BAT loads
+	// are retried.
+	LoadAllPeriod time.Duration
+	// ResendTimeout is the rotational-delay timeout that detects lost
+	// requests (§4.2.3). Zero disables resending.
+	ResendTimeout time.Duration
+}
+
+// DefaultConfig mirrors the paper's experimental settings.
+func DefaultConfig() Config {
+	return Config{
+		LOITLevels:    []float64{0.1, 0.6, 1.1},
+		StartLevel:    0,
+		AdaptiveLOIT:  true,
+		HighWater:     0.8,
+		LowWater:      0.4,
+		InitialLOI:    0,
+		LoadAllPeriod: 100 * time.Millisecond,
+		ResendTimeout: 2 * time.Second,
+	}
+}
+
+// ownedBAT is an S1 entry.
+type ownedBAT struct {
+	id           BATID
+	size         int
+	loaded       bool
+	pending      bool
+	pendingSince time.Duration
+}
+
+// request is an S2 entry: one outstanding request aggregating all local
+// queries interested in the BAT.
+type request struct {
+	bat       BATID
+	queries   map[QueryID]bool // registered interest
+	delivered map[QueryID]bool // queries that have pinned and received it
+	sent      bool
+	resend    TimerHandle
+}
+
+func (r *request) allDelivered() bool {
+	for q := range r.queries {
+		if !r.delivered[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheEntry tracks a locally cached BAT while local queries hold pins.
+type cacheEntry struct {
+	refs int
+}
+
+// Stats counts protocol events on one node.
+type Stats struct {
+	RequestsSent      uint64
+	RequestsForwarded uint64
+	RequestsAbsorbed  uint64
+	RequestsReturned  uint64 // came back to origin: BAT does not exist
+	Resends           uint64
+	BATsForwarded     uint64
+	BATsLoaded        uint64
+	BATsUnloaded      uint64
+	Deliveries        uint64
+	PendingPostponed  uint64 // load postponed because the ring was full
+	LOITSteps         uint64
+}
+
+// Runtime is the Data Cyclotron layer of one node.
+type Runtime struct {
+	id  NodeID
+	env Env
+	cfg Config
+
+	s1 map[BATID]*ownedBAT
+	s2 map[BATID]*request
+	s3 map[BATID]map[QueryID]bool
+
+	cache       map[BATID]*cacheEntry
+	pendingFIFO []BATID // owned BATs awaiting ring admission, oldest first
+
+	loitLevel int
+	loadTimer func() // cancels the loadAll ticker (set by Start)
+
+	stats Stats
+}
+
+// New creates the runtime for node id. Call Start to arm the loadAll
+// ticker once the Env is live.
+func New(id NodeID, env Env, cfg Config) *Runtime {
+	if len(cfg.LOITLevels) == 0 {
+		cfg.LOITLevels = []float64{0.1}
+	}
+	if cfg.StartLevel < 0 || cfg.StartLevel >= len(cfg.LOITLevels) {
+		cfg.StartLevel = 0
+	}
+	return &Runtime{
+		id:        id,
+		env:       env,
+		cfg:       cfg,
+		s1:        make(map[BATID]*ownedBAT),
+		s2:        make(map[BATID]*request),
+		s3:        make(map[BATID]map[QueryID]bool),
+		cache:     make(map[BATID]*cacheEntry),
+		loitLevel: cfg.StartLevel,
+	}
+}
+
+// ID reports the node id.
+func (rt *Runtime) ID() NodeID { return rt.id }
+
+// Stats returns a snapshot of the protocol counters.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// LOIT reports the node's current level-of-interest threshold.
+func (rt *Runtime) LOIT() float64 { return rt.cfg.LOITLevels[rt.loitLevel] }
+
+// LOITLevel reports the current level index.
+func (rt *Runtime) LOITLevel() int { return rt.loitLevel }
+
+// Owns reports whether this node's data loader owns b.
+func (rt *Runtime) Owns(b BATID) bool {
+	_, ok := rt.s1[b]
+	return ok
+}
+
+// Loaded reports whether owned BAT b is currently in the hot set.
+func (rt *Runtime) Loaded(b BATID) bool {
+	o, ok := rt.s1[b]
+	return ok && o.loaded
+}
+
+// PendingLoads reports how many owned BATs await ring admission.
+func (rt *Runtime) PendingLoads() int { return len(rt.pendingFIFO) }
+
+// OutstandingRequests reports the S2 size.
+func (rt *Runtime) OutstandingRequests() int { return len(rt.s2) }
+
+// AddOwned registers b in the node's S1 catalog (the random upfront
+// partitioning of §4). The BAT starts cold, on the local disk.
+func (rt *Runtime) AddOwned(b BATID, size int) {
+	rt.s1[b] = &ownedBAT{id: b, size: size}
+}
+
+// AdoptOwned registers b as owned with an explicit hot-set state: the
+// receiving side of an ownership handover during ring membership
+// changes (§6.3). A BAT adopted as loaded keeps circulating; its next
+// pass at this node runs hot-set management as usual.
+func (rt *Runtime) AdoptOwned(b BATID, size int, loaded bool) {
+	rt.s1[b] = &ownedBAT{id: b, size: size, loaded: loaded}
+}
+
+// RemoveOwned drops b from S1 (used by ownership handover in pulsating
+// rings). Reports the entry's size and whether it was loaded.
+func (rt *Runtime) RemoveOwned(b BATID) (size int, loaded, ok bool) {
+	o, exists := rt.s1[b]
+	if !exists {
+		return 0, false, false
+	}
+	delete(rt.s1, b)
+	rt.unpend(b)
+	return o.size, o.loaded, true
+}
+
+// OwnedBATs lists the S1 catalog (for handover and tests).
+func (rt *Runtime) OwnedBATs() []BATID {
+	out := make([]BATID, 0, len(rt.s1))
+	for id := range rt.s1 {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Start arms the periodic loadAll function (§4.2.3).
+func (rt *Runtime) Start() {
+	if rt.cfg.LoadAllPeriod > 0 {
+		stop := rt.tick(rt.cfg.LoadAllPeriod)
+		rt.loadTimer = stop
+	}
+}
+
+// Stop cancels the loadAll ticker.
+func (rt *Runtime) Stop() {
+	if rt.loadTimer != nil {
+		rt.loadTimer()
+		rt.loadTimer = nil
+	}
+}
+
+func (rt *Runtime) tick(period time.Duration) (stop func()) {
+	stopped := false
+	var arm func()
+	arm = func() {
+		rt.env.After(period, func() {
+			if stopped {
+				return
+			}
+			rt.LoadAll()
+			arm()
+		})
+	}
+	arm()
+	return func() { stopped = true }
+}
+
+// ---------------------------------------------------------------------
+// DBMS-facing calls (§4.2.1)
+// ---------------------------------------------------------------------
+
+// Request registers query q's interest in BAT b: the request() call of
+// the rewritten plan. It never blocks.
+func (rt *Runtime) Request(q QueryID, b BATID) {
+	if o, owned := rt.s1[b]; owned {
+		// Owner: load into the hot set (or locally serve) if needed.
+		if !o.loaded {
+			rt.tryLoad(o)
+		}
+		// Local queries of the owner are served from local storage;
+		// track them so Pin can deliver immediately.
+		rq := rt.ensureRequest(b)
+		rq.queries[q] = true
+		return
+	}
+	rq, isNew := rt.ensureRequestNew(b)
+	rq.queries[q] = true
+	if isNew {
+		rt.sendRequest(rq)
+	}
+}
+
+// Pin blocks query q until BAT b is locally available; here it only
+// registers the blocked pin in S3 (or delivers immediately from the
+// local cache / owner storage). The driver implements the actual
+// blocking around Env.Deliver.
+func (rt *Runtime) Pin(q QueryID, b BATID) {
+	if _, owned := rt.s1[b]; owned {
+		// Owner: retrieved from disk or local memory (§4.2.1).
+		rt.deliver(b, q)
+		rt.finishRequestIfDone(b)
+		return
+	}
+	if e := rt.cache[b]; e != nil {
+		// Local cache hit: a local query holds the BAT pinned (§4.2.1
+		// "the pin() request checks the local cache for availability").
+		e.refs++
+		rt.deliver(b, q)
+		rt.finishRequestIfDone(b)
+		return
+	}
+	// Block until the BAT flows past.
+	pins := rt.s3[b]
+	if pins == nil {
+		pins = make(map[QueryID]bool)
+		rt.s3[b] = pins
+	}
+	pins[q] = true
+	// Make sure an S2 request backs this pin. A query that re-pins a
+	// BAT after its request was already satisfied (and the local cache
+	// released) must re-announce interest, otherwise the fragment may
+	// never flow past again.
+	rq, isNew := rt.ensureRequestNew(b)
+	rq.queries[q] = true
+	if rq.delivered[q] {
+		delete(rq.delivered, q) // awaiting a fresh delivery
+	}
+	if isNew || !rq.sent {
+		rt.sendRequest(rq)
+	}
+}
+
+// Unpin releases query q's hold on BAT b.
+func (rt *Runtime) Unpin(q QueryID, b BATID) {
+	if e := rt.cache[b]; e != nil {
+		e.refs--
+		if e.refs <= 0 {
+			delete(rt.cache, b)
+		}
+	}
+	if pins := rt.s3[b]; pins != nil {
+		delete(pins, q)
+		if len(pins) == 0 {
+			delete(rt.s3, b)
+		}
+	}
+}
+
+// CancelQuery removes all of q's bookkeeping (used when a query is
+// aborted or migrates away during the nomadic phase).
+func (rt *Runtime) CancelQuery(q QueryID, bats []BATID) {
+	for _, b := range bats {
+		if rq := rt.s2[b]; rq != nil {
+			delete(rq.queries, q)
+			delete(rq.delivered, q)
+			if len(rq.queries) == 0 {
+				rt.dropRequest(rq)
+			} else {
+				rt.finishRequestIfDone(b)
+			}
+		}
+		if pins := rt.s3[b]; pins != nil {
+			delete(pins, q)
+			if len(pins) == 0 {
+				delete(rt.s3, b)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Peer interaction (§4.2.2)
+// ---------------------------------------------------------------------
+
+// OnRequest executes the Request Propagation algorithm (Fig. 3) for a
+// request message arriving from the successor.
+func (rt *Runtime) OnRequest(m RequestMsg) {
+	// First outcome: the request returned to its origin — the BAT does
+	// not exist (anymore) in the database.
+	if m.Origin == rt.id {
+		rt.stats.RequestsReturned++
+		if rq := rt.s2[m.BAT]; rq != nil {
+			for q := range rq.queries {
+				if !rq.delivered[q] {
+					rt.env.QueryError(q, m.BAT, "BAT does not exist")
+				}
+			}
+			rt.dropRequest(rq)
+		}
+		delete(rt.s3, m.BAT)
+		return
+	}
+	// Second/third/fourth outcomes: this node owns the BAT.
+	if o, owned := rt.s1[m.BAT]; owned {
+		if o.loaded {
+			return // already in the hot set: ignore
+		}
+		rt.tryLoad(o)
+		return
+	}
+	// Fifth outcome: same request outstanding here — absorb it. The
+	// owner has been (or will be) notified by our own request, and the
+	// BAT circulates past every node including the origin.
+	if rq := rt.s2[m.BAT]; rq != nil {
+		if rq.sent {
+			rt.stats.RequestsAbsorbed++
+			return
+		}
+		// Ours was never sent (e.g. created while we owned it during a
+		// handover): ride on the incoming one.
+		rq.sent = true
+		rt.armResend(rq)
+	}
+	// Sixth outcome: forward.
+	rt.stats.RequestsForwarded++
+	rt.env.SendRequest(m)
+}
+
+// OnBAT handles a BAT arriving from the predecessor: Hot Data Set
+// Management (Fig. 5) when this node is the loader, BAT Propagation
+// (Fig. 4) otherwise.
+func (rt *Runtime) OnBAT(m BATMsg) {
+	if m.Owner == rt.id {
+		rt.hotSetManagement(m)
+		return
+	}
+	rt.batPropagation(m)
+}
+
+// batPropagation implements Fig. 4.
+func (rt *Runtime) batPropagation(m BATMsg) {
+	m.Hops++
+	if rq := rt.s2[m.BAT]; rq != nil {
+		rq.sent = true // the BAT's presence proves the request got through
+	}
+	if pins := rt.s3[m.BAT]; len(pins) > 0 {
+		// At least one local query is blocked in pin(): the node uses
+		// the BAT, counting one copy (§4.2.3).
+		m.Copies++
+		for q := range pins {
+			rt.cacheRef(m.BAT)
+			rt.deliver(m.BAT, q)
+		}
+		delete(rt.s3, m.BAT)
+	}
+	rt.finishRequestIfDone(m.BAT)
+	rt.stats.BATsForwarded++
+	rt.env.SendData(m)
+	rt.adaptLOIT()
+}
+
+// hotSetManagement implements Fig. 5 and equation (1).
+func (rt *Runtime) hotSetManagement(m BATMsg) {
+	o := rt.s1[m.BAT]
+	if o == nil || !o.loaded {
+		// The BAT was unloaded concurrently (e.g. ownership moved);
+		// drop it silently — it is no longer part of the hot set.
+		return
+	}
+	m.Cycles++
+	cavg := 0.0
+	if m.Hops > 0 {
+		cavg = float64(m.Copies) / float64(m.Hops)
+	}
+	newLOI := (m.LOI + cavg*float64(m.Cycles)) / float64(m.Cycles)
+	m.Copies = 0
+	m.Hops = 0
+	if newLOI < rt.LOIT() {
+		// Below threshold: pull the BAT out of the hot set.
+		o.loaded = false
+		rt.stats.BATsUnloaded++
+		rt.env.OnUnload(m.BAT, o.size)
+		rt.adaptLOIT()
+		return
+	}
+	m.LOI = newLOI
+	rt.stats.BATsForwarded++
+	rt.env.SendData(m)
+	rt.adaptLOIT()
+}
+
+// ---------------------------------------------------------------------
+// Storage ring management (§4.2.3, §4.4)
+// ---------------------------------------------------------------------
+
+// tryLoad admits an owned BAT into the storage ring if the local BAT
+// queue has room, otherwise tags it pending for LoadAll.
+func (rt *Runtime) tryLoad(o *ownedBAT) {
+	if o.loaded {
+		return
+	}
+	used, capacity := rt.env.QueueLoad()
+	if capacity > 0 && used+o.size+BATHeaderSize > capacity {
+		if !o.pending {
+			o.pending = true
+			o.pendingSince = rt.env.Now()
+			rt.pendingFIFO = append(rt.pendingFIFO, o.id)
+			rt.stats.PendingPostponed++
+		}
+		rt.adaptLOIT()
+		return
+	}
+	rt.load(o)
+}
+
+func (rt *Runtime) load(o *ownedBAT) {
+	o.loaded = true
+	rt.unpend(o.id)
+	rt.stats.BATsLoaded++
+	rt.env.OnLoad(o.id, o.size)
+	rt.env.SendData(BATMsg{
+		Owner: rt.id,
+		BAT:   o.id,
+		Size:  o.size,
+		LOI:   rt.cfg.InitialLOI,
+	})
+	rt.adaptLOIT()
+}
+
+func (rt *Runtime) unpend(b BATID) {
+	if o := rt.s1[b]; o != nil {
+		o.pending = false
+	}
+	for i, id := range rt.pendingFIFO {
+		if id == b {
+			rt.pendingFIFO = append(rt.pendingFIFO[:i], rt.pendingFIFO[i+1:]...)
+			return
+		}
+	}
+}
+
+// LoadAll executes postponed BAT loads, oldest first; a BAT that does
+// not fit leaves room for trying the next one, optimizing queue
+// utilization (§4.2.3).
+func (rt *Runtime) LoadAll() {
+	if len(rt.pendingFIFO) == 0 {
+		return
+	}
+	used, capacity := rt.env.QueueLoad()
+	free := capacity - used
+	if capacity == 0 {
+		free = 1 << 62 // unbounded queue
+	}
+	remaining := rt.pendingFIFO[:0:0]
+	for _, id := range rt.pendingFIFO {
+		o := rt.s1[id]
+		if o == nil || !o.pending {
+			continue
+		}
+		need := o.size + BATHeaderSize
+		if need <= free {
+			free -= need
+			o.pending = false
+			o.loaded = true
+			rt.stats.BATsLoaded++
+			rt.env.OnLoad(o.id, o.size)
+			rt.env.SendData(BATMsg{Owner: rt.id, BAT: o.id, Size: o.size, LOI: rt.cfg.InitialLOI})
+		} else {
+			remaining = append(remaining, id)
+		}
+	}
+	rt.pendingFIFO = remaining
+	rt.adaptLOIT()
+}
+
+// adaptLOIT applies the watermark rule of §5.2: queue load above the
+// high watermark steps the threshold up one level, below the low
+// watermark steps it down.
+func (rt *Runtime) adaptLOIT() {
+	if !rt.cfg.AdaptiveLOIT {
+		return
+	}
+	used, capacity := rt.env.QueueLoad()
+	if capacity <= 0 {
+		return
+	}
+	frac := float64(used) / float64(capacity)
+	switch {
+	case frac > rt.cfg.HighWater && rt.loitLevel < len(rt.cfg.LOITLevels)-1:
+		rt.loitLevel++
+		rt.stats.LOITSteps++
+	case frac < rt.cfg.LowWater && rt.loitLevel > 0:
+		rt.loitLevel--
+		rt.stats.LOITSteps++
+	}
+}
+
+// ---------------------------------------------------------------------
+// request plumbing
+// ---------------------------------------------------------------------
+
+func (rt *Runtime) ensureRequest(b BATID) *request {
+	rq, _ := rt.ensureRequestNew(b)
+	return rq
+}
+
+func (rt *Runtime) ensureRequestNew(b BATID) (*request, bool) {
+	if rq := rt.s2[b]; rq != nil {
+		return rq, false
+	}
+	rq := &request{
+		bat:       b,
+		queries:   make(map[QueryID]bool),
+		delivered: make(map[QueryID]bool),
+	}
+	rt.s2[b] = rq
+	return rq, true
+}
+
+func (rt *Runtime) sendRequest(rq *request) {
+	rq.sent = true
+	rt.stats.RequestsSent++
+	rt.env.SendRequest(RequestMsg{Origin: rt.id, BAT: rq.bat})
+	rt.armResend(rq)
+}
+
+// armResend schedules the rotational-delay timeout that detects lost
+// requests or BATs (§4.2.3).
+func (rt *Runtime) armResend(rq *request) {
+	if rt.cfg.ResendTimeout <= 0 {
+		return
+	}
+	if rq.resend != nil {
+		rq.resend.Cancel()
+	}
+	b := rq.bat
+	rq.resend = rt.env.After(rt.cfg.ResendTimeout, func() {
+		cur := rt.s2[b]
+		if cur == nil || cur.allDelivered() {
+			return
+		}
+		rt.stats.Resends++
+		rt.stats.RequestsSent++
+		rt.env.SendRequest(RequestMsg{Origin: rt.id, BAT: b})
+		rt.armResend(cur)
+	})
+}
+
+func (rt *Runtime) dropRequest(rq *request) {
+	if rq.resend != nil {
+		rq.resend.Cancel()
+	}
+	delete(rt.s2, rq.bat)
+}
+
+// deliver hands b to query q and records it against the request.
+func (rt *Runtime) deliver(b BATID, q QueryID) {
+	if rq := rt.s2[b]; rq != nil {
+		rq.delivered[q] = true
+	}
+	rt.stats.Deliveries++
+	rt.env.Deliver(q, b)
+}
+
+// finishRequestIfDone unregisters the request once every associated
+// query has pinned the BAT (Fig. 4 lines 09-10).
+func (rt *Runtime) finishRequestIfDone(b BATID) {
+	rq := rt.s2[b]
+	if rq == nil {
+		return
+	}
+	if rq.allDelivered() && len(rt.s3[b]) == 0 {
+		rt.dropRequest(rq)
+	}
+}
+
+// cacheRef notes a locally cached copy while pins are held.
+func (rt *Runtime) cacheRef(b BATID) {
+	e := rt.cache[b]
+	if e == nil {
+		e = &cacheEntry{}
+		rt.cache[b] = e
+	}
+	e.refs++
+}
+
+// String summarizes the node state for debugging.
+func (rt *Runtime) String() string {
+	used, capacity := rt.env.QueueLoad()
+	return fmt.Sprintf("node %d: owned=%d outstanding=%d pins=%d pending=%d loit=%.1f queue=%d/%d",
+		rt.id, len(rt.s1), len(rt.s2), len(rt.s3), len(rt.pendingFIFO), rt.LOIT(), used, capacity)
+}

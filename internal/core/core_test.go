@@ -1,0 +1,508 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// mockEnv is a scriptable Env recording all runtime actions.
+type mockEnv struct {
+	now       time.Duration
+	sentData  []BATMsg
+	sentReqs  []RequestMsg
+	dropReqs  bool // simulate request loss
+	queueUsed int
+	queueCap  int
+	delivered []struct {
+		Q QueryID
+		B BATID
+	}
+	errors []struct {
+		Q QueryID
+		B BATID
+	}
+	loads   []BATID
+	unloads []BATID
+	timers  []*mockTimer
+}
+
+type mockTimer struct {
+	at        time.Duration
+	fn        func()
+	cancelled bool
+}
+
+func (t *mockTimer) Cancel() { t.cancelled = true }
+
+func (e *mockEnv) Now() time.Duration { return e.now }
+func (e *mockEnv) SendData(m BATMsg)  { e.sentData = append(e.sentData, m) }
+func (e *mockEnv) SendRequest(m RequestMsg) bool {
+	if e.dropReqs {
+		return false
+	}
+	e.sentReqs = append(e.sentReqs, m)
+	return true
+}
+func (e *mockEnv) QueueLoad() (int, int) { return e.queueUsed, e.queueCap }
+func (e *mockEnv) After(d time.Duration, fn func()) TimerHandle {
+	t := &mockTimer{at: e.now + d, fn: fn}
+	e.timers = append(e.timers, t)
+	return t
+}
+func (e *mockEnv) Deliver(q QueryID, b BATID) {
+	e.delivered = append(e.delivered, struct {
+		Q QueryID
+		B BATID
+	}{q, b})
+}
+func (e *mockEnv) QueryError(q QueryID, b BATID, reason string) {
+	e.errors = append(e.errors, struct {
+		Q QueryID
+		B BATID
+	}{q, b})
+}
+func (e *mockEnv) OnLoad(b BATID, size int)   { e.loads = append(e.loads, b) }
+func (e *mockEnv) OnUnload(b BATID, size int) { e.unloads = append(e.unloads, b) }
+
+// fire runs all due timers up to t.
+func (e *mockEnv) fire(t time.Duration) {
+	e.now = t
+	for {
+		fired := false
+		for _, tm := range e.timers {
+			if !tm.cancelled && tm.at <= t && tm.fn != nil {
+				fn := tm.fn
+				tm.fn = nil
+				fn()
+				fired = true
+			}
+		}
+		if !fired {
+			return
+		}
+	}
+}
+
+func newTestRT(env *mockEnv, cfg Config) *Runtime {
+	return New(3, env, cfg)
+}
+
+func staticCfg(loit float64) Config {
+	cfg := DefaultConfig()
+	cfg.LOITLevels = []float64{loit}
+	cfg.AdaptiveLOIT = false
+	cfg.ResendTimeout = 0
+	cfg.LoadAllPeriod = 0
+	return cfg
+}
+
+func TestRemoteRequestSendsMessage(t *testing.T) {
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.Request(1, 42)
+	if len(env.sentReqs) != 1 {
+		t.Fatalf("requests sent = %d, want 1", len(env.sentReqs))
+	}
+	m := env.sentReqs[0]
+	if m.Origin != 3 || m.BAT != 42 {
+		t.Fatalf("request = %+v", m)
+	}
+	// Second query for the same BAT piggybacks on the outstanding request.
+	rt.Request(2, 42)
+	if len(env.sentReqs) != 1 {
+		t.Fatalf("requests sent = %d after dup, want 1", len(env.sentReqs))
+	}
+	if rt.OutstandingRequests() != 1 {
+		t.Fatalf("S2 = %d, want 1", rt.OutstandingRequests())
+	}
+}
+
+func TestOwnerRequestLoadsImmediately(t *testing.T) {
+	env := &mockEnv{queueCap: 10000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.AddOwned(7, 500)
+	rt.Request(1, 7)
+	if len(env.sentData) != 1 {
+		t.Fatalf("BATs sent = %d, want 1", len(env.sentData))
+	}
+	m := env.sentData[0]
+	if m.Owner != 3 || m.BAT != 7 || m.Size != 500 || m.Cycles != 0 {
+		t.Fatalf("BAT msg = %+v", m)
+	}
+	if !rt.Loaded(7) {
+		t.Fatal("BAT not marked loaded")
+	}
+	if len(env.loads) != 1 || env.loads[0] != 7 {
+		t.Fatalf("OnLoad calls = %v", env.loads)
+	}
+	// Owner pins are served from local storage immediately.
+	rt.Pin(1, 7)
+	if len(env.delivered) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(env.delivered))
+	}
+}
+
+func TestOwnerLoadPostponedWhenRingFull(t *testing.T) {
+	env := &mockEnv{queueUsed: 950, queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.AddOwned(7, 500)
+	rt.Request(1, 7)
+	if len(env.sentData) != 0 {
+		t.Fatal("BAT loaded despite full ring")
+	}
+	if rt.PendingLoads() != 1 {
+		t.Fatalf("pending = %d, want 1", rt.PendingLoads())
+	}
+	// Space frees up: LoadAll admits it.
+	env.queueUsed = 0
+	rt.LoadAll()
+	if len(env.sentData) != 1 || rt.PendingLoads() != 0 {
+		t.Fatalf("LoadAll did not admit: sent=%d pending=%d", len(env.sentData), rt.PendingLoads())
+	}
+}
+
+func TestLoadAllSkipsTooBigTriesNext(t *testing.T) {
+	env := &mockEnv{queueUsed: 0, queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.AddOwned(1, 2000) // will never fit while queue holds 0..1000
+	rt.AddOwned(2, 300)
+	env.queueUsed = 999 // force both to pend
+	rt.Request(10, 1)
+	rt.Request(11, 2)
+	if rt.PendingLoads() != 2 {
+		t.Fatalf("pending = %d, want 2", rt.PendingLoads())
+	}
+	env.queueUsed = 0
+	rt.LoadAll()
+	// BAT 1 (2000B) does not fit, BAT 2 (300B) does: queue-filling load.
+	if len(env.sentData) != 1 || env.sentData[0].BAT != 2 {
+		t.Fatalf("LoadAll sent %v, want just BAT 2", env.sentData)
+	}
+	if rt.PendingLoads() != 1 {
+		t.Fatalf("pending = %d, want 1 (big BAT left over)", rt.PendingLoads())
+	}
+}
+
+func TestRequestPropagationOutcomes(t *testing.T) {
+	// Outcome 1: request returns to origin -> query exception.
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.Request(1, 42)
+	rt.OnRequest(RequestMsg{Origin: 3, BAT: 42}) // rt.id == 3
+	if len(env.errors) != 1 || env.errors[0].B != 42 {
+		t.Fatalf("errors = %v, want BAT-does-not-exist for query 1", env.errors)
+	}
+	if rt.OutstandingRequests() != 0 {
+		t.Fatal("returned request not unregistered")
+	}
+
+	// Outcome 2: owner with BAT already loaded ignores.
+	env2 := &mockEnv{queueCap: 10000}
+	rt2 := newTestRT(env2, staticCfg(0.5))
+	rt2.AddOwned(7, 100)
+	rt2.OnRequest(RequestMsg{Origin: 9, BAT: 7}) // loads it
+	if len(env2.sentData) != 1 {
+		t.Fatalf("owner did not load on request")
+	}
+	rt2.OnRequest(RequestMsg{Origin: 8, BAT: 7}) // already loaded: ignore
+	if len(env2.sentData) != 1 || len(env2.sentReqs) != 0 {
+		t.Fatal("owner should ignore request for loaded BAT")
+	}
+
+	// Outcome 5: absorb when the same request is outstanding and sent.
+	env3 := &mockEnv{queueCap: 1000}
+	rt3 := newTestRT(env3, staticCfg(0.5))
+	rt3.Request(1, 42)
+	before := len(env3.sentReqs)
+	rt3.OnRequest(RequestMsg{Origin: 9, BAT: 42})
+	if len(env3.sentReqs) != before {
+		t.Fatal("absorbed request was forwarded")
+	}
+	if rt3.Stats().RequestsAbsorbed != 1 {
+		t.Fatalf("absorbed = %d, want 1", rt3.Stats().RequestsAbsorbed)
+	}
+
+	// Outcome 6: plain forward.
+	env4 := &mockEnv{queueCap: 1000}
+	rt4 := newTestRT(env4, staticCfg(0.5))
+	rt4.OnRequest(RequestMsg{Origin: 9, BAT: 99})
+	if len(env4.sentReqs) != 1 || env4.sentReqs[0].Origin != 9 {
+		t.Fatalf("forwarded = %v", env4.sentReqs)
+	}
+}
+
+func TestBATPropagationDeliversAndCounts(t *testing.T) {
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.Request(1, 42)
+	rt.Request(2, 42)
+	rt.Pin(1, 42) // blocks: registered in S3
+	rt.Pin(2, 42)
+
+	msg := BATMsg{Owner: 0, BAT: 42, Size: 100, LOI: 0.3, Copies: 2, Hops: 4}
+	rt.OnBAT(msg)
+
+	if len(env.delivered) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(env.delivered))
+	}
+	if len(env.sentData) != 1 {
+		t.Fatalf("forwarded = %d, want 1", len(env.sentData))
+	}
+	fwd := env.sentData[0]
+	if fwd.Hops != 5 {
+		t.Fatalf("hops = %d, want 5", fwd.Hops)
+	}
+	// copies++ once per node regardless of the number of local queries.
+	if fwd.Copies != 3 {
+		t.Fatalf("copies = %d, want 3", fwd.Copies)
+	}
+	// All queries pinned: request unregistered.
+	if rt.OutstandingRequests() != 0 {
+		t.Fatal("request should be unregistered after all pins")
+	}
+}
+
+func TestBATPropagationNoPinsNoCopy(t *testing.T) {
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.Request(1, 42) // requested but pin not yet reached
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 42, Size: 100, Copies: 0, Hops: 1})
+	if len(env.delivered) != 0 {
+		t.Fatal("should not deliver without a blocked pin")
+	}
+	fwd := env.sentData[0]
+	if fwd.Copies != 0 || fwd.Hops != 2 {
+		t.Fatalf("fwd = %+v", fwd)
+	}
+	// Request stays outstanding (the in-vogue effect of §5.3).
+	if rt.OutstandingRequests() != 1 {
+		t.Fatal("request dropped prematurely")
+	}
+	// Later pin: BAT not cached (no local use), so it blocks again and
+	// is served on the next pass.
+	rt.Pin(1, 42)
+	if len(env.delivered) != 0 {
+		t.Fatal("pin should block until next pass")
+	}
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 42, Size: 100, Copies: 0, Hops: 7})
+	if len(env.delivered) != 1 {
+		t.Fatal("second pass should deliver")
+	}
+	if rt.OutstandingRequests() != 0 {
+		t.Fatal("request should now be done")
+	}
+}
+
+func TestHotSetManagementLOIFormula(t *testing.T) {
+	env := &mockEnv{queueCap: 100000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.AddOwned(7, 100)
+	rt.Request(1, 7) // loads, sends cycle 0 message
+	env.sentData = nil
+
+	// Cycle completes: copies=8, hops=10 -> cavg=0.8, cycles=1
+	// newLOI = (0 + 0.8*1)/1 = 0.8 >= 0.5 -> forwarded with LOI 0.8.
+	rt.OnBAT(BATMsg{Owner: 3, BAT: 7, Size: 100, LOI: 0, Copies: 8, Hops: 10, Cycles: 0})
+	if len(env.sentData) != 1 {
+		t.Fatal("BAT should stay in hot set")
+	}
+	fwd := env.sentData[0]
+	if fwd.Cycles != 1 || fwd.Copies != 0 || fwd.Hops != 0 {
+		t.Fatalf("cycle reset wrong: %+v", fwd)
+	}
+	if fwd.LOI < 0.79 || fwd.LOI > 0.81 {
+		t.Fatalf("LOI = %v, want 0.8", fwd.LOI)
+	}
+
+	// Second cycle with no interest: newLOI = (0.8 + 0)/2 = 0.4 < 0.5
+	// -> unloaded (age decay of equation 1).
+	env.sentData = nil
+	rt.OnBAT(BATMsg{Owner: 3, BAT: 7, Size: 100, LOI: 0.8, Copies: 0, Hops: 10, Cycles: 1})
+	if len(env.sentData) != 0 {
+		t.Fatal("BAT should be unloaded")
+	}
+	if len(env.unloads) != 1 || env.unloads[0] != 7 {
+		t.Fatalf("unloads = %v", env.unloads)
+	}
+	if rt.Loaded(7) {
+		t.Fatal("owner still marks BAT loaded")
+	}
+}
+
+func TestHotSetUnloadedBATDropped(t *testing.T) {
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.AddOwned(7, 100)
+	// BAT arrives for an owner entry that is not loaded (e.g. handover
+	// race): dropped silently.
+	rt.OnBAT(BATMsg{Owner: 3, BAT: 7, Size: 100})
+	if len(env.sentData) != 0 {
+		t.Fatal("stale BAT should be dropped")
+	}
+}
+
+func TestLOITAdaptationWatermarks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResendTimeout = 0
+	cfg.LoadAllPeriod = 0
+	env := &mockEnv{queueUsed: 0, queueCap: 1000}
+	rt := newTestRT(env, cfg)
+	if rt.LOIT() != 0.1 {
+		t.Fatalf("start LOIT = %v", rt.LOIT())
+	}
+	// Above high watermark: step up.
+	env.queueUsed = 900
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 1, Size: 10, Hops: 1})
+	if rt.LOIT() != 0.6 {
+		t.Fatalf("LOIT = %v after high load, want 0.6", rt.LOIT())
+	}
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 2, Size: 10, Hops: 1})
+	if rt.LOIT() != 1.1 {
+		t.Fatalf("LOIT = %v, want 1.1 (max)", rt.LOIT())
+	}
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 3, Size: 10, Hops: 1})
+	if rt.LOIT() != 1.1 {
+		t.Fatal("LOIT should clamp at max level")
+	}
+	// Below low watermark: step down.
+	env.queueUsed = 100
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 4, Size: 10, Hops: 1})
+	if rt.LOIT() != 0.6 {
+		t.Fatalf("LOIT = %v after low load, want 0.6", rt.LOIT())
+	}
+}
+
+func TestResendOnTimeout(t *testing.T) {
+	cfg := staticCfg(0.5)
+	cfg.ResendTimeout = time.Second
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, cfg)
+	rt.Request(1, 42)
+	if len(env.sentReqs) != 1 {
+		t.Fatal("initial request not sent")
+	}
+	env.fire(1100 * time.Millisecond)
+	if len(env.sentReqs) != 2 {
+		t.Fatalf("requests = %d after timeout, want 2 (resend)", len(env.sentReqs))
+	}
+	if rt.Stats().Resends != 1 {
+		t.Fatalf("resends = %d", rt.Stats().Resends)
+	}
+	// Delivery cancels further resends.
+	rt.Pin(1, 42)
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 42, Size: 10, Hops: 1})
+	env.fire(10 * time.Second)
+	if len(env.sentReqs) != 2 {
+		t.Fatalf("requests = %d after delivery, want 2", len(env.sentReqs))
+	}
+}
+
+func TestLocalCachePinUnpin(t *testing.T) {
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.Request(1, 42)
+	rt.Request(2, 42)
+	rt.Pin(1, 42)
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 42, Size: 10, Hops: 1}) // delivers to q1, caches
+	if len(env.delivered) != 1 {
+		t.Fatal("first delivery missing")
+	}
+	// q2 pins while q1 still holds the BAT: local cache hit (§4.2.1
+	// "the pin() request checks the local cache for availability").
+	rt.Pin(2, 42)
+	if len(env.delivered) != 2 {
+		t.Fatal("cache hit should deliver immediately")
+	}
+	rt.Unpin(1, 42)
+	rt.Unpin(2, 42)
+	// Cache dropped: a third query pin would block again.
+	rt.Request(5, 42)
+	rt.Pin(5, 42)
+	if len(env.delivered) != 2 {
+		t.Fatal("pin after cache release should block")
+	}
+}
+
+func TestCancelQuery(t *testing.T) {
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.Request(1, 42)
+	rt.Pin(1, 42)
+	rt.CancelQuery(1, []BATID{42})
+	if rt.OutstandingRequests() != 0 {
+		t.Fatal("cancel should drop sole request")
+	}
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 42, Size: 10, Hops: 1})
+	if len(env.delivered) != 0 {
+		t.Fatal("cancelled query must not receive deliveries")
+	}
+}
+
+func TestRemoveOwnedHandover(t *testing.T) {
+	env := &mockEnv{queueCap: 10000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.AddOwned(7, 100)
+	rt.Request(1, 7)
+	size, loaded, ok := rt.RemoveOwned(7)
+	if !ok || size != 100 || !loaded {
+		t.Fatalf("RemoveOwned = %d %v %v", size, loaded, ok)
+	}
+	if rt.Owns(7) {
+		t.Fatal("still owns after removal")
+	}
+	if _, _, ok := rt.RemoveOwned(7); ok {
+		t.Fatal("double removal should report !ok")
+	}
+}
+
+func TestLoadAllTicker(t *testing.T) {
+	cfg := staticCfg(0.5)
+	cfg.LoadAllPeriod = 100 * time.Millisecond
+	env := &mockEnv{queueUsed: 999, queueCap: 1000}
+	rt := newTestRT(env, cfg)
+	rt.Start()
+	rt.AddOwned(7, 100)
+	rt.Request(1, 7) // pends
+	if rt.PendingLoads() != 1 {
+		t.Fatal("not pending")
+	}
+	env.queueUsed = 0
+	env.fire(150 * time.Millisecond)
+	if rt.PendingLoads() != 0 || len(env.sentData) != 1 {
+		t.Fatalf("ticker LoadAll failed: pending=%d sent=%d", rt.PendingLoads(), len(env.sentData))
+	}
+	rt.Stop()
+	countBefore := len(env.timers)
+	env.fire(time.Hour)
+	_ = countBefore // ticker stops rescheduling; fire drains silently
+}
+
+func TestRePinDelivered(t *testing.T) {
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.Request(1, 42)
+	rt.Pin(1, 42)
+	rt.OnBAT(BATMsg{Owner: 0, BAT: 42, Size: 10, Hops: 1})
+	n := len(env.delivered)
+	rt.Pin(1, 42) // re-pin by the same query: immediate
+	if len(env.delivered) != n+1 {
+		t.Fatal("re-pin should deliver immediately")
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	env := &mockEnv{queueCap: 1000}
+	rt := newTestRT(env, staticCfg(0.5))
+	rt.Request(1, 42)
+	rt.OnRequest(RequestMsg{Origin: 9, BAT: 77})
+	st := rt.Stats()
+	if st.RequestsSent != 1 || st.RequestsForwarded != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if rt.String() == "" {
+		t.Fatal("String empty")
+	}
+	if rt.ID() != 3 {
+		t.Fatalf("ID = %d", rt.ID())
+	}
+}

@@ -1,0 +1,227 @@
+package dcopt
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+	"repro/internal/minisql"
+)
+
+func compile(t *testing.T, src string) *mal.Plan {
+	t.Helper()
+	schema := minisql.MapSchema{
+		"t": {"id", "name"},
+		"c": {"t_id", "val"},
+	}
+	p, err := minisql.Compile(src, schema, "sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRewriteShape(t *testing.T) {
+	p := compile(t, "select c.t_id from t, c where c.t_id = t.id")
+	dc, st, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.Pins != 2 || st.Unpins != 2 {
+		t.Fatalf("stats = %+v, want 2/2/2", st)
+	}
+	text := dc.String()
+	if strings.Contains(text, "sql.bind") {
+		t.Fatal("rewritten plan still contains sql.bind")
+	}
+	for _, want := range []string{"datacyclotron.request", "datacyclotron.pin", "datacyclotron.unpin"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("plan missing %s:\n%s", want, text)
+		}
+	}
+	// request must precede pin, pin must precede unpin for each column.
+	reqIdx, pinIdx, unpinIdx := -1, -1, -1
+	for i, in := range dc.Instrs {
+		switch in.Name() {
+		case "datacyclotron.request":
+			if reqIdx == -1 {
+				reqIdx = i
+			}
+		case "datacyclotron.pin":
+			if pinIdx == -1 {
+				pinIdx = i
+			}
+		case "datacyclotron.unpin":
+			unpinIdx = i
+		}
+	}
+	if !(reqIdx < pinIdx && pinIdx < unpinIdx) {
+		t.Fatalf("ordering wrong: req=%d pin=%d unpin=%d", reqIdx, pinIdx, unpinIdx)
+	}
+}
+
+func TestRewriteValidSSA(t *testing.T) {
+	p := compile(t, "select name from t where id >= 2")
+	dc, _, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild through a builder-less validation: run it; SSA violations
+	// would have been caught by plan validation in minisql, here we just
+	// ensure every pin assigns a variable exactly once by re-validating
+	// manually.
+	assigned := map[mal.VarID]int{}
+	for _, in := range dc.Instrs {
+		for _, r := range in.Ret {
+			assigned[r]++
+		}
+	}
+	for v, n := range assigned {
+		if n != 1 {
+			t.Fatalf("X%d assigned %d times", v, n)
+		}
+	}
+}
+
+// memDC is an immediate-delivery DC runtime for plan-level testing.
+type memDC struct {
+	mu       sync.Mutex
+	cat      map[string]*bat.BAT
+	requests []string
+	pins     []string
+	unpins   int
+}
+
+func (d *memDC) Request(schema, table, column string) (mal.Value, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := table + "." + column
+	d.requests = append(d.requests, key)
+	return key, nil
+}
+
+func (d *memDC) Pin(h mal.Value) (mal.Value, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := h.(string)
+	d.pins = append(d.pins, key)
+	b, ok := d.cat[key]
+	if !ok {
+		return nil, errors.New("BAT does not exist")
+	}
+	return b, nil
+}
+
+func (d *memDC) Unpin(h mal.Value) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.unpins++
+	return nil
+}
+
+func TestRewrittenPlanExecutes(t *testing.T) {
+	p := compile(t, "select c.t_id from t, c where c.t_id = t.id")
+	dc, _, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &memDC{cat: map[string]*bat.BAT{
+		"t.id":   bat.MakeInts("t.id", []int64{1, 2, 3, 4}),
+		"c.t_id": bat.MakeInts("c.t_id", []int64{2, 2, 3, 9}),
+	}}
+	ctx := &mal.Context{Registry: mal.NewRegistry(), DC: rt, Workers: 4}
+	v, err := mal.Run(ctx, dc)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, dc)
+	}
+	rs := v.(*mal.ResultSet)
+	if rs.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", rs.NumRows())
+	}
+	if len(rt.requests) != 2 || len(rt.pins) != 2 || rt.unpins != 2 {
+		t.Fatalf("DC calls: %d req, %d pin, %d unpin", len(rt.requests), len(rt.pins), rt.unpins)
+	}
+}
+
+func TestRewriteMatchesOriginalResult(t *testing.T) {
+	catalog := map[string]*bat.BAT{
+		"t.id":   bat.MakeInts("t.id", []int64{1, 2, 3, 4}),
+		"t.name": bat.MakeStrs("t.name", []string{"a", "b", "c", "d"}),
+		"c.t_id": bat.MakeInts("c.t_id", []int64{2, 2, 3, 9}),
+		"c.val":  bat.MakeInts("c.val", []int64{10, 20, 30, 40}),
+	}
+	bindCat := bindCatalog(catalog)
+	for _, src := range []string{
+		"select c.t_id from t, c where c.t_id = t.id",
+		"select name from t where id >= 2",
+		"select t.name, c.val from t, c where c.t_id = t.id and c.val > 15",
+	} {
+		p := compile(t, src)
+		want, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), Catalog: bindCat}, p)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		dc, _, err := Rewrite(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), DC: &memDC{cat: catalog}}, dc)
+		if err != nil {
+			t.Fatalf("%s (dc): %v", src, err)
+		}
+		if !reflect.DeepEqual(want.(*mal.ResultSet).Rows(), got.(*mal.ResultSet).Rows()) {
+			t.Fatalf("%s: DC plan result differs", src)
+		}
+	}
+}
+
+type bindCatalog map[string]*bat.BAT
+
+func (c bindCatalog) Bind(schema, table, column string) (mal.Value, error) {
+	b, ok := c[table+"."+column]
+	if !ok {
+		return nil, errors.New("no such column")
+	}
+	return b, nil
+}
+
+func TestRequestedColumns(t *testing.T) {
+	p := compile(t, "select c.t_id from t, c where c.t_id = t.id")
+	dc, _, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := RequestedColumns(dc)
+	if len(cols) != 2 {
+		t.Fatalf("cols = %v", cols)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		seen[c[1]+"."+c[2]] = true
+	}
+	if !seen["t.id"] || !seen["c.t_id"] {
+		t.Fatalf("missing columns: %v", cols)
+	}
+	// Works on unrewritten plans too (sql.bind form).
+	if got := RequestedColumns(p); len(got) != 2 {
+		t.Fatalf("bind-form cols = %v", got)
+	}
+}
+
+func TestRewritePlanWithoutBinds(t *testing.T) {
+	b := mal.NewBuilder("nobind")
+	x := b.Emit("sql", "scalarResult", mal.L("v"), mal.L(int64(1)))
+	b.SetResult(x)
+	p := b.MustBuild()
+	dc, st, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 0 || len(dc.Instrs) != len(p.Instrs) {
+		t.Fatalf("no-op rewrite changed plan: %+v", st)
+	}
+}

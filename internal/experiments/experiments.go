@@ -1,0 +1,540 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) and the ring-size study of §6.3. Each harness builds
+// the exact scenario — topology, dataset, workload — runs the simulated
+// Data Cyclotron ring, and returns the rows/series the paper plots.
+//
+// Every harness accepts a Scale: 1.0 reproduces the paper's volumes
+// (48 000 queries, 1000 BATs, ...); smaller fractions shrink the
+// workload proportionally for quick runs and benchmarks. Shapes — who
+// wins, where the knees are — are preserved across scales.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/rdma"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// Scale shrinks an experiment's workload volume by compressing the
+// query-firing window (1.0 = the paper's full volume). The topology,
+// dataset, bandwidths, and query mix stay at paper values at every
+// scale, so the ring dynamics are authentic; only fewer queries flow.
+type Scale float64
+
+func (s Scale) apply(v int) int {
+	out := int(float64(v) * float64(s))
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+func (s Scale) dur(d time.Duration) time.Duration {
+	out := time.Duration(float64(d) * float64(s))
+	if out < time.Second {
+		out = time.Second
+	}
+	return out
+}
+
+// ringScenario builds the paper's base topology: 10 Gb/s links, 350 µs
+// delay, 200 MB BAT queues, the 8 GB / 1000-BAT dataset.
+func ringScenario(nodes int, seed int64, levels []float64, adaptive bool) (*cluster.Cluster, *rand.Rand, workload.DatasetConfig) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Core.LOITLevels = levels
+	cfg.Core.AdaptiveLOIT = adaptive
+	c := cluster.New(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	ds := workload.DefaultDataset(nodes)
+	return c, rng, ds
+}
+
+// ---------------------------------------------------------------------
+// §5.1 — Limited ring capacity (Figures 6a, 6b, 7a, 7b)
+// ---------------------------------------------------------------------
+
+// Fig6Run is the result of one static-LOIT iteration.
+type Fig6Run struct {
+	LOIT       float64
+	Throughput *metrics.Series    // cumulative finished queries over time
+	Lifetime   *metrics.Histogram // gross query lifetimes
+	RingBytes  *metrics.Series    // hot-set bytes over time (Fig 7a)
+	RingBATs   *metrics.Series    // hot-set #BATs over time (Fig 7b)
+	Finished   int
+	Duration   time.Duration
+}
+
+// Fig6Result aggregates the 11 iterations plus the registration curve.
+type Fig6Result struct {
+	Registered *metrics.Series
+	Runs       []Fig6Run
+	Scale      Scale
+	// Horizon is the observation window (the paper plots 0-180 s).
+	Horizon time.Duration
+}
+
+// LimitedRingCapacity reproduces §5.1: 10 nodes, the 8 GB / 1000-BAT
+// dataset, 80 q/s per node for 60 s, and a static LOIT swept from 0.1
+// to 1.1 in steps of 0.1. Between iterations the ring buffers are
+// cleared (each iteration builds a fresh cluster).
+func LimitedRingCapacity(scale Scale, seed int64) *Fig6Result {
+	firing := scale.dur(60 * time.Second)
+	horizon := firing + 130*time.Second
+	res := &Fig6Result{Scale: scale, Horizon: horizon}
+	for i := 0; i <= 10; i++ {
+		loit := 0.1 + 0.1*float64(i)
+		c, rng, ds := ringScenario(10, seed, []float64{loit}, false)
+		owners := workload.Populate(c, ds.Build(rng))
+
+		syn := workload.DefaultSynthetic(10)
+		syn.Duration = firing
+		syn.NumBATs = ds.NumBATs
+		specs := syn.Build(rng, owners)
+		workload.Submit(c, specs)
+
+		end := c.Run(4 * horizon)
+		m := c.Metrics()
+		until := horizon.Seconds()
+		run := Fig6Run{
+			LOIT:       loit,
+			Throughput: m.Finished.CumulativeSeries(until, 1),
+			Lifetime:   m.Lifetime,
+			RingBytes:  m.RingBytes.Downsample(until, 1),
+			RingBATs:   m.RingBATs.Downsample(until, 1),
+			Finished:   m.Finished.Count(),
+			Duration:   end,
+		}
+		res.Runs = append(res.Runs, run)
+		if res.Registered == nil {
+			res.Registered = m.Registered.CumulativeSeries(until, 1)
+		}
+	}
+	return res
+}
+
+// String renders the Figure 6a table: cumulative finished queries per
+// LOIT level at fixed instants.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6a — query throughput (cumulative #queries finished), scale=%.3f\n", float64(r.Scale))
+	fmt.Fprintf(&b, "%-8s", "t(s)")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "LoiT%.1f ", run.LOIT)
+	}
+	fmt.Fprintf(&b, "%s\n", "registered")
+	h := r.Horizon.Seconds()
+	var grid []float64
+	for f := 0.1; f <= 0.95; f += 0.1 {
+		grid = append(grid, f*h)
+	}
+	for _, t := range grid {
+		fmt.Fprintf(&b, "%-8.0f", t)
+		for _, run := range r.Runs {
+			fmt.Fprintf(&b, "%-8.0f", run.Throughput.At(t))
+		}
+		fmt.Fprintf(&b, "%-8.0f\n", r.Registered.At(t))
+	}
+	b.WriteString("\nFigure 6b — query lifetime (p50/p95/max seconds):\n")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "  LoiT %.1f: p50=%-8.1f p95=%-8.1f max=%-8.1f finished=%d\n",
+			run.LOIT, run.Lifetime.Quantile(0.5), run.Lifetime.Quantile(0.95), run.Lifetime.Max(), run.Finished)
+	}
+	b.WriteString("\nFigure 7 — ring load over time (bytes, #BATs) for LoiT 0.1/0.5/1.1:\n")
+	fmt.Fprintf(&b, "%-8s %-12s %-8s %-12s %-8s %-12s %-8s\n", "t(s)",
+		"bytes@0.1", "bats@0.1", "bytes@0.5", "bats@0.5", "bytes@1.1", "bats@1.1")
+	sel := []int{0, 4, 10} // LOIT 0.1, 0.5, 1.1
+	for _, t := range grid {
+		fmt.Fprintf(&b, "%-8.0f", t)
+		for _, i := range sel {
+			fmt.Fprintf(&b, " %-12.0f %-8.0f", r.Runs[i].RingBytes.At(t), r.Runs[i].RingBATs.At(t))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// §5.2 — Skewed workloads (Figures 8a, 8b)
+// ---------------------------------------------------------------------
+
+// Fig8Result holds the per-hot-set ring-space and per-workload
+// throughput series.
+type Fig8Result struct {
+	RingTotal    *metrics.Series
+	RingByDH     map[string]*metrics.Series
+	FinishedBySW map[string]*metrics.Series
+	Scale        Scale
+	Horizon      time.Duration
+}
+
+// SkewedWorkloads reproduces §5.2: four overlapping skewed workloads
+// (Table 3) against the dynamic three-level LOIT (0.1/0.6/1.1 with
+// 40%/80% watermarks).
+func SkewedWorkloads(scale Scale, seed int64) *Fig8Result {
+	c, rng, ds := ringScenario(10, seed, []float64{0.1, 0.6, 1.1}, true)
+	ds.TagOf = workload.DisjointTag
+	owners := workload.Populate(c, ds.Build(rng))
+
+	ws := workload.Table3()
+	for i := range ws {
+		// Compress the Table-3 schedule by the scale factor.
+		ws[i].Start = time.Duration(float64(ws[i].Start) * float64(scale))
+		ws[i].End = time.Duration(float64(ws[i].End) * float64(scale))
+	}
+	specs := workload.BuildSkewed(rng, ws, 10, ds.NumBATs, owners)
+	workload.Submit(c, specs)
+	c.Run(30 * time.Minute)
+
+	horizon := time.Duration(float64(120*time.Second) * float64(scale))
+	m := c.Metrics()
+	until := horizon.Seconds()
+	res := &Fig8Result{
+		RingTotal:    m.RingBytes.Downsample(until, until/60),
+		RingByDH:     map[string]*metrics.Series{},
+		FinishedBySW: map[string]*metrics.Series{},
+		Scale:        scale,
+		Horizon:      horizon,
+	}
+	for tag, s := range m.RingBytesByTag {
+		res.RingByDH[tag] = s.Downsample(until, until/60)
+	}
+	for tag, e := range m.FinishedByTag {
+		res.FinishedBySW[tag] = e.CumulativeSeries(until, until/60)
+	}
+	return res
+}
+
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8a — ring space per disjoint hot set (bytes), scale=%.3f\n", float64(r.Scale))
+	tags := []string{"dh1", "dh2", "dh3", "dh4"}
+	fmt.Fprintf(&b, "%-8s %-12s", "t(s)", "total")
+	for _, tag := range tags {
+		fmt.Fprintf(&b, "%-12s", tag)
+	}
+	b.WriteByte('\n')
+	h := r.Horizon.Seconds()
+	for t := 0.0; t <= h; t += h / 12 {
+		fmt.Fprintf(&b, "%-8.0f %-12.0f", t, r.RingTotal.At(t))
+		for _, tag := range tags {
+			v := 0.0
+			if s := r.RingByDH[tag]; s != nil {
+				v = s.At(t)
+			}
+			fmt.Fprintf(&b, "%-12.0f", v)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nFigure 8b — cumulative queries finished per workload:\n")
+	sws := []string{"sw1", "sw2", "sw3", "sw4"}
+	fmt.Fprintf(&b, "%-8s", "t(s)")
+	for _, sw := range sws {
+		fmt.Fprintf(&b, "%-10s", sw)
+	}
+	b.WriteByte('\n')
+	for t := 0.0; t <= h; t += h / 12 {
+		fmt.Fprintf(&b, "%-8.0f", t)
+		for _, sw := range sws {
+			v := 0.0
+			if s := r.FinishedBySW[sw]; s != nil {
+				v = s.At(t)
+			}
+			fmt.Fprintf(&b, "%-10.0f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// §5.3 — Gaussian access (Figures 9a, 9b)
+// ---------------------------------------------------------------------
+
+// Fig9Result buckets per-BAT counters by id.
+type Fig9Result struct {
+	NumBATs  int
+	Touches  *metrics.IntMap
+	Requests *metrics.IntMap
+	Loads    *metrics.IntMap
+	Scale    Scale
+}
+
+// GaussianWorkload reproduces §5.3: the §5.1 scenario with data access
+// drawn from N(500, 50) over the BAT ids.
+func GaussianWorkload(scale Scale, seed int64) *Fig9Result {
+	c, rng, ds := ringScenario(10, seed, []float64{0.1, 0.6, 1.1}, true)
+	owners := workload.Populate(c, ds.Build(rng))
+
+	syn := workload.DefaultSynthetic(10)
+	syn.Duration = scale.dur(60 * time.Second)
+	syn.NumBATs = ds.NumBATs
+	mean := float64(ds.NumBATs) / 2
+	std := float64(ds.NumBATs) / 20
+	syn.Pick = workload.GaussianPick(mean, std, ds.NumBATs)
+	specs := syn.Build(rng, owners)
+	workload.Submit(c, specs)
+	c.Run(10 * time.Minute)
+
+	m := c.Metrics()
+	return &Fig9Result{
+		NumBATs:  ds.NumBATs,
+		Touches:  m.Touches,
+		Requests: m.Requests,
+		Loads:    m.Loads,
+		Scale:    scale,
+	}
+}
+
+// Bucket sums a counter over nb id-buckets for compact printing.
+func bucketize(c *metrics.IntMap, numBATs, nb int) []int {
+	out := make([]int, nb)
+	for _, k := range c.Keys() {
+		b := k * nb / numBATs
+		if b >= nb {
+			b = nb - 1
+		}
+		out[b] += c.Get(k)
+	}
+	return out
+}
+
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	const nb = 20
+	fmt.Fprintf(&b, "Figure 9 — Gaussian workload per-BAT-id counters (bucketed by id/%d), scale=%.3f\n",
+		r.NumBATs/nb, float64(r.Scale))
+	touches := bucketize(r.Touches, r.NumBATs, nb)
+	requests := bucketize(r.Requests, r.NumBATs, nb)
+	loads := bucketize(r.Loads, r.NumBATs, nb)
+	fmt.Fprintf(&b, "%-12s %-10s %-10s %-10s\n", "bat-id", "touches", "requests", "loads")
+	for i := 0; i < nb; i++ {
+		lo := i * r.NumBATs / nb
+		hi := (i+1)*r.NumBATs/nb - 1
+		fmt.Fprintf(&b, "%4d-%-6d %-10d %-10d %-10d\n", lo, hi, touches[i], requests[i], loads[i])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// §5.4 — TPC-H (Table 4)
+// ---------------------------------------------------------------------
+
+// Table4Row is one row of Table 4.
+type Table4Row struct {
+	Label          string
+	Nodes          int
+	ExecSeconds    float64
+	Throughput     float64
+	ThroughputNode float64
+	CPUPercent     float64
+}
+
+// Table4Result is the full table.
+type Table4Result struct {
+	Rows  []Table4Row
+	Scale Scale
+}
+
+// TPCH reproduces Table 4: the TPC-H SF-5 trace workload on rings of
+// 1..maxNodes nodes plus the modeled real-engine (MonetDB) baseline.
+func TPCH(scale Scale, seed int64, maxNodes int) *Table4Result {
+	res := &Table4Result{Scale: scale}
+	var singleNode float64
+	for n := 1; n <= maxNodes; n++ {
+		row := tpchRun(scale, seed, n)
+		if n == 1 {
+			singleNode = row.ExecSeconds
+			// The real-engine baseline: same work, ~70% CPU efficiency
+			// (thread management, client context switches — §5.4).
+			base := Table4Row{
+				Label:       "MonetDB",
+				Nodes:       1,
+				ExecSeconds: singleNode / tpch.BaselineEfficiency,
+				CPUPercent:  tpch.BaselineCPUPercent,
+			}
+			base.Throughput = float64(scale.apply(1200)) / base.ExecSeconds
+			base.ThroughputNode = base.Throughput
+			res.Rows = append(res.Rows, base)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func tpchRun(scale Scale, seed int64, nodes int) Table4Row {
+	cfg := cluster.DefaultConfig()
+	cfg.CoresPerNode = 4
+	cfg.Core.LOITLevels = []float64{0.1, 0.6, 1.1}
+	cfg.Core.AdaptiveLOIT = true
+	// §5.4 assumes ample memory for the hot set; the experiment
+	// measures latency, not capacity pressure.
+	cfg.Ring.Data.QueueCap = 1 << 30
+	ringNodes := nodes
+	if ringNodes < 2 {
+		ringNodes = 2 // netsim needs a ring; the extra node stays idle
+	}
+	cfg.Nodes = ringNodes
+
+	c := cluster.New(cfg)
+	cat := tpch.BuildCatalog(5, nodes)
+	for _, s := range cat.Specs() {
+		c.AddBAT(s)
+	}
+	w := tpch.DefaultWorkload(nodes)
+	w.QueriesPerNode = scale.apply(1200)
+	rng := rand.New(rand.NewSource(seed))
+	specs := w.Build(rng, cat)
+	for _, q := range specs {
+		c.Submit(q)
+	}
+	end := c.Run(4 * time.Hour)
+	sec := end.Seconds()
+	total := float64(len(specs))
+	row := Table4Row{
+		Label:          fmt.Sprintf("%d", nodes),
+		Nodes:          nodes,
+		ExecSeconds:    sec,
+		Throughput:     total / sec,
+		ThroughputNode: total / sec / float64(nodes),
+	}
+	// CPU% over the nodes that actually host queries.
+	var busy time.Duration
+	for i := 0; i < nodes; i++ {
+		busy += c.NodeBusy(i)
+	}
+	row.CPUPercent = 100 * float64(busy) / float64(time.Duration(nodes*4)*end)
+	return row
+}
+
+func (r *Table4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4 — TPC-H SF-5 (%d queries/node), scale=%.3f\n", Scale(r.Scale).apply(1200), float64(r.Scale))
+	fmt.Fprintf(&b, "%-10s %-10s %-12s %-16s %-6s\n", "#nodes", "exec(sec)", "throughput", "throughP/node", "CPU%")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-10.1f %-12.2f %-16.2f %-6.1f\n",
+			row.Label, row.ExecSeconds, row.Throughput, row.ThroughputNode, row.CPUPercent)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// §6.3 — Pulsating rings (Figures 10, 11)
+// ---------------------------------------------------------------------
+
+// RingSizeRun holds the per-BAT maxima for one ring size.
+type RingSizeRun struct {
+	Nodes     int
+	MaxReqLat *metrics.FloatMap
+	MaxCycles *metrics.IntMap
+	NumBATs   int
+}
+
+// Fig1011Result is the ring-size sweep.
+type Fig1011Result struct {
+	Runs  []RingSizeRun
+	Scale Scale
+}
+
+// RingSizeSweep reproduces the §6.3 peek-preview experiment: the §5.3
+// Gaussian workload with constant total query volume while the ring
+// grows from 5 to 20 nodes.
+func RingSizeSweep(scale Scale, seed int64, sizes []int) *Fig1011Result {
+	if len(sizes) == 0 {
+		sizes = []int{5, 10, 15, 20}
+	}
+	res := &Fig1011Result{Scale: scale}
+	const totalRate = 800.0 // queries/sec over the whole ring
+	for _, n := range sizes {
+		c, rng, ds := ringScenario(n, seed, []float64{0.1, 0.6, 1.1}, true)
+		owners := workload.Populate(c, ds.Build(rng))
+
+		syn := workload.DefaultSynthetic(n)
+		syn.Rate = totalRate / float64(n)
+		syn.Duration = scale.dur(60 * time.Second)
+		syn.NumBATs = ds.NumBATs
+		syn.Pick = workload.GaussianPick(float64(ds.NumBATs)/2, float64(ds.NumBATs)/20, ds.NumBATs)
+		specs := syn.Build(rng, owners)
+		workload.Submit(c, specs)
+		c.Run(10 * time.Minute)
+
+		m := c.Metrics()
+		res.Runs = append(res.Runs, RingSizeRun{
+			Nodes:     n,
+			MaxReqLat: m.MaxReqLat,
+			MaxCycles: m.MaxCycles,
+			NumBATs:   ds.NumBATs,
+		})
+	}
+	return res
+}
+
+func (r *Fig1011Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 10/11 — ring size sweep, scale=%.3f\n", float64(r.Scale))
+	for _, run := range r.Runs {
+		// Peak over the in-vogue region and overall stats.
+		maxLat, maxCycles := 0.0, 0
+		for _, k := range run.MaxReqLat.Keys() {
+			if v := run.MaxReqLat.Get(k); v > maxLat {
+				maxLat = v
+			}
+		}
+		for _, k := range run.MaxCycles.Keys() {
+			if v := run.MaxCycles.Get(k); v > maxCycles {
+				maxCycles = v
+			}
+		}
+		fmt.Fprintf(&b, "  %2d nodes: max request latency=%.2fs  max cycles/BAT=%d\n",
+			run.Nodes, maxLat, maxCycles)
+	}
+	b.WriteString("  (bigger rings keep in-vogue BATs alive longer — more cycles — which caps request latency)\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// §2.2 — Figure 1: CPU load breakdown
+// ---------------------------------------------------------------------
+
+// Fig1Row is one bar of Figure 1.
+type Fig1Row struct {
+	Stack     rdma.Stack
+	Breakdown rdma.CPUBreakdown
+}
+
+// Fig1Result is the three-bar comparison.
+type Fig1Result struct {
+	Gbps, GHz float64
+	Rows      []Fig1Row
+}
+
+// CPUBreakdown reproduces Figure 1 from the analytical model: CPU load
+// of a 10 Gb/s transfer on the paper's 2.33 GHz quad-core (9.32 GHz
+// aggregate).
+func CPUBreakdown() *Fig1Result {
+	const gbps, ghz = 10.0, 9.32
+	res := &Fig1Result{Gbps: gbps, GHz: ghz}
+	for _, s := range []rdma.Stack{rdma.LegacyStack, rdma.NICOffload, rdma.RDMA} {
+		res.Rows = append(res.Rows, Fig1Row{Stack: s, Breakdown: rdma.CPUModel(s, gbps, ghz)})
+	}
+	return res
+}
+
+func (r *Fig1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — CPU load at %.0f Gb/s on %.2f GHz aggregate\n", r.Gbps, r.GHz)
+	fmt.Fprintf(&b, "%-24s %-8s %-8s %-8s %-8s %-8s\n", "stack", "net", "driver", "ctxsw", "copy", "total")
+	for _, row := range r.Rows {
+		d := row.Breakdown
+		fmt.Fprintf(&b, "%-24s %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n",
+			row.Stack, d.NetworkStack, d.Driver, d.ContextSwitches, d.DataCopying, d.Total())
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The synthetic experiments run at full paper scale (they are fast on
+// the event kernel); TPC-H scales down the per-node query count.
+
+func TestFig6ThroughputMonotoneInLOIT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := LimitedRingCapacity(1.0, 1)
+	if len(res.Runs) != 11 {
+		t.Fatalf("runs = %d, want 11 (LOIT 0.1..1.1)", len(res.Runs))
+	}
+	// The paper's headline (Fig 6a): at t=40s, high LOIT has finished
+	// far more queries than low LOIT, and the trend is increasing.
+	at40Low := res.Runs[0].Throughput.At(40)
+	at40High := res.Runs[10].Throughput.At(40)
+	if at40High < at40Low*1.2 {
+		t.Fatalf("LOIT 1.1 at 40s = %v vs LOIT 0.1 = %v: want clear separation", at40High, at40Low)
+	}
+	low := res.Runs[0].Throughput.At(40) + res.Runs[1].Throughput.At(40) + res.Runs[2].Throughput.At(40)
+	high := res.Runs[8].Throughput.At(40) + res.Runs[9].Throughput.At(40) + res.Runs[10].Throughput.At(40)
+	if high <= low {
+		t.Fatalf("top-3 LOIT at 40s = %v <= bottom-3 %v", high, low)
+	}
+	// Everyone eventually finishes all 48 000 queries.
+	for _, run := range res.Runs {
+		if run.Finished != 48000 {
+			t.Fatalf("LOIT %.1f finished %d, want 48000", run.LOIT, run.Finished)
+		}
+	}
+	// Fig 6b: low LOIT leaves a heavier lifetime tail.
+	if res.Runs[0].Lifetime.Quantile(0.95) <= res.Runs[10].Lifetime.Quantile(0.95) {
+		t.Fatalf("p95 lifetime: LOIT0.1=%v should exceed LOIT1.1=%v",
+			res.Runs[0].Lifetime.Quantile(0.95), res.Runs[10].Lifetime.Quantile(0.95))
+	}
+	// Fig 7a: with low LOIT the ring saturates near its 2 GB capacity.
+	if peak := res.Runs[0].RingBytes.Max(); peak < 1.6e9 {
+		t.Fatalf("LOIT 0.1 ring peak = %v, want ≈2GB", peak)
+	}
+	out := res.String()
+	for _, want := range []string{"Figure 6a", "Figure 6b", "Figure 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestFig8SkewedReactsToWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := SkewedWorkloads(1.0, 2)
+	for _, sw := range []string{"sw1", "sw2", "sw3", "sw4"} {
+		s := res.FinishedBySW[sw]
+		if s == nil || s.Max() == 0 {
+			t.Fatalf("workload %s finished nothing", sw)
+		}
+	}
+	// Reactive behavior: DH2 space appears only after SW2 starts (15s).
+	dh2 := res.RingByDH["dh2"]
+	if dh2 == nil {
+		t.Fatal("no dh2 series")
+	}
+	if dh2.At(10) > 0 {
+		t.Fatalf("dh2 loaded before SW2 started: %v bytes at 10s", dh2.At(10))
+	}
+	if dh2.At(40) == 0 {
+		t.Fatal("dh2 never loaded during SW2")
+	}
+	// DH4 appears only late (SW4 starts at 67.5s).
+	if dh4 := res.RingByDH["dh4"]; dh4 != nil && dh4.At(50) > dh4.Max()/4 {
+		t.Fatalf("dh4 substantially loaded before SW4 started")
+	}
+	if !strings.Contains(res.String(), "Figure 8a") {
+		t.Fatal("report header missing")
+	}
+}
+
+func TestFig9GaussianShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := GaussianWorkload(1.0, 3)
+	n := res.NumBATs
+	touches := bucketize(res.Touches, n, 20)
+	loads := bucketize(res.Loads, n, 20)
+	// In-vogue BATs (middle buckets) are touched far more than the tails.
+	mid := touches[9] + touches[10]
+	tail := touches[0] + touches[1] + touches[18] + touches[19]
+	if mid <= tail*3 {
+		t.Fatalf("touches mid=%d vs tails=%d: Gaussian shape missing", mid, tail)
+	}
+	// §5.3's observation: in-vogue BATs have a LOW load rate relative
+	// to their touches (they stay in the ring); standard BATs cycle.
+	midLoads := loads[9] + loads[10]
+	if midLoads == 0 {
+		t.Fatal("in-vogue BATs never loaded")
+	}
+	midRate := float64(midLoads) / float64(mid)
+	stdTouches := touches[6] + touches[7] + touches[12] + touches[13]
+	stdLoads := loads[6] + loads[7] + loads[12] + loads[13]
+	if stdTouches > 0 && stdLoads > 0 {
+		stdRate := float64(stdLoads) / float64(stdTouches)
+		if midRate >= stdRate {
+			t.Fatalf("in-vogue load/touch %.4f should be below standard %.4f", midRate, stdRate)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 9") {
+		t.Fatal("report header missing")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := TPCH(Scale(0.1), 4, 4) // 120 queries/node, rings 1..4
+	if len(res.Rows) != 5 {       // MonetDB + 1..4
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	base, one := res.Rows[0], res.Rows[1]
+	if base.Label != "MonetDB" {
+		t.Fatalf("first row = %q", base.Label)
+	}
+	// The simulated single node beats the real-engine baseline.
+	if one.ExecSeconds >= base.ExecSeconds {
+		t.Fatalf("1-node %.1fs should beat baseline %.1fs", one.ExecSeconds, base.ExecSeconds)
+	}
+	// Single-node CPU is near optimal.
+	if one.CPUPercent < 90 {
+		t.Fatalf("1-node CPU = %.1f%%, want ≈99%%", one.CPUPercent)
+	}
+	// Aggregate throughput grows with nodes; per-node throughput stays
+	// in a narrow band (the Table 4 signature).
+	prev := 0.0
+	for _, row := range res.Rows[1:] {
+		if row.Throughput <= prev {
+			t.Fatalf("throughput not increasing: %+v", res.Rows)
+		}
+		prev = row.Throughput
+	}
+	tp1 := res.Rows[1].ThroughputNode
+	tpN := res.Rows[len(res.Rows)-1].ThroughputNode
+	if tpN < 0.6*tp1 {
+		t.Fatalf("per-node throughput collapsed: %v -> %v", tp1, tpN)
+	}
+	if !strings.Contains(res.String(), "Table 4") {
+		t.Fatal("report header missing")
+	}
+}
+
+func TestFig1011RingSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := RingSizeSweep(Scale(0.25), 5, []int{5, 10, 15, 20})
+	if len(res.Runs) != 4 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	maxOf := func(m interface {
+		Keys() []int
+		Get(int) int
+	}) int {
+		best := 0
+		for _, k := range m.Keys() {
+			if v := m.Get(k); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	for _, run := range res.Runs {
+		if maxOf(run.MaxCycles) == 0 {
+			t.Fatalf("%d nodes: no cycles recorded", run.Nodes)
+		}
+	}
+	// §6.3: the largest ring keeps in-vogue BATs alive for many cycles.
+	small := maxOf(res.Runs[0].MaxCycles)
+	large := maxOf(res.Runs[len(res.Runs)-1].MaxCycles)
+	if small == 0 || large == 0 {
+		t.Fatal("cycle counts missing")
+	}
+	if !strings.Contains(res.String(), "Figures 10/11") {
+		t.Fatal("report header missing")
+	}
+}
+
+func TestFig1CPUBreakdown(t *testing.T) {
+	res := CPUBreakdown()
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	legacy := res.Rows[0].Breakdown.Total()
+	offload := res.Rows[1].Breakdown.Total()
+	rdmaTot := res.Rows[2].Breakdown.Total()
+	if !(legacy > offload && offload > rdmaTot) {
+		t.Fatalf("Figure 1 ordering broken: %v %v %v", legacy, offload, rdmaTot)
+	}
+	if !strings.Contains(res.String(), "Figure 1") {
+		t.Fatal("report header missing")
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	s := Scale(0.5)
+	if s.apply(1000) != 500 || s.apply(1) != 1 {
+		t.Fatal("apply wrong")
+	}
+	if Scale(0.0001).apply(10) != 1 {
+		t.Fatal("apply should clamp to 1")
+	}
+	if Scale(0.001).dur(1000) < 1 {
+		t.Fatal("dur should clamp to 1s")
+	}
+}

@@ -1,0 +1,193 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/mal"
+)
+
+// This file implements the §6 extensions on the live ring:
+//
+//   - result caching (§6.2): intermediate results published as
+//     first-class fragments with their own LOI-governed life;
+//   - updates (§6.4): multi-version columns — a new version replaces
+//     the owner's copy while readers of the old version continue
+//     undisturbed (BAT immutability gives MVCC for free);
+//   - the nomadic phase (§6.1): Submit picks the cheapest node by
+//     bidding before settling a query.
+//
+// Substitution note: the paper coordinates concurrent updaters by
+// tagging the flowing BAT "updating"; this implementation serializes
+// updates through a per-fragment lock at the owner, which provides the
+// same mutual exclusion with the machinery available in-process.
+
+// firstDynamicID separates static catalog ids from published
+// intermediates.
+const firstDynamicID core.BATID = 1 << 20
+
+var nextDynamicID int64 = int64(firstDynamicID)
+
+// Publish registers an intermediate result as a ring-wide fragment
+// owned by this node (§6.2). It returns the fragment id; any node can
+// subsequently Fetch it by name. The fragment's life in the ring is
+// governed by its level of interest like any base fragment.
+func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
+	if b.Bytes()+(1<<16) > n.dataOut.MaxMessage() {
+		return 0, fmt.Errorf("live: intermediate %q (%d bytes) exceeds ring message limit", name, b.Bytes())
+	}
+	r := n.ring
+	r.idsMu.Lock()
+	if _, exists := r.ids[name]; exists {
+		r.idsMu.Unlock()
+		return 0, fmt.Errorf("live: fragment %q already published", name)
+	}
+	id := core.BATID(atomic.AddInt64(&nextDynamicID, 1))
+	r.ids[name] = id
+	r.names = append(r.names, name)
+	r.idsMu.Unlock()
+
+	n.mu.Lock()
+	n.store[id] = b
+	n.rt.AddOwned(id, b.Bytes())
+	n.mu.Unlock()
+	return id, nil
+}
+
+// Fetch retrieves a fragment by name through the normal Data Cyclotron
+// path: request, wait for it to flow past, pin, copy out, unpin.
+func (n *Node) Fetch(name string) (*bat.BAT, error) {
+	n.ring.idsMu.RLock()
+	id, ok := n.ring.ids[name]
+	n.ring.idsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("live: unknown fragment %q", name)
+	}
+	q := core.QueryID(atomic.AddInt64(&n.nextQ, 1))<<16 | core.QueryID(n.id)
+	dc := &queryDC{n: n, q: q}
+	defer func() {
+		n.mu.Lock()
+		n.rt.CancelQuery(q, []core.BATID{id})
+		n.mu.Unlock()
+	}()
+	n.mu.Lock()
+	n.rt.Request(q, id)
+	n.mu.Unlock()
+	v, err := dc.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	b := v.(*bat.BAT)
+	out := b.Copy()
+	if err := dc.Unpin(v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UpdateColumn applies fn to the latest version of the named column at
+// its owner, atomically installing the result as the new version
+// (§6.4). Concurrent updates of the same column serialize; readers
+// holding the previous version continue on it. It returns the new
+// version number (base data is version 0).
+func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error) {
+	r.idsMu.RLock()
+	id, ok := r.ids[name]
+	r.idsMu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("live: unknown column %q", name)
+	}
+	owner := r.ownerOf(id)
+	if owner == nil {
+		return 0, fmt.Errorf("live: no owner for %q", name)
+	}
+	lock := owner.updateLock(id)
+	lock.Lock()
+	defer lock.Unlock()
+
+	owner.mu.Lock()
+	cur := owner.store[id]
+	owner.mu.Unlock()
+
+	next := fn(cur)
+	if next == nil {
+		return 0, fmt.Errorf("live: update produced nil version")
+	}
+	if next.Bytes()+(1<<16) > owner.dataOut.MaxMessage() {
+		return 0, fmt.Errorf("live: new version of %q exceeds ring message limit", name)
+	}
+
+	owner.mu.Lock()
+	owner.store[id] = next
+	if owner.versions == nil {
+		owner.versions = map[core.BATID]int{}
+	}
+	owner.versions[id]++
+	v := owner.versions[id]
+	// Keep the catalog size honest for admission decisions.
+	owner.rt.AdoptOwned(id, next.Bytes(), owner.rt.Loaded(id))
+	owner.mu.Unlock()
+	return v, nil
+}
+
+// Version reports the current version of a column at its owner.
+func (r *Ring) Version(name string) (int, error) {
+	r.idsMu.RLock()
+	id, ok := r.ids[name]
+	r.idsMu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("live: unknown column %q", name)
+	}
+	owner := r.ownerOf(id)
+	if owner == nil {
+		return 0, fmt.Errorf("live: no owner for %q", name)
+	}
+	owner.mu.Lock()
+	defer owner.mu.Unlock()
+	return owner.versions[id], nil
+}
+
+// ownerOf finds the node whose data loader owns id.
+func (r *Ring) ownerOf(id core.BATID) *Node {
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		owns := n.rt.Owns(id)
+		n.mu.Unlock()
+		if owns {
+			return n
+		}
+	}
+	return nil
+}
+
+// updateLock returns the per-fragment update mutex, creating it lazily.
+func (n *Node) updateLock(id core.BATID) *sync.Mutex {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.updateMu == nil {
+		n.updateMu = map[core.BATID]*sync.Mutex{}
+	}
+	l := n.updateMu[id]
+	if l == nil {
+		l = &sync.Mutex{}
+		n.updateMu[id] = l
+	}
+	return l
+}
+
+// Submit executes sql after a nomadic phase (§6.1): every node bids its
+// current load (active queries) and the query settles on the cheapest.
+func (r *Ring) Submit(sql string) (*mal.ResultSet, error) {
+	best := r.nodes[0]
+	bestBid := int64(1 << 62)
+	for _, n := range r.nodes {
+		if bid := atomic.LoadInt64(&n.activeQueries); bid < bestBid {
+			bestBid = bid
+			best = n
+		}
+	}
+	return best.ExecSQL(sql)
+}

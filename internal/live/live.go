@@ -1,0 +1,607 @@
+// Package live runs a real Data Cyclotron ring: every node hosts the
+// column-store engine, the MAL interpreter, and the same core runtime
+// the simulator validates, wired to its neighbours through the emulated
+// RDMA transport. SQL queries submitted to any node are compiled,
+// rewritten by the DcOptimizer, and executed with pin() calls blocking
+// until the fragments flow past — the full §4 architecture, live.
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/dcopt"
+	"repro/internal/mal"
+	"repro/internal/minisql"
+	"repro/internal/rdma"
+)
+
+// wireMsg frames ring traffic for the transport.
+type wireMsg struct {
+	IsData  bool
+	Req     core.RequestMsg
+	Hdr     core.BATMsg
+	Payload []byte // marshalled BAT, data messages only
+}
+
+func encodeMsg(m wireMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeMsg(data []byte) (wireMsg, error) {
+	var m wireMsg
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m)
+	return m, err
+}
+
+// Transport selects how ring neighbours are connected.
+type Transport int
+
+// Transport kinds.
+const (
+	// InProc connects neighbours through in-process queue pairs.
+	InProc Transport = iota
+	// TCP connects neighbours through real loopback TCP sockets using
+	// the rdma TCP provider: full framing and serialization on the
+	// wire, the closest this environment gets to the RDMA fabric.
+	TCP
+)
+
+// Config tunes the live ring.
+type Config struct {
+	Core core.Config
+	// QueueCap is the per-node BAT queue capacity in bytes.
+	QueueCap int
+	// Workers is the MAL dataflow parallelism per query.
+	Workers int
+	// Transport picks the neighbour interconnect.
+	Transport Transport
+}
+
+// DefaultConfig suits in-process rings.
+func DefaultConfig() Config {
+	cfg := Config{
+		Core:     core.DefaultConfig(),
+		QueueCap: 256 << 20,
+		Workers:  4,
+	}
+	// Live rings are small; short timers keep latencies low.
+	cfg.Core.LoadAllPeriod = 20 * time.Millisecond
+	cfg.Core.ResendTimeout = 2 * time.Second
+	return cfg
+}
+
+// Ring is a live Data Cyclotron: n nodes connected through rdma queue
+// pairs, with the database columns partitioned over the nodes.
+type Ring struct {
+	nodes []*Node
+	// name -> BAT id, global catalog agreed by all nodes. Guarded by
+	// idsMu because Publish extends it at runtime (§6.2).
+	idsMu sync.RWMutex
+	ids   map[string]core.BATID
+	names []string
+	wg    sync.WaitGroup
+}
+
+// Node is one live ring participant.
+type Node struct {
+	ring *Ring
+	id   core.NodeID
+	cfg  Config
+
+	mu sync.Mutex // guards rt and all runtime-adjacent state
+	rt *core.Runtime
+
+	// store holds the payloads of owned BATs ("local disk").
+	store map[core.BATID]*bat.BAT
+	// transit holds payloads of BATs currently flowing through.
+	transit map[core.BATID]*bat.BAT
+	// cached holds payloads pinned by local queries (refcounted).
+	cached map[core.BATID]*cachedBAT
+
+	waiters map[waitKey]chan *bat.BAT
+	errs    map[core.QueryID]chan error
+
+	dataOut *rdma.Messenger // to successor (clockwise)
+	reqOut  *rdma.Messenger // to predecessor (anti-clockwise)
+	dataIn  *rdma.Messenger // from predecessor
+	reqIn   *rdma.Messenger // from successor
+
+	outBytes int64 // outstanding outbound data bytes (queue load)
+
+	schema minisql.Schema
+	start  time.Time
+	nextQ  int64
+	closed chan struct{}
+
+	// §6 extension state.
+	versions      map[core.BATID]int
+	updateMu      map[core.BATID]*sync.Mutex
+	activeQueries int64
+}
+
+type cachedBAT struct {
+	b    *bat.BAT
+	refs int
+}
+
+type waitKey struct {
+	q core.QueryID
+	b core.BATID
+}
+
+// NewRing builds an in-process live ring of n nodes over the given
+// database columns. Columns are assigned to nodes round-robin in
+// name order (the random upfront partitioning of §4 made deterministic).
+func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Config) (*Ring, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("live: ring needs at least 2 nodes")
+	}
+	r := &Ring{ids: map[string]core.BATID{}}
+	names := make([]string, 0, len(columns))
+	maxBytes := 1 << 16
+	for name, b := range columns {
+		names = append(names, name)
+		if s := b.Bytes() * 2; s > maxBytes {
+			maxBytes = s
+		}
+	}
+	sort.Strings(names)
+	r.names = names
+	for i, name := range names {
+		r.ids[name] = core.BATID(i)
+	}
+	maxBytes += 1 << 16 // header + gob slack
+
+	// Nodes and transports.
+	for i := 0; i < n; i++ {
+		node := &Node{
+			ring:    r,
+			id:      core.NodeID(i),
+			cfg:     cfg,
+			store:   map[core.BATID]*bat.BAT{},
+			transit: map[core.BATID]*bat.BAT{},
+			cached:  map[core.BATID]*cachedBAT{},
+			waiters: map[waitKey]chan *bat.BAT{},
+			errs:    map[core.QueryID]chan error{},
+			schema:  schema,
+			start:   time.Now(),
+			closed:  make(chan struct{}),
+		}
+		node.rt = core.New(node.id, (*liveEnv)(node), cfg.Core)
+		r.nodes = append(r.nodes, node)
+	}
+	for i := 0; i < n; i++ {
+		succ := (i + 1) % n
+		dataA, dataB, err := newQueuePair(cfg.Transport)
+		if err != nil {
+			return nil, err
+		}
+		mA, err := rdma.NewMessenger(dataA, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		mB, err := rdma.NewMessenger(dataB, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		r.nodes[i].dataOut = mA
+		r.nodes[succ].dataIn = mB
+
+		reqA, reqB, err := newQueuePair(cfg.Transport)
+		if err != nil {
+			return nil, err
+		}
+		rA, err := rdma.NewMessenger(reqA, 1<<12)
+		if err != nil {
+			return nil, err
+		}
+		rB, err := rdma.NewMessenger(reqB, 1<<12)
+		if err != nil {
+			return nil, err
+		}
+		pred := (i - 1 + n) % n
+		r.nodes[i].reqOut = rA
+		r.nodes[pred].reqIn = rB
+	}
+
+	// Partition ownership round-robin.
+	for i, name := range names {
+		owner := r.nodes[i%n]
+		id := r.ids[name]
+		owner.store[id] = columns[name]
+		owner.rt.AddOwned(id, columns[name].Bytes())
+	}
+
+	// Start receive loops and runtime tickers.
+	for _, node := range r.nodes {
+		node.rt.Start()
+		r.wg.Add(2)
+		go node.dataLoop(&r.wg)
+		go node.reqLoop(&r.wg)
+	}
+	return r, nil
+}
+
+// Node returns node i.
+func (r *Ring) Node(i int) *Node { return r.nodes[i] }
+
+// Size reports the ring size.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Close shuts the ring down.
+func (r *Ring) Close() {
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		n.rt.Stop()
+		n.mu.Unlock()
+		close(n.closed)
+		n.dataOut.Close()
+		n.reqOut.Close()
+		n.dataIn.Close()
+		n.reqIn.Close()
+	}
+	r.wg.Wait()
+}
+
+// BATID resolves a column name ("table.column").
+func (r *Ring) BATID(name string) (core.BATID, bool) {
+	r.idsMu.RLock()
+	defer r.idsMu.RUnlock()
+	id, ok := r.ids[name]
+	return id, ok
+}
+
+// ---------------------------------------------------------------------
+// receive loops
+// ---------------------------------------------------------------------
+
+func (n *Node) dataLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		data, err := n.dataIn.Recv()
+		if err != nil {
+			return
+		}
+		m, err := decodeMsg(data)
+		if err != nil || !m.IsData {
+			continue
+		}
+		var payload *bat.BAT
+		if len(m.Payload) > 0 {
+			payload, err = bat.Unmarshal(m.Payload)
+			if err != nil {
+				continue
+			}
+		}
+		n.mu.Lock()
+		if payload != nil {
+			n.transit[m.Hdr.BAT] = payload
+		}
+		n.rt.OnBAT(m.Hdr)
+		delete(n.transit, m.Hdr.BAT)
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) reqLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		data, err := n.reqIn.Recv()
+		if err != nil {
+			return
+		}
+		m, err := decodeMsg(data)
+		if err != nil || m.IsData {
+			continue
+		}
+		n.mu.Lock()
+		n.rt.OnRequest(m.Req)
+		n.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------
+// core.Env implementation
+// ---------------------------------------------------------------------
+
+type liveEnv Node
+
+func (e *liveEnv) node() *Node { return (*Node)(e) }
+
+func (e *liveEnv) Now() time.Duration { return time.Since(e.start) }
+
+// SendData forwards a BAT (with payload) to the successor. Called with
+// n.mu held; the actual network send happens asynchronously so the
+// runtime never blocks on the wire.
+func (e *liveEnv) SendData(m core.BATMsg) {
+	n := e.node()
+	var payload *bat.BAT
+	if b, ok := n.transit[m.BAT]; ok {
+		payload = b
+	} else if b, ok := n.store[m.BAT]; ok {
+		payload = b
+	} else if c, ok := n.cached[m.BAT]; ok {
+		payload = c.b
+	}
+	if payload == nil {
+		return // nothing to forward; drop (should not happen)
+	}
+	raw, err := bat.Marshal(payload)
+	if err != nil {
+		return
+	}
+	msg := wireMsg{IsData: true, Hdr: m, Payload: raw}
+	data, err := encodeMsg(msg)
+	if err != nil {
+		return
+	}
+	atomic.AddInt64(&n.outBytes, int64(m.Size))
+	go func() {
+		defer atomic.AddInt64(&n.outBytes, -int64(m.Size))
+		select {
+		case <-n.closed:
+			return
+		default:
+		}
+		n.dataOut.Send(data)
+	}()
+}
+
+func (e *liveEnv) SendRequest(m core.RequestMsg) bool {
+	n := e.node()
+	data, err := encodeMsg(wireMsg{Req: m})
+	if err != nil {
+		return false
+	}
+	go func() {
+		select {
+		case <-n.closed:
+			return
+		default:
+		}
+		n.reqOut.Send(data)
+	}()
+	return true
+}
+
+func (e *liveEnv) QueueLoad() (int, int) {
+	return int(atomic.LoadInt64(&e.node().outBytes)), e.cfg.QueueCap
+}
+
+type liveTimer struct{ t *time.Timer }
+
+func (t liveTimer) Cancel() { t.t.Stop() }
+
+func (e *liveEnv) After(d time.Duration, fn func()) core.TimerHandle {
+	n := e.node()
+	return liveTimer{t: time.AfterFunc(d, func() {
+		select {
+		case <-n.closed:
+			return
+		default:
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		fn()
+	})}
+}
+
+// Deliver resolves the payload and wakes the blocked pin. Called with
+// n.mu held.
+func (e *liveEnv) Deliver(q core.QueryID, b core.BATID) {
+	n := e.node()
+	var payload *bat.BAT
+	if p, ok := n.transit[b]; ok {
+		payload = p
+		// The query will hold the BAT pinned: keep the payload cached.
+		c := n.cached[b]
+		if c == nil {
+			c = &cachedBAT{b: p}
+			n.cached[b] = c
+		}
+		c.refs++
+	} else if p, ok := n.store[b]; ok {
+		payload = p
+	} else if c, ok := n.cached[b]; ok {
+		payload = c.b
+		c.refs++
+	}
+	key := waitKey{q, b}
+	if ch, ok := n.waiters[key]; ok {
+		delete(n.waiters, key)
+		ch <- payload // buffered
+	}
+}
+
+func (e *liveEnv) QueryError(q core.QueryID, b core.BATID, reason string) {
+	n := e.node()
+	// Fail any blocked pin of this query.
+	for key, ch := range n.waiters {
+		if key.q == q {
+			delete(n.waiters, key)
+			ch <- nil
+		}
+	}
+	if ec, ok := n.errs[q]; ok {
+		select {
+		case ec <- fmt.Errorf("live: query %d: %s (BAT %d)", q, reason, b):
+		default:
+		}
+	}
+}
+
+func (e *liveEnv) OnLoad(b core.BATID, size int)   {}
+func (e *liveEnv) OnUnload(b core.BATID, size int) {}
+
+// ---------------------------------------------------------------------
+// query execution
+// ---------------------------------------------------------------------
+
+// queryDC adapts one query's datacyclotron.* calls onto the node.
+type queryDC struct {
+	n    *Node
+	q    core.QueryID
+	mu   sync.Mutex
+	bats []core.BATID
+	// pinned maps delivered BAT values back to their fragment ids:
+	// the DcOptimizer emits unpin(X) on the pinned variable (Table 2),
+	// so unpin receives the *bat.BAT, not the request handle.
+	pinned map[*bat.BAT]core.BATID
+}
+
+// Request implements mal.DCRuntime.
+func (d *queryDC) Request(schema, table, column string) (mal.Value, error) {
+	name := table + "." + column
+	id, ok := d.n.ring.BATID(name)
+	if !ok {
+		return nil, fmt.Errorf("live: unknown column %s", name)
+	}
+	d.mu.Lock()
+	d.bats = append(d.bats, id)
+	d.mu.Unlock()
+	d.n.mu.Lock()
+	d.n.rt.Request(d.q, id)
+	d.n.mu.Unlock()
+	return id, nil
+}
+
+// Pin implements mal.DCRuntime: it blocks until the BAT flows past.
+func (d *queryDC) Pin(handle mal.Value) (mal.Value, error) {
+	id, ok := handle.(core.BATID)
+	if !ok {
+		return nil, fmt.Errorf("live: bad pin handle %T", handle)
+	}
+	ch := make(chan *bat.BAT, 1)
+	n := d.n
+	n.mu.Lock()
+	n.waiters[waitKey{d.q, id}] = ch
+	n.rt.Pin(d.q, id)
+	n.mu.Unlock()
+	select {
+	case b := <-ch:
+		if b == nil {
+			return nil, fmt.Errorf("live: BAT %d does not exist", id)
+		}
+		d.mu.Lock()
+		if d.pinned == nil {
+			d.pinned = map[*bat.BAT]core.BATID{}
+		}
+		d.pinned[b] = id
+		d.mu.Unlock()
+		return b, nil
+	case <-n.closed:
+		return nil, fmt.Errorf("live: ring closed")
+	}
+}
+
+// Unpin implements mal.DCRuntime. It accepts either the request handle
+// (a BATID) or the pinned BAT value (what the DcOptimizer emits).
+func (d *queryDC) Unpin(handle mal.Value) error {
+	var id core.BATID
+	switch h := handle.(type) {
+	case core.BATID:
+		id = h
+	case *bat.BAT:
+		d.mu.Lock()
+		mapped, ok := d.pinned[h]
+		if ok {
+			delete(d.pinned, h)
+		}
+		d.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("live: unpin of a BAT that was never pinned")
+		}
+		id = mapped
+	default:
+		return fmt.Errorf("live: bad unpin handle %T", handle)
+	}
+	n := d.n
+	n.mu.Lock()
+	n.rt.Unpin(d.q, id)
+	if c, ok := n.cached[id]; ok {
+		c.refs--
+		if c.refs <= 0 {
+			delete(n.cached, id)
+		}
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// ExecSQL compiles src, rewrites it into Data Cyclotron form, and runs
+// it on this node, waiting for fragments as they flow around the ring.
+func (n *Node) ExecSQL(src string) (*mal.ResultSet, error) {
+	plan, err := minisql.Compile(src, n.schema, "sys")
+	if err != nil {
+		return nil, err
+	}
+	dcPlan, _, err := dcopt.Rewrite(plan)
+	if err != nil {
+		return nil, err
+	}
+	return n.ExecPlan(dcPlan)
+}
+
+// ExecPlan runs an already-rewritten MAL plan on this node.
+func (n *Node) ExecPlan(plan *mal.Plan) (*mal.ResultSet, error) {
+	atomic.AddInt64(&n.activeQueries, 1)
+	defer atomic.AddInt64(&n.activeQueries, -1)
+	q := core.QueryID(atomic.AddInt64(&n.nextQ, 1))<<16 | core.QueryID(n.id)
+	dc := &queryDC{n: n, q: q}
+	errCh := make(chan error, 1)
+	n.mu.Lock()
+	n.errs[q] = errCh
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.errs, q)
+		n.rt.CancelQuery(q, dc.bats)
+		n.mu.Unlock()
+	}()
+
+	ctx := &mal.Context{Registry: mal.NewRegistry(), DC: dc, Workers: n.cfg.Workers}
+	done := make(chan struct{})
+	var (
+		res    mal.Value
+		runErr error
+	)
+	go func() {
+		res, runErr = mal.Run(ctx, plan)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case err := <-errCh:
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	rs, ok := res.(*mal.ResultSet)
+	if !ok {
+		return nil, fmt.Errorf("live: plan produced %T, want result set", res)
+	}
+	return rs, nil
+}
+
+// Runtime exposes the node's DC runtime for inspection (stats).
+func (n *Node) Runtime() *core.Runtime { return n.rt }
+
+// Stats snapshots the node's protocol counters.
+func (n *Node) Stats() core.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rt.Stats()
+}

@@ -1,0 +1,52 @@
+package live
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/rdma"
+)
+
+// newQueuePair creates one connected neighbour link of the chosen
+// transport kind.
+func newQueuePair(t Transport) (rdma.QueuePair, rdma.QueuePair, error) {
+	switch t {
+	case InProc:
+		a, b := rdma.NewPair(rdma.MessengerDepth)
+		return a, b, nil
+	case TCP:
+		return newTCPPair()
+	}
+	return nil, nil, fmt.Errorf("live: unknown transport %d", t)
+}
+
+// newTCPPair dials a loopback connection to itself and wraps both ends
+// in the rdma TCP provider, so every ring message really crosses the
+// kernel socket layer.
+func newTCPPair() (rdma.QueuePair, rdma.QueuePair, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("live: listen: %w", err)
+	}
+	defer ln.Close()
+
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		conn, err := ln.Accept()
+		ch <- accepted{conn, err}
+	}()
+	dial, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, nil, fmt.Errorf("live: dial: %w", err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		dial.Close()
+		return nil, nil, fmt.Errorf("live: accept: %w", acc.err)
+	}
+	return rdma.NewTCP(dial), rdma.NewTCP(acc.conn), nil
+}

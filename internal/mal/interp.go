@@ -1,0 +1,228 @@
+package mal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OpFunc implements one MAL operation. It receives the evaluated
+// arguments and must return exactly as many values as the instruction
+// declares results.
+type OpFunc func(ctx *Context, args []Value) ([]Value, error)
+
+// Registry maps "module.op" to implementations. The zero value is empty;
+// NewRegistry returns one preloaded with the standard operator set.
+type Registry struct {
+	ops map[string]OpFunc
+}
+
+// Register installs fn for module.op, replacing any previous binding.
+func (r *Registry) Register(module, op string, fn OpFunc) {
+	if r.ops == nil {
+		r.ops = make(map[string]OpFunc)
+	}
+	r.ops[module+"."+op] = fn
+}
+
+// Lookup returns the implementation for module.op.
+func (r *Registry) Lookup(name string) (OpFunc, bool) {
+	fn, ok := r.ops[name]
+	return fn, ok
+}
+
+// Catalog resolves persistent column binds (sql.bind).
+type Catalog interface {
+	Bind(schema, table, column string) (Value, error)
+}
+
+// DCRuntime is the hook surface the datacyclotron.* instructions use to
+// talk to the local Data Cyclotron layer (§4.1). Request registers
+// interest and returns a handle; Pin blocks until the BAT is locally
+// available; Unpin releases it.
+type DCRuntime interface {
+	Request(schema, table, column string) (Value, error)
+	Pin(handle Value) (Value, error)
+	Unpin(handle Value) error
+}
+
+// Context carries the execution environment for one plan run.
+type Context struct {
+	Registry *Registry
+	Catalog  Catalog
+	DC       DCRuntime
+	// Workers bounds dataflow parallelism; <=1 means sequential.
+	Workers int
+}
+
+// Run executes the plan and returns the value of its Result variable
+// (nil if the plan declares none).
+func Run(ctx *Context, p *Plan) (Value, error) {
+	vals, err := RunAll(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	if p.Result == NoVar {
+		return nil, nil
+	}
+	return vals[p.Result], nil
+}
+
+// RunAll executes the plan and returns the full variable table. With
+// ctx.Workers > 1 instructions execute concurrently following dataflow
+// dependencies, mirroring MonetDB's interpreter threads; pin() calls may
+// block without stalling independent instruction threads.
+func RunAll(ctx *Context, p *Plan) ([]Value, error) {
+	if ctx.Registry == nil {
+		return nil, fmt.Errorf("mal: nil registry")
+	}
+	if ctx.Workers <= 1 {
+		return runSequential(ctx, p)
+	}
+	return runParallel(ctx, p)
+}
+
+func execInstr(ctx *Context, in Instr, vals []Value) (err error) {
+	fn, ok := ctx.Registry.Lookup(in.Name())
+	if !ok {
+		return fmt.Errorf("mal: unknown operation %s", in.Name())
+	}
+	args := make([]Value, len(in.Args))
+	for i, a := range in.Args {
+		if a.lit {
+			args[i] = a.Lit
+		} else {
+			args[i] = vals[a.Var]
+		}
+	}
+	// Kernel operators panic on type/shape errors; surface those as
+	// plan-level errors rather than crashing the engine.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mal: %s: %v", in.Name(), r)
+		}
+	}()
+	out, err := fn(ctx, args)
+	if err != nil {
+		return fmt.Errorf("mal: %s: %w", in.Name(), err)
+	}
+	if len(out) != len(in.Ret) {
+		return fmt.Errorf("mal: %s returned %d values, want %d", in.Name(), len(out), len(in.Ret))
+	}
+	for i, r := range in.Ret {
+		vals[r] = out[i]
+	}
+	return nil
+}
+
+func runSequential(ctx *Context, p *Plan) ([]Value, error) {
+	vals := make([]Value, p.NVars)
+	for _, in := range p.Instrs {
+		if err := execInstr(ctx, in, vals); err != nil {
+			return nil, err
+		}
+	}
+	return vals, nil
+}
+
+// runParallel executes instructions as a dataflow graph with a bounded
+// worker pool. An instruction becomes ready when every producing
+// instruction of its arguments has completed; instructions with no
+// variable arguments are ready immediately. Side-effecting instructions
+// with no results (e.g. unpin) additionally order after the previous
+// instruction that consumed the same variable, which the SSA structure
+// already guarantees via argument dependencies.
+func runParallel(ctx *Context, p *Plan) ([]Value, error) {
+	n := len(p.Instrs)
+	producer := make([]int, p.NVars) // instr index producing each var
+	for i := range producer {
+		producer[i] = -1
+	}
+	for i, in := range p.Instrs {
+		for _, r := range in.Ret {
+			producer[r] = i
+		}
+	}
+	deps := make([][]int, n) // deps[i]: instrs that must finish first
+	dependents := make([][]int, n)
+	pending := make([]int, n)
+	for i, in := range p.Instrs {
+		seen := map[int]bool{}
+		for _, a := range in.Args {
+			if a.lit {
+				continue
+			}
+			pr := producer[a.Var]
+			if pr >= 0 && pr != i && !seen[pr] {
+				seen[pr] = true
+				deps[i] = append(deps[i], pr)
+				dependents[pr] = append(dependents[pr], i)
+			}
+		}
+		pending[i] = len(deps[i])
+	}
+
+	vals := make([]Value, p.NVars)
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	ready := make(chan int, n)
+	for i := 0; i < n; i++ {
+		if pending[i] == 0 {
+			ready <- i
+		}
+	}
+	workers := ctx.Workers
+	if workers > n {
+		workers = n
+	}
+	done := 0
+	var doneMu sync.Mutex
+	closeIfDone := func(k int) {
+		doneMu.Lock()
+		done += k
+		if done >= n {
+			close(ready)
+		}
+		doneMu.Unlock()
+	}
+	if n == 0 {
+		close(ready)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if !failed {
+					if err := execInstr(ctx, p.Instrs[i], vals); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
+				// Release dependents even on failure so the pool drains.
+				mu.Lock()
+				for _, d := range dependents[i] {
+					pending[d]--
+					if pending[d] == 0 {
+						ready <- d
+					}
+				}
+				mu.Unlock()
+				closeIfDone(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return vals, nil
+}

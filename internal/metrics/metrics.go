@@ -1,0 +1,284 @@
+// Package metrics provides the small set of measurement containers the
+// experiments need: time series, histograms, and cumulative event
+// counters, all keyed by seconds of (virtual) time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is an append-only time series of (seconds, value) samples.
+type Series struct {
+	Name string
+	T    []float64
+	V    []float64
+}
+
+// Add appends a sample. Times should be non-decreasing.
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// At returns the last value sampled at or before t, or 0 before the
+// first sample.
+func (s *Series) At(t float64) float64 {
+	i := sort.SearchFloat64s(s.T, t)
+	// i is the first index with T[i] >= t; we want the last <= t.
+	if i < len(s.T) && s.T[i] == t {
+		for i+1 < len(s.T) && s.T[i+1] == t {
+			i++
+		}
+		return s.V[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return s.V[i-1]
+}
+
+// Max returns the maximum value (0 for an empty series).
+func (s *Series) Max() float64 {
+	max := 0.0
+	for _, v := range s.V {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Downsample returns per-interval last-value samples from 0 to until.
+func (s *Series) Downsample(until, interval float64) *Series {
+	out := &Series{Name: s.Name}
+	for t := 0.0; t <= until+1e-9; t += interval {
+		out.Add(t, s.At(t))
+	}
+	return out
+}
+
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	for i := range s.T {
+		fmt.Fprintf(&b, "%.2f\t%.3f\n", s.T[i], s.V[i])
+	}
+	return b.String()
+}
+
+// Events is a multiset of event timestamps (seconds), used for
+// cumulative plots such as Figure 6a.
+type Events struct {
+	Name  string
+	times []float64
+	dirty bool
+}
+
+// Add records one event at time t.
+func (e *Events) Add(t float64) {
+	e.times = append(e.times, t)
+	e.dirty = true
+}
+
+// Count reports the total number of events.
+func (e *Events) Count() int { return len(e.times) }
+
+func (e *Events) sorted() []float64 {
+	if e.dirty {
+		sort.Float64s(e.times)
+		e.dirty = false
+	}
+	return e.times
+}
+
+// CumulativeAt reports how many events occurred at or before t.
+func (e *Events) CumulativeAt(t float64) int {
+	ts := e.sorted()
+	return sort.SearchFloat64s(ts, math.Nextafter(t, math.Inf(1)))
+}
+
+// CumulativeSeries samples the cumulative count every interval seconds
+// from 0 to until.
+func (e *Events) CumulativeSeries(until, interval float64) *Series {
+	s := &Series{Name: e.Name}
+	for t := 0.0; t <= until+1e-9; t += interval {
+		s.Add(t, float64(e.CumulativeAt(t)))
+	}
+	return s
+}
+
+// Last reports the time of the last event (0 when empty).
+func (e *Events) Last() float64 {
+	ts := e.sorted()
+	if len(ts) == 0 {
+		return 0
+	}
+	return ts[len(ts)-1]
+}
+
+// Histogram is a fixed-width bucket histogram over float64 observations
+// (used for the query lifetime distribution of Figure 6b).
+type Histogram struct {
+	Name   string
+	Width  float64 // bucket width
+	counts []int
+	n      int
+	sum    float64
+	max    float64
+}
+
+// NewHistogram creates a histogram with the given bucket width.
+func NewHistogram(name string, width float64) *Histogram {
+	if width <= 0 {
+		panic("metrics: non-positive histogram width")
+	}
+	return &Histogram{Name: name, Width: width}
+}
+
+// Observe records v (negative values clamp to bucket 0).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	b := int(v / h.Width)
+	for len(h.counts) <= b {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[b]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int { return h.n }
+
+// Mean reports the average observation.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Buckets returns (lowerBound, count) pairs for non-empty buckets.
+func (h *Histogram) Buckets() (bounds []float64, counts []int) {
+	for i, c := range h.counts {
+		bounds = append(bounds, float64(i)*h.Width)
+		counts = append(counts, c)
+	}
+	return bounds, counts
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]) using bucket
+// midpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return (float64(i) + 0.5) * h.Width
+		}
+	}
+	return h.max
+}
+
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (n=%d mean=%.3f max=%.3f)\n", h.Name, h.n, h.Mean(), h.max)
+	for i, c := range h.counts {
+		if c > 0 {
+			fmt.Fprintf(&b, "[%.1f,%.1f)\t%d\n", float64(i)*h.Width, float64(i+1)*h.Width, c)
+		}
+	}
+	return b.String()
+}
+
+// IntMap is a counter keyed by an integer id (per-BAT touches, loads,
+// requests, cycles...).
+type IntMap struct {
+	Name string
+	m    map[int]int
+}
+
+// NewIntMap creates an empty counter map.
+func NewIntMap(name string) *IntMap { return &IntMap{Name: name, m: map[int]int{}} }
+
+// Inc adds delta to key.
+func (c *IntMap) Inc(key, delta int) { c.m[key] += delta }
+
+// SetMax records the maximum value seen for key.
+func (c *IntMap) SetMax(key, v int) {
+	if v > c.m[key] {
+		c.m[key] = v
+	}
+}
+
+// Get returns the counter for key.
+func (c *IntMap) Get(key int) int { return c.m[key] }
+
+// Keys returns all keys in ascending order.
+func (c *IntMap) Keys() []int {
+	keys := make([]int, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Total sums all counters.
+func (c *IntMap) Total() int {
+	t := 0
+	for _, v := range c.m {
+		t += v
+	}
+	return t
+}
+
+// FloatMap records a float per integer key with max semantics.
+type FloatMap struct {
+	Name string
+	m    map[int]float64
+}
+
+// NewFloatMap creates an empty map.
+func NewFloatMap(name string) *FloatMap { return &FloatMap{Name: name, m: map[int]float64{}} }
+
+// SetMax records the maximum value seen for key.
+func (c *FloatMap) SetMax(key int, v float64) {
+	if v > c.m[key] {
+		c.m[key] = v
+	}
+}
+
+// Get returns the value for key.
+func (c *FloatMap) Get(key int) float64 { return c.m[key] }
+
+// Keys returns all keys in ascending order.
+func (c *FloatMap) Keys() []int {
+	keys := make([]int, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesAt(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(2, 25) // same-time update: last wins
+	s.Add(5, 50)
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 0}, {1, 10}, {1.5, 10}, {2, 25}, {4.9, 25}, {5, 50}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if s.Max() != 50 {
+		t.Errorf("Max = %v", s.Max())
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(0.4, 1)
+	s.Add(1.6, 2)
+	d := s.Downsample(3, 1)
+	if d.Len() != 4 {
+		t.Fatalf("downsample len = %d, want 4", d.Len())
+	}
+	want := []float64{0, 1, 2, 2}
+	for i, w := range want {
+		if d.V[i] != w {
+			t.Fatalf("downsample = %v, want %v", d.V, want)
+		}
+	}
+	if !strings.Contains(d.String(), "# x") {
+		t.Error("String missing header")
+	}
+}
+
+func TestEvents(t *testing.T) {
+	e := &Events{Name: "q"}
+	for _, tm := range []float64{3, 1, 2, 2} {
+		e.Add(tm)
+	}
+	if e.Count() != 4 {
+		t.Fatalf("Count = %d", e.Count())
+	}
+	if got := e.CumulativeAt(0.5); got != 0 {
+		t.Errorf("CumulativeAt(0.5) = %d", got)
+	}
+	if got := e.CumulativeAt(2); got != 3 {
+		t.Errorf("CumulativeAt(2) = %d, want 3 (inclusive)", got)
+	}
+	if got := e.CumulativeAt(10); got != 4 {
+		t.Errorf("CumulativeAt(10) = %d", got)
+	}
+	if e.Last() != 3 {
+		t.Errorf("Last = %v", e.Last())
+	}
+	s := e.CumulativeSeries(3, 1)
+	if s.V[3] != 4 {
+		t.Errorf("cumulative series = %v", s.V)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("life", 5)
+	for _, v := range []float64{1, 2, 7, 12, 12.5, -1} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || counts[0] != 3 || counts[1] != 1 || counts[2] != 2 {
+		t.Fatalf("buckets = %v %v", bounds, counts)
+	}
+	if h.Max() != 12.5 {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if m := h.Mean(); m < 5.7 || m > 5.8 {
+		t.Errorf("Mean = %v", m)
+	}
+	if q := h.Quantile(0.5); q != 2.5 {
+		t.Errorf("median = %v, want 2.5 (bucket midpoint)", q)
+	}
+	if q := h.Quantile(1.0); q != 12.5 {
+		t.Errorf("p100 = %v", q)
+	}
+	if !strings.Contains(h.String(), "n=6") {
+		t.Error("String missing count")
+	}
+}
+
+func TestHistogramPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram("bad", 0)
+}
+
+func TestIntMap(t *testing.T) {
+	m := NewIntMap("touches")
+	m.Inc(5, 2)
+	m.Inc(5, 3)
+	m.Inc(1, 1)
+	if m.Get(5) != 5 || m.Get(1) != 1 || m.Get(99) != 0 {
+		t.Fatalf("counters wrong")
+	}
+	keys := m.Keys()
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 5 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if m.Total() != 6 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	m.SetMax(1, 10)
+	m.SetMax(1, 7)
+	if m.Get(1) != 10 {
+		t.Fatalf("SetMax = %d", m.Get(1))
+	}
+}
+
+func TestFloatMap(t *testing.T) {
+	m := NewFloatMap("latency")
+	m.SetMax(3, 1.5)
+	m.SetMax(3, 0.5)
+	m.SetMax(7, 2.5)
+	if m.Get(3) != 1.5 || m.Get(7) != 2.5 {
+		t.Fatal("SetMax wrong")
+	}
+	if k := m.Keys(); len(k) != 2 || k[0] != 3 {
+		t.Fatalf("Keys = %v", k)
+	}
+}
+
+// Property: cumulative counts are monotone and end at Count().
+func TestPropertyCumulativeMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := &Events{}
+		for _, r := range raw {
+			e.Add(float64(r) / 100)
+		}
+		prev := 0
+		for t := 0.0; t < 700; t += 7 {
+			c := e.CumulativeAt(t)
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return e.CumulativeAt(1e9) == e.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram total count equals observations; quantiles are
+// non-decreasing in q.
+func TestPropertyHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		h := NewHistogram("t", 1)
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Float64() * 100)
+		}
+		if h.Count() != n {
+			t.Fatal("count mismatch")
+		}
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantile regression at q=%.1f: %v < %v", q, v, prev)
+			}
+			prev = v
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package minisql
+
+import "fmt"
+
+// ColRef names a column, optionally qualified by a table name or alias.
+type ColRef struct {
+	Table  string // may be empty before resolution
+	Column string
+}
+
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// AggKind enumerates the supported aggregate functions.
+type AggKind int
+
+// Aggregate functions.
+const (
+	AggNone AggKind = iota
+	AggSum
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (a AggKind) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return "none"
+}
+
+// SelectItem is one output expression.
+type SelectItem struct {
+	Agg   AggKind
+	Col   ColRef // unused for COUNT(*)
+	Star  bool   // COUNT(*)
+	Alias string
+}
+
+// Name returns the output column label.
+func (s SelectItem) Name() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if s.Agg != AggNone {
+		if s.Star {
+			return s.Agg.String() + "(*)"
+		}
+		return fmt.Sprintf("%s(%s)", s.Agg, s.Col)
+	}
+	return s.Col.String()
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+// Predicate is one conjunct of the WHERE clause. Either Rhs (a literal)
+// or RhsCol (a column, making this a join predicate) is set.
+type Predicate struct {
+	Lhs      ColRef
+	Op       CmpOp
+	Rhs      any    // int64, float64, or string literal
+	RhsCol   ColRef // join predicate when RhsIsCol
+	RhsIsCol bool
+	// Between predicates carry both bounds.
+	Between bool
+	Lo, Hi  any
+}
+
+func (p Predicate) String() string {
+	if p.Between {
+		return fmt.Sprintf("%s BETWEEN %v AND %v", p.Lhs, p.Lo, p.Hi)
+	}
+	if p.RhsIsCol {
+		return fmt.Sprintf("%s %s %s", p.Lhs, p.Op, p.RhsCol)
+	}
+	return fmt.Sprintf("%s %s %v", p.Lhs, p.Op, p.Rhs)
+}
+
+// TableRef is a FROM-clause entry.
+type TableRef struct {
+	Name  string
+	Alias string // equals Name when no alias given
+}
+
+// OrderBy sorts the result by one output column.
+type OrderBy struct {
+	Ref  ColRef // must match a select item (by alias or column name)
+	Desc bool
+}
+
+// Query is the parsed SELECT statement.
+type Query struct {
+	Select  []SelectItem
+	From    []TableRef
+	Where   []Predicate
+	GroupBy []ColRef
+	Order   *OrderBy
+	Limit   int // -1 when absent
+}
+
+func (q *Query) String() string {
+	s := "SELECT "
+	for i, it := range q.Select {
+		if i > 0 {
+			s += ", "
+		}
+		s += it.Name()
+	}
+	s += " FROM "
+	for i, t := range q.From {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.Name
+		if t.Alias != t.Name {
+			s += " " + t.Alias
+		}
+	}
+	for i, p := range q.Where {
+		if i == 0 {
+			s += " WHERE "
+		} else {
+			s += " AND "
+		}
+		s += p.String()
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+package minisql
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Additional grammar coverage: corner cases of the lexer/parser that the
+// execution tests do not reach.
+
+func TestLexNumberForms(t *testing.T) {
+	toks, err := lex("select 1 2.5 007 0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nums []string
+	for _, tk := range toks {
+		if tk.kind == tokNumber {
+			nums = append(nums, tk.text)
+		}
+	}
+	want := []string{"1", "2.5", "007", "0.0"}
+	for i := range want {
+		if nums[i] != want[i] {
+			t.Fatalf("nums = %v", nums)
+		}
+	}
+}
+
+func TestLexEscapedQuote(t *testing.T) {
+	toks, err := lex("'a''b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokString || toks[0].text != "a'b" {
+		t.Fatalf("tok = %+v", toks[0])
+	}
+}
+
+func TestLexTrailingSemicolon(t *testing.T) {
+	q, err := Parse("select x from t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 1 {
+		t.Fatal("semicolon broke parse")
+	}
+}
+
+func TestParseKeywordCaseInsensitive(t *testing.T) {
+	q, err := Parse("SeLeCt x FrOm t WhErE x > 1 OrDeR bY x DeSc LiMiT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Order == nil || !q.Order.Desc || q.Limit != 5 {
+		t.Fatalf("parsed = %+v", q)
+	}
+}
+
+func TestParseBetweenFloats(t *testing.T) {
+	q, err := Parse("select x from t where d between 0.05 and 0.07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Where[0]
+	if !w.Between || w.Lo.(float64) != 0.05 || w.Hi.(float64) != 0.07 {
+		t.Fatalf("between = %+v", w)
+	}
+}
+
+func TestParseStringPredicate(t *testing.T) {
+	q, err := Parse("select x from t where name = 'it''s ok'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Rhs.(string) != "it's ok" {
+		t.Fatalf("rhs = %q", q.Where[0].Rhs)
+	}
+}
+
+func TestParseAliasedAggregates(t *testing.T) {
+	q, err := Parse("select min(a) as lo, max(a) as hi, avg(a) from t group by b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Select[0].Alias != "lo" || q.Select[1].Alias != "hi" || q.Select[2].Agg != AggAvg {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	if q.Select[2].Name() != "avg(a)" {
+		t.Fatalf("derived name = %q", q.Select[2].Name())
+	}
+}
+
+func TestSelectItemNames(t *testing.T) {
+	cases := []struct {
+		item SelectItem
+		want string
+	}{
+		{SelectItem{Col: ColRef{Table: "t", Column: "x"}}, "t.x"},
+		{SelectItem{Agg: AggCount, Star: true}, "count(*)"},
+		{SelectItem{Agg: AggSum, Col: ColRef{Column: "x"}}, "sum(x)"},
+		{SelectItem{Alias: "z", Agg: AggMax, Col: ColRef{Column: "x"}}, "z"},
+	}
+	for _, c := range cases {
+		if got := c.item.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCmpOpStrings(t *testing.T) {
+	ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	want := []string{"=", "<>", "<", "<=", ">", ">="}
+	for i, op := range ops {
+		if op.String() != want[i] {
+			t.Errorf("op %d = %q", i, op.String())
+		}
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := Predicate{Lhs: ColRef{Column: "x"}, Op: OpGe, Rhs: int64(5)}
+	if p.String() != "x >= 5" {
+		t.Fatalf("String = %q", p.String())
+	}
+	j := Predicate{Lhs: ColRef{Table: "a", Column: "x"}, Op: OpEq,
+		RhsCol: ColRef{Table: "b", Column: "y"}, RhsIsCol: true}
+	if j.String() != "a.x = b.y" {
+		t.Fatalf("String = %q", j.String())
+	}
+}
+
+// Property: the lexer never panics and either errors or terminates with
+// an EOF token on arbitrary input.
+func TestPropertyLexerTotal(t *testing.T) {
+	f := func(src string) bool {
+		toks, err := lex(src)
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].kind == tokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary token soup built from
+// SQL-ish fragments.
+func TestPropertyParserTotal(t *testing.T) {
+	frags := []string{"select", "from", "where", "group", "by", "order",
+		"limit", "and", "x", "t", ",", ".", "(", ")", "*", "=", "<", "5",
+		"'s'", "sum", "between", "as", "desc"}
+	f := func(picks []uint8) bool {
+		src := ""
+		for _, p := range picks {
+			src += frags[int(p)%len(frags)] + " "
+		}
+		_, err := Parse(src) // must not panic
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every successfully parsed query round-trips through String
+// without panicking, and re-parsing simple single-table queries
+// preserves the select list length.
+func TestPropertySimpleQueryStable(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		ncols := 1 + i%4
+		src := "select "
+		for c := 0; c < ncols; c++ {
+			if c > 0 {
+				src += ", "
+			}
+			src += fmt.Sprintf("c%d", c)
+		}
+		src += " from t where x > 1 limit 7"
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Select) != ncols || q.Limit != 7 {
+			t.Fatalf("parse of %q lost structure", src)
+		}
+		_ = q.String()
+	}
+}

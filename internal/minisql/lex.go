@@ -1,0 +1,196 @@
+// Package minisql implements a small SQL front-end — lexer, parser, and
+// planner — that compiles SELECT queries into MAL plans, playing the role
+// MonetDB's SQL compiler plays in the paper (§3.2). Query plans produced
+// here use sql.bind for column access; the Data Cyclotron optimizer
+// (package dcopt) then rewrites them into request/pin/unpin form.
+//
+// Supported grammar (a pragmatic subset sufficient for the paper's
+// examples and the TPC-H-style workloads in this repository):
+//
+//	SELECT sel [, sel...]
+//	FROM table [alias] [, table [alias]...]
+//	[WHERE pred AND pred ...]
+//	[GROUP BY col [, col...]]
+//	[ORDER BY sel-ref [ASC|DESC]]
+//	[LIMIT n]
+//
+//	sel  := col | SUM(col) | COUNT(*) | COUNT(col) | AVG(col)
+//	      | MIN(col) | MAX(col)            [AS name]
+//	pred := col op literal | col op col | col BETWEEN lit AND lit
+//	op   := = | <> | != | < | <= | > | >=
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes a query string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens. Keywords are returned as tokIdent; the
+// parser matches them case-insensitively.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),.*", rune(c)):
+			l.emit(tokSymbol, string(c))
+			l.pos++
+		case c == '=':
+			l.emit(tokSymbol, "=")
+			l.pos++
+		case c == '<':
+			if l.peekAt(1) == '=' {
+				l.emit(tokSymbol, "<=")
+				l.pos += 2
+			} else if l.peekAt(1) == '>' {
+				l.emit(tokSymbol, "<>")
+				l.pos += 2
+			} else {
+				l.emit(tokSymbol, "<")
+				l.pos++
+			}
+		case c == '>':
+			if l.peekAt(1) == '=' {
+				l.emit(tokSymbol, ">=")
+				l.pos += 2
+			} else {
+				l.emit(tokSymbol, ">")
+				l.pos++
+			}
+		case c == '!':
+			if l.peekAt(1) == '=' {
+				l.emit(tokSymbol, "<>")
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("minisql: stray '!' at %d", l.pos)
+			}
+		case c == ';':
+			l.pos++ // trailing semicolons are harmless
+		default:
+			return nil, fmt.Errorf("minisql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				return fmt.Errorf("minisql: malformed number at %d", start)
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peekAt(1) == '\'' { // escaped quote
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("minisql: unterminated string at %d", start)
+}

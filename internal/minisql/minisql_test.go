@@ -1,0 +1,429 @@
+package minisql
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+)
+
+// --- lexer/parser tests ---
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("select a.b, sum(x) from t where y >= 1.5 and z = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		texts = append(texts, tk.text)
+	}
+	want := []string{"select", "a", ".", "b", ",", "sum", "(", "x", ")",
+		"from", "t", "where", "y", ">=", "1.5", "and", "z", "=", "it's"}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("tokens = %v, want %v", texts, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"select 'unterminated", "select #", "select 1.2.3 from t", "select !x from t"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	q, err := Parse("select c.t_id from t, c where c.t_id = t.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 || q.Select[0].Col.String() != "c.t_id" {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	if len(q.From) != 2 || q.From[0].Name != "t" || q.From[1].Name != "c" {
+		t.Fatalf("from = %+v", q.From)
+	}
+	if len(q.Where) != 1 || !q.Where[0].RhsIsCol {
+		t.Fatalf("where = %+v", q.Where)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	q, err := Parse(`SELECT flag, SUM(qty) AS total, COUNT(*), AVG(price)
+		FROM lineitem l
+		WHERE shipdate <= 19980902 AND qty BETWEEN 1 AND 50
+		GROUP BY flag, status ORDER BY total DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 4 {
+		t.Fatalf("select = %d items", len(q.Select))
+	}
+	if q.Select[1].Alias != "total" || q.Select[1].Agg != AggSum {
+		t.Fatalf("item 1 = %+v", q.Select[1])
+	}
+	if !q.Select[2].Star {
+		t.Fatal("COUNT(*) not detected")
+	}
+	if q.From[0].Alias != "l" {
+		t.Fatalf("alias = %q", q.From[0].Alias)
+	}
+	if !q.Where[1].Between || q.Where[1].Lo.(int64) != 1 {
+		t.Fatalf("between = %+v", q.Where[1])
+	}
+	if len(q.GroupBy) != 2 {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	if q.Order == nil || !q.Order.Desc || q.Order.Ref.Column != "total" {
+		t.Fatalf("order = %+v", q.Order)
+	}
+	if q.Limit != 10 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"select",
+		"select x",
+		"select x from",
+		"select x from t where",
+		"select x from t where y",
+		"select x from t where y ==",
+		"select x from t limit -1",
+		"select x from t alias extra", // two trailing identifiers
+		"select x from t group x",
+		"select sum(*) from t",
+		"select x from t where y between 1",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	ops := map[string]CmpOp{"=": OpEq, "<>": OpNe, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
+	for sym, want := range ops {
+		q, err := Parse(fmt.Sprintf("select x from t where x %s 5", sym))
+		if err != nil {
+			t.Fatalf("%s: %v", sym, err)
+		}
+		if q.Where[0].Op != want {
+			t.Errorf("%s parsed as %v, want %v", sym, q.Where[0].Op, want)
+		}
+	}
+}
+
+// --- planner execution tests ---
+
+type memCatalog map[string]*bat.BAT
+
+func (c memCatalog) Bind(schema, table, column string) (mal.Value, error) {
+	b, ok := c[table+"."+column]
+	if !ok {
+		return nil, fmt.Errorf("no such column %s.%s", table, column)
+	}
+	return b, nil
+}
+
+func testDB() (Schema, memCatalog) {
+	schema := MapSchema{
+		"t":        {"id", "name"},
+		"c":        {"t_id", "val"},
+		"lineitem": {"orderkey", "qty", "price", "disc", "flag", "status", "shipdate"},
+		"orders":   {"orderkey", "custkey", "odate"},
+		"customer": {"custkey", "nation"},
+	}
+	cat := memCatalog{
+		"t.id":   bat.MakeInts("t.id", []int64{1, 2, 3, 4}),
+		"t.name": bat.MakeStrs("t.name", []string{"one", "two", "three", "four"}),
+
+		"c.t_id": bat.MakeInts("c.t_id", []int64{2, 2, 3, 9}),
+		"c.val":  bat.MakeInts("c.val", []int64{100, 200, 300, 400}),
+
+		"lineitem.orderkey": bat.MakeInts("lineitem.orderkey", []int64{1, 1, 2, 3, 3, 3}),
+		"lineitem.qty":      bat.MakeInts("lineitem.qty", []int64{10, 20, 5, 7, 8, 9}),
+		"lineitem.price":    bat.MakeFloats("lineitem.price", []float64{100, 200, 50, 70, 80, 90}),
+		"lineitem.disc":     bat.MakeFloats("lineitem.disc", []float64{0.1, 0, 0.2, 0, 0.05, 0}),
+		"lineitem.flag":     bat.MakeStrs("lineitem.flag", []string{"A", "A", "N", "N", "A", "N"}),
+		"lineitem.status":   bat.MakeStrs("lineitem.status", []string{"F", "O", "F", "F", "O", "F"}),
+		"lineitem.shipdate": bat.MakeInts("lineitem.shipdate", []int64{19980101, 19980601, 19981001, 19970301, 19980301, 19990101}),
+
+		"orders.orderkey": bat.MakeInts("orders.orderkey", []int64{1, 2, 3}),
+		"orders.custkey":  bat.MakeInts("orders.custkey", []int64{7, 8, 7}),
+		"orders.odate":    bat.MakeInts("orders.odate", []int64{19980101, 19980201, 19980301}),
+
+		"customer.custkey": bat.MakeInts("customer.custkey", []int64{7, 8}),
+		"customer.nation":  bat.MakeStrs("customer.nation", []string{"NL", "DE"}),
+	}
+	return schema, cat
+}
+
+func runSQL(t *testing.T, src string) *mal.ResultSet {
+	t.Helper()
+	schema, cat := testDB()
+	plan, err := Compile(src, schema, "sys")
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	ctx := &mal.Context{Registry: mal.NewRegistry(), Catalog: cat}
+	v, err := mal.Run(ctx, plan)
+	if err != nil {
+		t.Fatalf("Run(%q): %v\nplan:\n%s", src, err, plan)
+	}
+	return v.(*mal.ResultSet)
+}
+
+func TestExecPaperQuery(t *testing.T) {
+	rs := runSQL(t, "select c.t_id from t, c where c.t_id = t.id")
+	var got []int64
+	for _, row := range rs.Rows() {
+		got = append(got, row[0].(int64))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if want := []int64{2, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("result = %v, want %v", got, want)
+	}
+}
+
+func TestExecSingleTableFilter(t *testing.T) {
+	rs := runSQL(t, "select name from t where id >= 2 and id < 4")
+	var got []string
+	for _, row := range rs.Rows() {
+		got = append(got, row[0].(string))
+	}
+	if want := []string{"two", "three"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("result = %v, want %v", got, want)
+	}
+}
+
+func TestExecEqAndNe(t *testing.T) {
+	rs := runSQL(t, "select val from c where t_id = 2")
+	if rs.NumRows() != 2 {
+		t.Fatalf("eq rows = %d, want 2", rs.NumRows())
+	}
+	rs = runSQL(t, "select val from c where t_id <> 2")
+	if rs.NumRows() != 2 {
+		t.Fatalf("ne rows = %d, want 2", rs.NumRows())
+	}
+}
+
+func TestExecStringEq(t *testing.T) {
+	rs := runSQL(t, "select qty from lineitem where flag = 'A'")
+	if rs.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", rs.NumRows())
+	}
+}
+
+func TestExecBetween(t *testing.T) {
+	rs := runSQL(t, "select qty from lineitem where qty between 7 and 10")
+	var got []int64
+	for _, row := range rs.Rows() {
+		got = append(got, row[0].(int64))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if want := []int64{7, 8, 9, 10}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("between = %v, want %v", got, want)
+	}
+}
+
+func TestExecScalarAggregates(t *testing.T) {
+	rs := runSQL(t, "select sum(qty), count(*), min(qty), max(qty), avg(qty) from lineitem")
+	row := rs.Row(0)
+	if row[0].(int64) != 59 {
+		t.Errorf("sum = %v, want 59", row[0])
+	}
+	if row[1].(int64) != 6 {
+		t.Errorf("count = %v, want 6", row[1])
+	}
+	if row[2].(int64) != 5 || row[3].(int64) != 20 {
+		t.Errorf("min/max = %v/%v", row[2], row[3])
+	}
+	if avg := row[4].(float64); avg < 9.8 || avg > 9.9 {
+		t.Errorf("avg = %v", row[4])
+	}
+}
+
+func TestExecGroupBySingle(t *testing.T) {
+	rs := runSQL(t, "select flag, sum(qty) from lineitem group by flag order by flag")
+	rows := rs.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d, want 2", len(rows))
+	}
+	if rows[0][0] != "A" || rows[0][1].(int64) != 38 {
+		t.Fatalf("group A = %v", rows[0])
+	}
+	if rows[1][0] != "N" || rows[1][1].(int64) != 21 {
+		t.Fatalf("group N = %v", rows[1])
+	}
+}
+
+func TestExecGroupByTwoKeys(t *testing.T) {
+	// The TPC-H Q1 shape: two grouping columns.
+	rs := runSQL(t, `select flag, status, sum(qty), count(*) from lineitem group by flag, status`)
+	if rs.NumRows() != 3 {
+		t.Fatalf("groups = %d, want 3 (A/F, A/O, N/F)", rs.NumRows())
+	}
+	got := map[string]int64{}
+	for _, row := range rs.Rows() {
+		got[row[0].(string)+row[1].(string)] = row[2].(int64)
+	}
+	want := map[string]int64{"AF": 10, "AO": 28, "NF": 21}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("group %s = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+func TestExecThreeWayJoin(t *testing.T) {
+	rs := runSQL(t, `select nation, sum(qty) from lineitem, orders, customer
+		where lineitem.orderkey = orders.orderkey and orders.custkey = customer.custkey
+		group by nation order by nation`)
+	rows := rs.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// NL: orders 1 and 3 -> qty 10+20+7+8+9 = 54; DE: order 2 -> 5.
+	if rows[0][0] != "DE" || rows[0][1].(int64) != 5 {
+		t.Fatalf("DE = %v", rows[0])
+	}
+	if rows[1][0] != "NL" || rows[1][1].(int64) != 54 {
+		t.Fatalf("NL = %v", rows[1])
+	}
+}
+
+func TestExecOrderLimit(t *testing.T) {
+	rs := runSQL(t, "select qty from lineitem order by qty desc limit 3")
+	var got []int64
+	for _, row := range rs.Rows() {
+		got = append(got, row[0].(int64))
+	}
+	if want := []int64{20, 10, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("top3 = %v, want %v", got, want)
+	}
+}
+
+func TestExecOrderByAlias(t *testing.T) {
+	rs := runSQL(t, "select flag, sum(qty) as s from lineitem group by flag order by s desc")
+	rows := rs.Rows()
+	if rows[0][1].(int64) != 38 || rows[1][1].(int64) != 21 {
+		t.Fatalf("order by alias wrong: %v", rows)
+	}
+}
+
+func TestExecJoinWithFilters(t *testing.T) {
+	rs := runSQL(t, `select t.name from t, c where c.t_id = t.id and c.val >= 200`)
+	var got []string
+	for _, row := range rs.Rows() {
+		got = append(got, row[0].(string))
+	}
+	sort.Strings(got)
+	if want := []string{"three", "two"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("result = %v, want %v", got, want)
+	}
+}
+
+func TestExecTableAliases(t *testing.T) {
+	rs := runSQL(t, "select a.name from t as a where a.id = 1")
+	if rs.NumRows() != 1 || rs.Row(0)[0] != "one" {
+		t.Fatalf("alias query wrong: %v", rs.Rows())
+	}
+}
+
+func TestExecFloatPredicateOnIntColumn(t *testing.T) {
+	rs := runSQL(t, "select qty from lineitem where qty > 8.5")
+	if rs.NumRows() != 3 { // 10, 20, 9
+		t.Fatalf("rows = %d, want 3", rs.NumRows())
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	schema, _ := testDB()
+	for _, src := range []string{
+		"select x from nosuch",
+		"select nosuch from t",
+		"select t.nosuch from t",
+		"select orderkey from lineitem, orders",   // ambiguous
+		"select id from t, c",                     // cross join
+		"select name from t group by id",          // name not grouped
+		"select id from t, c where t.id < c.t_id", // non-equality join
+		"select id from t, c where t.id = t.id",   // self comparison
+		"select qty from lineitem, lineitem",      // duplicate alias
+	} {
+		if _, err := Compile(src, schema, "sys"); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}
+
+func TestCompiledPlanShape(t *testing.T) {
+	schema, _ := testDB()
+	plan, err := Compile("select c.t_id from t, c where c.t_id = t.id", schema, "sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := plan.String()
+	for _, want := range []string{"sql.bind", "algebra.join", "bat.reverse", "sql.resultSet"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("plan missing %s:\n%s", want, text)
+		}
+	}
+}
+
+func TestQueryStringRoundtripish(t *testing.T) {
+	q, err := Parse("select a.x from tbl a where a.x = 5 and a.y between 1 and 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"SELECT a.x", "FROM tbl a", "a.x = 5", "BETWEEN 1 AND 2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestParallelExecutionMatches(t *testing.T) {
+	schema, cat := testDB()
+	src := `select nation, sum(qty) from lineitem, orders, customer
+		where lineitem.orderkey = orders.orderkey and orders.custkey = customer.custkey
+		group by nation order by nation`
+	plan, err := Compile(src, schema, "sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), Catalog: cat}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), Catalog: cat, Workers: 8}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.(*mal.ResultSet).Rows(), par.(*mal.ResultSet).Rows()) {
+		t.Fatal("parallel result differs from sequential")
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	schema, _ := testDB()
+	src := `select flag, status, sum(qty), avg(price) from lineitem
+		where shipdate <= 19980902 group by flag, status order by flag`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src, schema, "sys"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse converts a SELECT statement into its AST.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("minisql: trailing input at %s", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+// acceptKw consumes the next token when it is the given keyword.
+func (p *parser) acceptKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return fmt.Errorf("minisql: expected %s, got %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSym(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(sym string) error {
+	if !p.acceptSym(sym) {
+		return fmt.Errorf("minisql: expected %q, got %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("minisql: expected identifier, got %s", t)
+	}
+	p.i++
+	return t.text, nil
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true,
+	"order": true, "by": true, "limit": true, "and": true, "as": true,
+	"asc": true, "desc": true, "between": true,
+}
+
+func isKeyword(s string) bool { return keywords[strings.ToLower(s)] }
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		tr := TableRef{Name: name, Alias: name}
+		if p.acceptKw("as") {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			tr.Alias = alias
+		} else if t := p.peek(); t.kind == tokIdent && !isKeyword(t.text) {
+			tr.Alias = p.next().text
+		}
+		q.From = append(q.From, tr)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if p.acceptKw("where") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if !p.acceptKw("and") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, c)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		c, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{Ref: c}
+		if p.acceptKw("desc") {
+			ob.Desc = true
+		} else {
+			p.acceptKw("asc")
+		}
+		q.Order = ob
+	}
+	if p.acceptKw("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("minisql: expected number after LIMIT, got %s", t)
+		}
+		p.i++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("minisql: bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+var aggNames = map[string]AggKind{
+	"sum": AggSum, "count": AggCount, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return SelectItem{}, fmt.Errorf("minisql: expected select expression, got %s", t)
+	}
+	if agg, ok := aggNames[strings.ToLower(t.text)]; ok &&
+		p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+		p.i += 2 // agg name + "("
+		item := SelectItem{Agg: agg}
+		if p.acceptSym("*") {
+			if agg != AggCount {
+				return SelectItem{}, fmt.Errorf("minisql: %s(*) is not supported", agg)
+			}
+			item.Star = true
+		} else {
+			c, err := p.parseColRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Col = c
+		}
+		if err := p.expectSym(")"); err != nil {
+			return SelectItem{}, err
+		}
+		if p.acceptKw("as") {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Alias = alias
+		}
+		return item, nil
+	}
+	c, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Col: c}
+	if p.acceptKw("as") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.acceptSym(".") {
+		second, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Column: second}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+var cmpOps = map[string]CmpOp{
+	"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	lhs, err := p.parseColRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if p.acceptKw("between") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return Predicate{}, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Lhs: lhs, Between: true, Lo: lo, Hi: hi}, nil
+	}
+	t := p.peek()
+	op, ok := cmpOps[t.text]
+	if t.kind != tokSymbol || !ok {
+		return Predicate{}, fmt.Errorf("minisql: expected comparison operator, got %s", t)
+	}
+	p.i++
+	rt := p.peek()
+	if rt.kind == tokIdent && !isKeyword(rt.text) {
+		rhs, err := p.parseColRef()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Lhs: lhs, Op: op, RhsCol: rhs, RhsIsCol: true}, nil
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Lhs: lhs, Op: op, Rhs: lit}, nil
+}
+
+func (p *parser) parseLiteral() (any, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("minisql: bad number %q", t.text)
+			}
+			return f, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("minisql: bad number %q", t.text)
+		}
+		return n, nil
+	case tokString:
+		p.i++
+		return t.text, nil
+	}
+	return nil, fmt.Errorf("minisql: expected literal, got %s", t)
+}

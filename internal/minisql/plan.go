@@ -1,0 +1,506 @@
+package minisql
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+)
+
+// Schema tells the planner which columns each table has, so unqualified
+// column references can be resolved.
+type Schema interface {
+	// Columns returns the column names of table, or false when the
+	// table does not exist.
+	Columns(table string) ([]string, bool)
+}
+
+// MapSchema is the trivial in-memory Schema.
+type MapSchema map[string][]string
+
+// Columns implements Schema.
+func (m MapSchema) Columns(table string) ([]string, bool) {
+	cols, ok := m[table]
+	return cols, ok
+}
+
+// Compile parses and plans src against schema. The emitted plan binds
+// columns with sql.bind(schemaName, table, column); running it through
+// dcopt.Rewrite converts it to Data Cyclotron form.
+func Compile(src string, schema Schema, schemaName string) (*mal.Plan, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return PlanQuery(q, schema, schemaName)
+}
+
+// planner carries state while lowering one query to MAL.
+type planner struct {
+	b          *mal.Builder
+	q          *Query
+	schema     Schema
+	schemaName string
+	aliasTable map[string]string    // alias -> real table name
+	binds      map[ColRef]mal.VarID // resolved col -> bind var
+	bindOrder  []ColRef             // deterministic bind emission order
+	bindings   map[string]mal.VarID // alias -> [pos|oid] BAT var
+	bound      []string             // aliases joined so far, in order
+}
+
+// PlanQuery lowers a parsed query to a MAL plan.
+func PlanQuery(q *Query, schema Schema, schemaName string) (*mal.Plan, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("minisql: no FROM tables")
+	}
+	p := &planner{
+		b:          mal.NewBuilder("query"),
+		q:          q,
+		schema:     schema,
+		schemaName: schemaName,
+		aliasTable: map[string]string{},
+		binds:      map[ColRef]mal.VarID{},
+		bindings:   map[string]mal.VarID{},
+	}
+	for _, t := range q.From {
+		if _, ok := schema.Columns(t.Name); !ok {
+			return nil, fmt.Errorf("minisql: unknown table %q", t.Name)
+		}
+		if _, dup := p.aliasTable[t.Alias]; dup {
+			return nil, fmt.Errorf("minisql: duplicate table alias %q", t.Alias)
+		}
+		p.aliasTable[t.Alias] = t.Name
+	}
+	if err := p.resolveAll(); err != nil {
+		return nil, err
+	}
+	if err := p.plan(); err != nil {
+		return nil, err
+	}
+	return p.b.Build()
+}
+
+// resolve fills in the table alias of an unqualified column reference.
+func (p *planner) resolve(c *ColRef) error {
+	if c.Table != "" {
+		tbl, ok := p.aliasTable[c.Table]
+		if !ok {
+			return fmt.Errorf("minisql: unknown table or alias %q", c.Table)
+		}
+		if !hasColumn(p.schema, tbl, c.Column) {
+			return fmt.Errorf("minisql: no column %q in table %q", c.Column, tbl)
+		}
+		return nil
+	}
+	var found string
+	for alias, tbl := range p.aliasTable {
+		if hasColumn(p.schema, tbl, c.Column) {
+			if found != "" {
+				return fmt.Errorf("minisql: ambiguous column %q (in %s and %s)", c.Column, found, alias)
+			}
+			found = alias
+		}
+	}
+	if found == "" {
+		return fmt.Errorf("minisql: unknown column %q", c.Column)
+	}
+	c.Table = found
+	return nil
+}
+
+func hasColumn(s Schema, table, col string) bool {
+	cols, ok := s.Columns(table)
+	if !ok {
+		return false
+	}
+	for _, c := range cols {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *planner) resolveAll() error {
+	for i := range p.q.Select {
+		it := &p.q.Select[i]
+		if it.Star {
+			continue
+		}
+		if err := p.resolve(&it.Col); err != nil {
+			return err
+		}
+	}
+	for i := range p.q.Where {
+		w := &p.q.Where[i]
+		if err := p.resolve(&w.Lhs); err != nil {
+			return err
+		}
+		if w.RhsIsCol {
+			if err := p.resolve(&w.RhsCol); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range p.q.GroupBy {
+		if err := p.resolve(&p.q.GroupBy[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bind returns (emitting at most once) the sql.bind variable for c.
+func (p *planner) bind(c ColRef) mal.VarID {
+	if v, ok := p.binds[c]; ok {
+		return v
+	}
+	tbl := p.aliasTable[c.Table]
+	v := p.b.Emit("sql", "bind", mal.L(p.schemaName), mal.L(tbl), mal.L(c.Column))
+	p.binds[c] = v
+	p.bindOrder = append(p.bindOrder, c)
+	return v
+}
+
+// anyColumn picks a referenced column for alias, or the first schema
+// column, to seed the table's candidate list.
+func (p *planner) anyColumn(alias string) ColRef {
+	for _, c := range p.bindOrder {
+		if c.Table == alias {
+			return c
+		}
+	}
+	cols, _ := p.schema.Columns(p.aliasTable[alias])
+	return ColRef{Table: alias, Column: cols[0]}
+}
+
+// candidates builds the per-table candidate [oid|oid] BAT by applying
+// all single-table predicates (selection push-down, §3.2).
+func (p *planner) candidates(alias string) mal.VarID {
+	var cand mal.VarID = mal.NoVar
+	for _, w := range p.q.Where {
+		if w.RhsIsCol || w.Lhs.Table != alias {
+			continue
+		}
+		col := p.bind(w.Lhs)
+		var sel mal.VarID
+		switch {
+		case w.Between:
+			sel = p.b.Emit("algebra", "select", mal.V(col), mal.L(w.Lo), mal.L(w.Hi), mal.L(true), mal.L(true))
+		case w.Op == OpEq:
+			sel = p.b.Emit("algebra", "selectEq", mal.V(col), mal.L(w.Rhs))
+		case w.Op == OpNe:
+			sel = p.b.Emit("algebra", "selectNe", mal.V(col), mal.L(w.Rhs))
+		case w.Op == OpLt:
+			sel = p.b.Emit("algebra", "select", mal.V(col), mal.L(nil), mal.L(w.Rhs), mal.L(false), mal.L(false))
+		case w.Op == OpLe:
+			sel = p.b.Emit("algebra", "select", mal.V(col), mal.L(nil), mal.L(w.Rhs), mal.L(false), mal.L(true))
+		case w.Op == OpGt:
+			sel = p.b.Emit("algebra", "select", mal.V(col), mal.L(w.Rhs), mal.L(nil), mal.L(false), mal.L(false))
+		case w.Op == OpGe:
+			sel = p.b.Emit("algebra", "select", mal.V(col), mal.L(w.Rhs), mal.L(nil), mal.L(true), mal.L(false))
+		}
+		piece := p.b.Emit("bat", "mirror", mal.V(sel))
+		if cand == mal.NoVar {
+			cand = piece
+		} else {
+			cand = p.b.Emit("algebra", "semijoin", mal.V(cand), mal.V(piece))
+		}
+	}
+	if cand == mal.NoVar {
+		col := p.bind(p.anyColumn(alias))
+		cand = p.b.Emit("bat", "mirror", mal.V(col))
+	}
+	return cand
+}
+
+func (p *planner) isBound(alias string) bool {
+	_, ok := p.bindings[alias]
+	return ok
+}
+
+// realign maps every existing binding through K ([pos|newPos] reversed),
+// keeping all bound tables row-aligned after a join or filter step.
+func (p *planner) realign(kr mal.VarID) {
+	for _, alias := range p.bound {
+		p.bindings[alias] = p.b.Emit("algebra", "join", mal.V(kr), mal.V(p.bindings[alias]))
+	}
+}
+
+// plan drives the lowering: scans, joins, projection, grouping,
+// ordering, limit, result construction.
+func (p *planner) plan() error {
+	// Pre-bind all referenced columns so requests can be issued early
+	// (the DcOptimizer turns each bind into a datacyclotron.request).
+	for _, it := range p.q.Select {
+		if !it.Star {
+			p.bind(it.Col)
+		}
+	}
+	for _, w := range p.q.Where {
+		p.bind(w.Lhs)
+		if w.RhsIsCol {
+			p.bind(w.RhsCol)
+		}
+	}
+	for _, g := range p.q.GroupBy {
+		p.bind(g)
+	}
+
+	// Candidate lists per table.
+	cands := map[string]mal.VarID{}
+	for _, t := range p.q.From {
+		cands[t.Alias] = p.candidates(t.Alias)
+	}
+
+	// Seed with the first FROM table.
+	first := p.q.From[0].Alias
+	p.bindings[first] = cands[first]
+	p.bound = []string{first}
+
+	// Join predicates, processed greedily until all are consumed.
+	type joinPred struct {
+		l, r ColRef
+		used bool
+	}
+	var joins []joinPred
+	for _, w := range p.q.Where {
+		if !w.RhsIsCol {
+			continue
+		}
+		if w.Op != OpEq {
+			return fmt.Errorf("minisql: only equality joins are supported, got %s", w.String())
+		}
+		if w.Lhs.Table == w.RhsCol.Table {
+			return fmt.Errorf("minisql: self-comparison %s not supported", w.String())
+		}
+		joins = append(joins, joinPred{l: w.Lhs, r: w.RhsCol})
+	}
+	remaining := len(joins)
+	for remaining > 0 {
+		progressed := false
+		for i := range joins {
+			j := &joins[i]
+			if j.used {
+				continue
+			}
+			lb, rb := p.isBound(j.l.Table), p.isBound(j.r.Table)
+			switch {
+			case lb && rb:
+				p.applyFilterJoin(j.l, j.r)
+			case lb:
+				p.applyJoin(j.l, j.r, cands[j.r.Table])
+			case rb:
+				p.applyJoin(j.r, j.l, cands[j.l.Table])
+			default:
+				continue
+			}
+			j.used = true
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			return fmt.Errorf("minisql: disconnected join graph (cross joins not supported)")
+		}
+	}
+	for _, t := range p.q.From {
+		if !p.isBound(t.Alias) {
+			if len(p.q.From) > 1 {
+				return fmt.Errorf("minisql: table %q not connected by a join predicate", t.Alias)
+			}
+		}
+	}
+
+	// Output columns: [pos|value] per referenced select/group column.
+	outCol := func(c ColRef) mal.VarID {
+		return p.b.Emit("algebra", "join", mal.V(p.bindings[c.Table]), mal.V(p.bind(c)))
+	}
+
+	hasAgg := false
+	for _, it := range p.q.Select {
+		if it.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+	if len(p.q.GroupBy) > 0 || hasAgg {
+		return p.planAggregation(outCol)
+	}
+
+	// Plain projection.
+	var names []string
+	var outs []mal.VarID
+	for _, it := range p.q.Select {
+		names = append(names, it.Name())
+		outs = append(outs, outCol(it.Col))
+	}
+	outs = p.applyOrderLimit(names, outs, func(ref ColRef) (mal.VarID, bool) {
+		for i, it := range p.q.Select {
+			if matchOrderRef(ref, it) {
+				return outs[i], true
+			}
+		}
+		return 0, false
+	})
+	p.emitResult(names, outs)
+	return nil
+}
+
+// matchOrderRef matches an ORDER BY reference against a select item by
+// alias, by column name, or by qualified name.
+func matchOrderRef(ref ColRef, it SelectItem) bool {
+	if ref.Table == "" {
+		if it.Alias != "" && ref.Column == it.Alias {
+			return true
+		}
+		return it.Agg == AggNone && it.Col.Column == ref.Column
+	}
+	return it.Agg == AggNone && it.Col == ref
+}
+
+// applyJoin joins the bound side (boundCol's table) with a new table.
+func (p *planner) applyJoin(boundCol, newCol ColRef, newCand mal.VarID) {
+	lhsVals := p.b.Emit("algebra", "join", mal.V(p.bindings[boundCol.Table]), mal.V(p.bind(boundCol)))
+	rhsVals := p.b.Emit("algebra", "join", mal.V(newCand), mal.V(p.bind(newCol)))
+	rhsRev := p.b.Emit("bat", "reverse", mal.V(rhsVals))
+	j := p.b.Emit("algebra", "join", mal.V(lhsVals), mal.V(rhsRev)) // [pos|newOid]
+	k := p.b.Emit("algebra", "markT", mal.V(j), mal.L(bat.Oid(0)))  // [pos|newPos]
+	kr := p.b.Emit("bat", "reverse", mal.V(k))                      // [newPos|pos]
+	p.realign(kr)
+	p.bindings[newCol.Table] = p.b.Emit("algebra", "markH", mal.V(j), mal.L(bat.Oid(0)))
+	p.bound = append(p.bound, newCol.Table)
+}
+
+// applyFilterJoin handles a join predicate between two already-bound
+// tables (a cycle in the join graph) as a positional equality filter.
+func (p *planner) applyFilterJoin(l, r ColRef) {
+	lv := p.b.Emit("algebra", "join", mal.V(p.bindings[l.Table]), mal.V(p.bind(l)))
+	rv := p.b.Emit("algebra", "join", mal.V(p.bindings[r.Table]), mal.V(p.bind(r)))
+	f := p.b.Emit("calc", "eqselect", mal.V(lv), mal.V(rv)) // [pos|val] subset
+	c := p.b.Emit("bat", "mirror", mal.V(f))                // [pos|pos]
+	k := p.b.Emit("algebra", "markT", mal.V(c), mal.L(bat.Oid(0)))
+	kr := p.b.Emit("bat", "reverse", mal.V(k))
+	p.realign(kr)
+}
+
+// planAggregation lowers GROUP BY / scalar aggregate queries.
+func (p *planner) planAggregation(outCol func(ColRef) mal.VarID) error {
+	for _, it := range p.q.Select {
+		if it.Agg == AggNone && !inGroupBy(p.q.GroupBy, it.Col) {
+			return fmt.Errorf("minisql: column %s must appear in GROUP BY", it.Col)
+		}
+	}
+	if len(p.q.GroupBy) == 0 {
+		// Scalar aggregation: one row.
+		var names []string
+		var outs []mal.VarID
+		for _, it := range p.q.Select {
+			names = append(names, it.Name())
+			var scalar mal.VarID
+			switch {
+			case it.Star:
+				any := p.anyColumn(p.q.From[0].Alias)
+				scalar = p.b.Emit("aggr", "count", mal.V(outCol(any)))
+			default:
+				v := outCol(it.Col)
+				scalar = p.b.Emit("aggr", it.Agg.String(), mal.V(v))
+			}
+			outs = append(outs, p.b.Emit("bat", "fromScalar", mal.L(names[len(names)-1]), mal.V(scalar)))
+		}
+		p.emitResult(names, outs)
+		return nil
+	}
+
+	// Grouped aggregation.
+	keys := make([]mal.VarID, len(p.q.GroupBy))
+	for i, g := range p.q.GroupBy {
+		keys[i] = outCol(g)
+	}
+	groups, reps := p.b.Emit2("group", "newpos", mal.V(keys[0]))
+	for _, k := range keys[1:] {
+		groups, reps = p.b.Emit2("group", "derive", mal.V(groups), mal.V(k))
+	}
+	var names []string
+	var outs []mal.VarID
+	for _, it := range p.q.Select {
+		names = append(names, it.Name())
+		switch {
+		case it.Agg == AggNone:
+			// Representative key value per group: reps is [gid|pos],
+			// key columns are [pos|val].
+			idx := indexOfGroupBy(p.q.GroupBy, it.Col)
+			outs = append(outs, p.b.Emit("algebra", "join", mal.V(reps), mal.V(keys[idx])))
+		case it.Star:
+			outs = append(outs, p.b.Emit("aggr", "groupedCount", mal.V(groups)))
+		case it.Agg == AggCount:
+			outs = append(outs, p.b.Emit("aggr", "groupedCount", mal.V(groups)))
+		case it.Agg == AggSum:
+			outs = append(outs, p.b.Emit("aggr", "groupedSum", mal.V(groups), mal.V(outCol(it.Col))))
+		case it.Agg == AggAvg:
+			outs = append(outs, p.b.Emit("aggr", "groupedAvg", mal.V(groups), mal.V(outCol(it.Col))))
+		case it.Agg == AggMin:
+			outs = append(outs, p.b.Emit("aggr", "groupedMin", mal.V(groups), mal.V(outCol(it.Col))))
+		case it.Agg == AggMax:
+			outs = append(outs, p.b.Emit("aggr", "groupedMax", mal.V(groups), mal.V(outCol(it.Col))))
+		}
+	}
+	outs = p.applyOrderLimit(names, outs, func(ref ColRef) (mal.VarID, bool) {
+		for i, it := range p.q.Select {
+			if it.Alias != "" && ref.Table == "" && ref.Column == it.Alias {
+				return outs[i], true
+			}
+			if it.Agg == AggNone && (it.Col == ref || (ref.Table == "" && it.Col.Column == ref.Column)) {
+				return outs[i], true
+			}
+		}
+		return 0, false
+	})
+	p.emitResult(names, outs)
+	return nil
+}
+
+func inGroupBy(gb []ColRef, c ColRef) bool {
+	for _, g := range gb {
+		if g == c {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOfGroupBy(gb []ColRef, c ColRef) int {
+	for i, g := range gb {
+		if g == c {
+			return i
+		}
+	}
+	return 0
+}
+
+// applyOrderLimit sorts all output columns by the ORDER BY key and then
+// applies LIMIT, returning the rewritten output variables.
+func (p *planner) applyOrderLimit(names []string, outs []mal.VarID, lookup func(ColRef) (mal.VarID, bool)) []mal.VarID {
+	if p.q.Order != nil {
+		if key, ok := lookup(p.q.Order.Ref); ok {
+			sorted := p.b.Emit("algebra", "sort", mal.V(key), mal.L(p.q.Order.Desc))
+			ord := p.b.Emit("bat", "mirror", mal.V(sorted)) // [pos|pos] in order
+			for i := range outs {
+				outs[i] = p.b.Emit("algebra", "join", mal.V(ord), mal.V(outs[i]))
+			}
+		}
+	}
+	if p.q.Limit >= 0 {
+		for i := range outs {
+			outs[i] = p.b.Emit("algebra", "slice", mal.V(outs[i]), mal.L(int64(0)), mal.L(int64(p.q.Limit)))
+		}
+	}
+	return outs
+}
+
+func (p *planner) emitResult(names []string, outs []mal.VarID) {
+	args := make([]mal.Arg, 0, 2*len(outs))
+	for i := range outs {
+		args = append(args, mal.L(names[i]), mal.V(outs[i]))
+	}
+	res := p.b.Emit("sql", "resultSet", args...)
+	p.b.SetResult(res)
+}

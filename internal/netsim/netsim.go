@@ -1,0 +1,275 @@
+// Package netsim models the storage-ring network used by the Data
+// Cyclotron evaluation: point-to-point duplex links with configurable
+// bandwidth, propagation delay, and byte-capacity DropTail queues.
+//
+// It reproduces the subset of NS-2 the paper relies on. A Link is a
+// unidirectional pipe: messages are serialized onto the wire at the link
+// bandwidth (one at a time, FIFO), spend the propagation delay in flight,
+// and are then handed to the receiver's callback. Messages that do not
+// fit in the transmit queue are dropped from the tail, exactly like the
+// DropTail policy in the paper's setup.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Message is anything that can be shipped over a Link. WireSize is the
+// number of bytes the message occupies on the wire (payload + header).
+type Message interface {
+	WireSize() int
+}
+
+// Stats aggregates per-link counters.
+type Stats struct {
+	Sent      uint64 // messages accepted for transmission
+	Delivered uint64 // messages handed to the receiver
+	Dropped   uint64 // messages rejected by DropTail
+	Bytes     uint64 // payload bytes delivered
+	MaxQueued int    // high-water mark of queued bytes
+}
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	// Bandwidth in bytes per second. The paper uses 10 Gb/s = 1.25 GB/s.
+	Bandwidth float64
+	// Delay is the propagation delay (paper: 350 microseconds).
+	Delay time.Duration
+	// QueueCap is the transmit queue capacity in bytes. Zero means
+	// unbounded. The paper gives each node 200 MB of BAT queue.
+	QueueCap int
+}
+
+// DefaultLinkConfig mirrors the paper's base topology parameters.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		Bandwidth: 1.25e9, // 10 Gb/s
+		Delay:     350 * time.Microsecond,
+		QueueCap:  200 << 20, // 200 MB
+	}
+}
+
+// Link is a unidirectional FIFO pipe between two nodes.
+type Link struct {
+	sim     *sim.Simulator
+	cfg     LinkConfig
+	deliver func(Message)
+
+	queued    int // bytes waiting or being serialized
+	busyUntil sim.Time
+	stats     Stats
+}
+
+// NewLink creates a link that hands arriving messages to deliver.
+func NewLink(s *sim.Simulator, cfg LinkConfig, deliver func(Message)) *Link {
+	if cfg.Bandwidth <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	if deliver == nil {
+		panic("netsim: nil deliver callback")
+	}
+	return &Link{sim: s, cfg: cfg, deliver: deliver}
+}
+
+// Queued reports the bytes currently held by the transmit queue,
+// including the message being serialized.
+func (l *Link) Queued() int { return l.queued }
+
+// QueueCap reports the configured queue capacity (0 = unbounded).
+func (l *Link) QueueCap() int { return l.cfg.QueueCap }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// SerializationTime reports how long size bytes occupy the wire.
+func (l *Link) SerializationTime(size int) time.Duration {
+	return time.Duration(float64(size) / l.cfg.Bandwidth * float64(time.Second))
+}
+
+// Send enqueues m for transmission. It reports false when the DropTail
+// queue rejects the message. force bypasses the capacity check; the ring
+// uses it for in-flight BATs, which by protocol are never dropped once
+// admitted to the hot set (the asynchronous channels of §4.3 guarantee
+// ordered, lossless forwarding of admitted data).
+func (l *Link) Send(m Message, force bool) bool {
+	size := m.WireSize()
+	if size < 0 {
+		panic(fmt.Sprintf("netsim: negative wire size %d", size))
+	}
+	if !force && l.cfg.QueueCap > 0 && l.queued+size > l.cfg.QueueCap {
+		l.stats.Dropped++
+		return false
+	}
+	l.queued += size
+	if l.queued > l.stats.MaxQueued {
+		l.stats.MaxQueued = l.queued
+	}
+	l.stats.Sent++
+
+	// Serialization starts when the wire frees up.
+	start := l.busyUntil
+	if now := l.sim.Now(); start < now {
+		start = now
+	}
+	ser := l.SerializationTime(size)
+	done := start.Add(ser)
+	l.busyUntil = done
+	arrive := done.Add(l.cfg.Delay)
+	l.sim.ScheduleAt(done, func() { l.queued -= size })
+	l.sim.ScheduleAt(arrive, func() {
+		l.stats.Delivered++
+		l.stats.Bytes += uint64(size)
+		l.deliver(m)
+	})
+	return true
+}
+
+// Ring wires n nodes into the paper's storage-ring topology: a clockwise
+// data direction and an anti-clockwise request direction, each a chain of
+// unidirectional links. Node i's data successor is the next *active*
+// node clockwise; deactivated nodes are skipped, which models the
+// localized re-wiring of pulsating rings (§6.3).
+type Ring struct {
+	n        int
+	data     []*Link // data[i]: node i -> next active clockwise
+	req      []*Link // req[i]:  node i -> next active anti-clockwise
+	handlers []Handler
+	active   []bool
+}
+
+// Handler receives messages arriving at a node.
+type Handler interface {
+	// HandleData is invoked for messages flowing clockwise (BATs).
+	HandleData(m Message)
+	// HandleRequest is invoked for messages flowing anti-clockwise.
+	HandleRequest(m Message)
+}
+
+// RingConfig configures both directions of the ring.
+type RingConfig struct {
+	Data    LinkConfig // clockwise BAT links
+	Request LinkConfig // anti-clockwise request links
+}
+
+// DefaultRingConfig uses the paper's link parameters for the data
+// direction and an unbounded small-message queue for requests.
+func DefaultRingConfig() RingConfig {
+	data := DefaultLinkConfig()
+	req := DefaultLinkConfig()
+	req.QueueCap = 0 // request messages are tiny; never tail-dropped here
+	return RingConfig{Data: data, Request: req}
+}
+
+// NewRing builds the ring. handlers[i] receives node i's arrivals. All
+// nodes start active; see SetActive for pulsating-ring membership.
+func NewRing(s *sim.Simulator, cfg RingConfig, handlers []Handler) *Ring {
+	n := len(handlers)
+	if n < 2 {
+		panic("netsim: ring needs at least 2 nodes")
+	}
+	r := &Ring{
+		n:        n,
+		data:     make([]*Link, n),
+		req:      make([]*Link, n),
+		handlers: handlers,
+		active:   make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		r.active[i] = true
+		i := i
+		// Delivery targets are resolved at arrival time so membership
+		// changes re-route in-flight traffic to the surviving neighbour.
+		r.data[i] = NewLink(s, cfg.Data, func(m Message) {
+			r.handlers[r.nextActive(i)].HandleData(m)
+		})
+		r.req[i] = NewLink(s, cfg.Request, func(m Message) {
+			r.handlers[r.prevActive(i)].HandleRequest(m)
+		})
+	}
+	return r
+}
+
+// Size reports the number of nodes (active and inactive).
+func (r *Ring) Size() int { return r.n }
+
+// ActiveCount reports the number of active ring members.
+func (r *Ring) ActiveCount() int {
+	c := 0
+	for _, a := range r.active {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// Active reports node i's membership.
+func (r *Ring) Active(i int) bool { return r.active[i] }
+
+// SetActive changes node i's ring membership (§6.3 pulsating rings).
+// Deactivating a node panics when fewer than two members would remain.
+func (r *Ring) SetActive(i int, active bool) {
+	if !active && r.ActiveCount() <= 2 {
+		panic("netsim: ring cannot shrink below 2 active nodes")
+	}
+	r.active[i] = active
+}
+
+// nextActive returns the first active node clockwise after i.
+func (r *Ring) nextActive(i int) int {
+	for k := 1; k <= r.n; k++ {
+		j := (i + k) % r.n
+		if r.active[j] {
+			return j
+		}
+	}
+	return i
+}
+
+// prevActive returns the first active node anti-clockwise before i.
+func (r *Ring) prevActive(i int) int {
+	for k := 1; k <= r.n; k++ {
+		j := (i - k + r.n) % r.n
+		if r.active[j] {
+			return j
+		}
+	}
+	return i
+}
+
+// SendData transmits m clockwise from node i to its successor.
+func (r *Ring) SendData(i int, m Message, force bool) bool {
+	return r.data[i].Send(m, force)
+}
+
+// SendRequest transmits m anti-clockwise from node i to its predecessor.
+func (r *Ring) SendRequest(i int, m Message) bool {
+	return r.req[i].Send(m, false)
+}
+
+// DataQueued reports the bytes occupying node i's outbound data queue.
+// The Data Cyclotron uses this as the "local BAT queue load" that drives
+// the LOIT adaptation (§4.4).
+func (r *Ring) DataQueued(i int) int { return r.data[i].Queued() }
+
+// DataQueueCap reports node i's data queue capacity.
+func (r *Ring) DataQueueCap(i int) int { return r.data[i].QueueCap() }
+
+// DataLink exposes node i's outbound data link (for stats).
+func (r *Ring) DataLink(i int) *Link { return r.data[i] }
+
+// RequestLink exposes node i's outbound request link (for stats).
+func (r *Ring) RequestLink(i int) *Link { return r.req[i] }
+
+// TotalDataQueued sums the outbound data queues of all nodes: the ring
+// load in bytes, as plotted in Figure 7a.
+func (r *Ring) TotalDataQueued() int {
+	total := 0
+	for _, l := range r.data {
+		total += l.Queued()
+	}
+	return total
+}

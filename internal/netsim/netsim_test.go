@@ -1,0 +1,285 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+type msg int
+
+func (m msg) WireSize() int { return int(m) }
+
+func TestLinkDelivery(t *testing.T) {
+	s := sim.New()
+	var got []Message
+	cfg := LinkConfig{Bandwidth: 1000, Delay: time.Second}
+	l := NewLink(s, cfg, func(m Message) { got = append(got, m) })
+	l.Send(msg(500), false) // 0.5s serialization + 1s delay
+	s.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	want := sim.Time(1500 * time.Millisecond)
+	if s.Now() != want {
+		t.Fatalf("delivery at %v, want %v", s.Now(), want)
+	}
+}
+
+func TestLinkFIFOAndPipelining(t *testing.T) {
+	s := sim.New()
+	var arrivals []sim.Time
+	cfg := LinkConfig{Bandwidth: 1000, Delay: time.Second}
+	l := NewLink(s, cfg, func(m Message) { arrivals = append(arrivals, s.Now()) })
+	// Two back-to-back messages of 1000 bytes: serialization 1s each.
+	l.Send(msg(1000), false)
+	l.Send(msg(1000), false)
+	s.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d, want 2", len(arrivals))
+	}
+	// First: 1s ser + 1s delay = 2s. Second serializes 1..2s, arrives 3s.
+	if arrivals[0] != sim.Time(2*time.Second) || arrivals[1] != sim.Time(3*time.Second) {
+		t.Fatalf("arrivals = %v, want [2s 3s]", arrivals)
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	s := sim.New()
+	delivered := 0
+	cfg := LinkConfig{Bandwidth: 1000, Delay: 0, QueueCap: 1500}
+	l := NewLink(s, cfg, func(m Message) { delivered++ })
+	if !l.Send(msg(1000), false) {
+		t.Fatal("first send rejected")
+	}
+	if l.Send(msg(1000), false) {
+		t.Fatal("second send should exceed 1500B cap and drop")
+	}
+	if !l.Send(msg(500), false) {
+		t.Fatal("500B send should fit")
+	}
+	st := l.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+	s.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", delivered)
+	}
+}
+
+func TestForceBypassesDropTail(t *testing.T) {
+	s := sim.New()
+	cfg := LinkConfig{Bandwidth: 1000, Delay: 0, QueueCap: 100}
+	l := NewLink(s, cfg, func(Message) {})
+	if !l.Send(msg(1000), true) {
+		t.Fatal("forced send rejected")
+	}
+	if l.Stats().Dropped != 0 {
+		t.Fatal("forced send counted as drop")
+	}
+}
+
+func TestQueueDrainsAfterSerialization(t *testing.T) {
+	s := sim.New()
+	cfg := LinkConfig{Bandwidth: 1000, Delay: time.Hour} // delay irrelevant to queue
+	l := NewLink(s, cfg, func(Message) {})
+	l.Send(msg(1000), false)
+	if l.Queued() != 1000 {
+		t.Fatalf("queued = %d, want 1000", l.Queued())
+	}
+	s.RunUntil(sim.Time(time.Second)) // serialization finishes at 1s
+	if l.Queued() != 0 {
+		t.Fatalf("queued = %d after serialization, want 0", l.Queued())
+	}
+}
+
+func TestHighWaterMark(t *testing.T) {
+	s := sim.New()
+	cfg := LinkConfig{Bandwidth: 1000, Delay: 0}
+	l := NewLink(s, cfg, func(Message) {})
+	l.Send(msg(300), false)
+	l.Send(msg(400), false)
+	if l.Stats().MaxQueued != 700 {
+		t.Fatalf("MaxQueued = %d, want 700", l.Stats().MaxQueued)
+	}
+	s.Run()
+}
+
+type collector struct {
+	data []Message
+	req  []Message
+}
+
+func (c *collector) HandleData(m Message)    { c.data = append(c.data, m) }
+func (c *collector) HandleRequest(m Message) { c.req = append(c.req, m) }
+
+func TestRingDirections(t *testing.T) {
+	s := sim.New()
+	nodes := make([]*collector, 4)
+	handlers := make([]Handler, 4)
+	for i := range nodes {
+		nodes[i] = &collector{}
+		handlers[i] = nodes[i]
+	}
+	cfg := DefaultRingConfig()
+	r := NewRing(s, cfg, handlers)
+
+	r.SendData(0, msg(100), false) // clockwise: to node 1
+	r.SendRequest(0, msg(10))      // anti-clockwise: to node 3
+	s.Run()
+
+	if len(nodes[1].data) != 1 {
+		t.Fatalf("node 1 data = %d, want 1 (clockwise)", len(nodes[1].data))
+	}
+	if len(nodes[3].req) != 1 {
+		t.Fatalf("node 3 requests = %d, want 1 (anti-clockwise)", len(nodes[3].req))
+	}
+	for i, n := range nodes {
+		if i != 1 && len(n.data) != 0 {
+			t.Errorf("node %d unexpectedly received data", i)
+		}
+		if i != 3 && len(n.req) != 0 {
+			t.Errorf("node %d unexpectedly received request", i)
+		}
+	}
+}
+
+func TestRingFullCycle(t *testing.T) {
+	// A message forwarded around the ring returns to its origin after n hops.
+	s := sim.New()
+	const n = 5
+	hops := 0
+	var handlers []Handler
+	var ring *Ring
+	for i := 0; i < n; i++ {
+		i := i
+		handlers = append(handlers, handlerFuncs{
+			data: func(m Message) {
+				hops++
+				if hops < n {
+					ring.SendData(i, m, true)
+				}
+			},
+		})
+	}
+	ring = NewRing(s, DefaultRingConfig(), handlers)
+	ring.SendData(0, msg(1<<20), true)
+	s.Run()
+	if hops != n {
+		t.Fatalf("hops = %d, want %d", hops, n)
+	}
+}
+
+type handlerFuncs struct {
+	data func(Message)
+	req  func(Message)
+}
+
+func (h handlerFuncs) HandleData(m Message) {
+	if h.data != nil {
+		h.data(m)
+	}
+}
+func (h handlerFuncs) HandleRequest(m Message) {
+	if h.req != nil {
+		h.req(m)
+	}
+}
+
+func TestRingPanicsOnTooFewNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRing(sim.New(), DefaultRingConfig(), []Handler{&collector{}})
+}
+
+func TestSerializationTimeMatchesPaperNumbers(t *testing.T) {
+	// A 10 MB BAT on a 10 Gb/s link serializes in 8 ms.
+	l := NewLink(sim.New(), DefaultLinkConfig(), func(Message) {})
+	got := l.SerializationTime(10 << 20)
+	want := time.Duration(float64(10<<20) / 1.25e9 * float64(time.Second))
+	if got != want {
+		t.Fatalf("SerializationTime = %v, want %v", got, want)
+	}
+	if got < 8*time.Millisecond || got > 9*time.Millisecond {
+		t.Fatalf("10MB at 10Gb/s = %v, want ~8.4ms", got)
+	}
+}
+
+// Property: delivered bytes equals the sum of accepted message sizes;
+// accepted + dropped = sent attempts.
+func TestPropertyConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := sim.New()
+		var deliveredBytes uint64
+		cfg := LinkConfig{Bandwidth: 1e6, Delay: time.Millisecond, QueueCap: 40000}
+		l := NewLink(s, cfg, func(m Message) { deliveredBytes += uint64(m.WireSize()) })
+		var acceptedBytes uint64
+		attempts := 0
+		for _, sz := range sizes {
+			attempts++
+			if l.Send(msg(sz), false) {
+				acceptedBytes += uint64(sz)
+			}
+		}
+		s.Run()
+		st := l.Stats()
+		return deliveredBytes == acceptedBytes &&
+			st.Sent+st.Dropped == uint64(attempts) &&
+			st.Delivered == st.Sent &&
+			l.Queued() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FIFO order is preserved per link.
+func TestPropertyFIFO(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := sim.New()
+		var order []int
+		cfg := LinkConfig{Bandwidth: 1e6, Delay: 5 * time.Millisecond}
+		var got []int
+		l := NewLink(s, cfg, func(m Message) { got = append(got, m.(seqMsgT).id) })
+		for i, sz := range sizes {
+			order = append(order, i)
+			l.Send(seqMsgT{i, int(sz)}, false)
+		}
+		s.Run()
+		if len(got) != len(order) {
+			return false
+		}
+		for i := range got {
+			if got[i] != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type seqMsgT struct{ id, size int }
+
+func (m seqMsgT) WireSize() int { return m.size }
+
+func BenchmarkLinkSend(b *testing.B) {
+	s := sim.New()
+	l := NewLink(s, DefaultLinkConfig(), func(Message) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Send(msg(1<<20), true)
+		if i%1000 == 999 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

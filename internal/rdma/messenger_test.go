@@ -1,0 +1,133 @@
+package rdma
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMessengerRoundtrip(t *testing.T) {
+	qa, qb := NewPair(MessengerDepth)
+	a, err := NewMessenger(qa, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMessenger(qb, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		data, err := b.Recv()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- data
+	}()
+	if err := a.Send([]byte("spin the ring")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-done:
+		if !bytes.Equal(data, []byte("spin the ring")) {
+			t.Fatalf("recv = %q", data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv timeout")
+	}
+}
+
+func TestMessengerManyMessages(t *testing.T) {
+	qa, qb := NewPair(MessengerDepth)
+	a, _ := NewMessenger(qa, 256)
+	b, _ := NewMessenger(qb, 256)
+	defer a.Close()
+	defer b.Close()
+
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errs := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			data, err := b.Recv()
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := fmt.Sprintf("msg-%04d", i)
+			if string(data) != want {
+				errs <- fmt.Errorf("got %q want %q (ordering)", data, want)
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := 0; i < n; i++ {
+		if err := a.Send([]byte(fmt.Sprintf("msg-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessengerTooLarge(t *testing.T) {
+	qa, qb := NewPair(MessengerDepth)
+	a, errA := NewMessenger(qa, 16)
+	b, errB := NewMessenger(qb, 16)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(make([]byte, 17)); err != ErrTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+	if a.MaxMessage() != 16 {
+		t.Fatal("MaxMessage wrong")
+	}
+}
+
+func TestMessengerCloseUnblocksRecv(t *testing.T) {
+	qa, qb := NewPair(MessengerDepth)
+	a, errA := NewMessenger(qa, 16)
+	b, errB := NewMessenger(qb, 16)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv should fail after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestNewMessengerBadSize(t *testing.T) {
+	qa, qb := NewPair(MessengerDepth)
+	defer qa.Close()
+	defer qb.Close()
+	if _, err := NewMessenger(qa, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}

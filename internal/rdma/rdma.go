@@ -1,0 +1,505 @@
+// Package rdma emulates the Remote Direct Memory Access facilities the
+// Data Cyclotron targets (§2). Real RDMA hardware is not available in
+// this environment, so the package provides:
+//
+//   - an RDMA-shaped transport API — memory regions that must be
+//     registered before use, queue pairs with asynchronous post-send /
+//     post-receive and completion polling — implemented over in-process
+//     channels and TCP;
+//   - the analytical CPU-load model behind Figure 1, quantifying why
+//     only full RDMA (not mere NIC offload) removes the local I/O
+//     bottleneck.
+//
+// The Data Cyclotron protocols only rely on asynchronous, ordered,
+// point-to-point delivery between ring neighbours, which this emulation
+// provides with the same API shape real verbs would.
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by the transport.
+var (
+	ErrNotRegistered = errors.New("rdma: memory region not registered")
+	ErrClosed        = errors.New("rdma: queue pair closed")
+	ErrTooLarge      = errors.New("rdma: message exceeds region size")
+	ErrQueueFull     = errors.New("rdma: receive queue full")
+)
+
+// MemoryRegion is a registered buffer. Registration pins the memory
+// with the (emulated) NIC and yields a steering key, mirroring §2.1.
+type MemoryRegion struct {
+	buf        []byte
+	key        uint32
+	registered bool
+}
+
+// Bytes exposes the region's buffer.
+func (mr *MemoryRegion) Bytes() []byte { return mr.buf }
+
+// Key returns the registration key.
+func (mr *MemoryRegion) Key() uint32 { return mr.key }
+
+// Registered reports registration state.
+func (mr *MemoryRegion) Registered() bool { return mr.registered }
+
+// Device is the emulated RNIC: it registers memory and opens queue
+// pairs. A zero Device is ready to use.
+type Device struct {
+	nextKey uint32
+}
+
+// RegisterMemory pins a buffer of the given size. This is the expensive
+// operation §2.3 warns about, so callers should register long-lived
+// buffers once and reuse them.
+func (d *Device) RegisterMemory(size int) *MemoryRegion {
+	key := atomic.AddUint32(&d.nextKey, 1)
+	return &MemoryRegion{buf: make([]byte, size), key: key, registered: true}
+}
+
+// Deregister unpins the region.
+func (d *Device) Deregister(mr *MemoryRegion) { mr.registered = false }
+
+// Completion reports the outcome of an asynchronous work request.
+type Completion struct {
+	// Bytes transferred.
+	Bytes int
+	// Err is non-nil when the work request failed.
+	Err error
+}
+
+// QueuePair is a point-to-point asynchronous channel between two ring
+// neighbours: sends and receives are posted, completions are polled —
+// the RDMA execution model that lets computation overlap communication
+// (§2.3). Implementations: inproc (pipe) and TCP.
+type QueuePair interface {
+	// PostSend queues the first n bytes of mr for transmission and
+	// returns immediately; the completion arrives on SendCompletions.
+	PostSend(mr *MemoryRegion, n int) error
+	// PostRecv queues mr to receive one message; the completion
+	// arrives on RecvCompletions with the byte count. Like real verbs
+	// the receive queue has finite depth: ErrQueueFull when exceeded.
+	PostRecv(mr *MemoryRegion) error
+	// SendCompletions returns the send completion queue.
+	SendCompletions() <-chan Completion
+	// RecvCompletions returns the receive completion queue. The channel
+	// is closed when the queue pair shuts down.
+	RecvCompletions() <-chan Completion
+	// Done is closed when the queue pair shuts down.
+	Done() <-chan struct{}
+	// Close tears the pair down; posted requests complete with ErrClosed.
+	Close() error
+}
+
+// ---------------------------------------------------------------------
+// In-process provider
+// ---------------------------------------------------------------------
+
+type inprocMsg struct {
+	data []byte
+}
+
+// inprocQP is one endpoint of an in-process queue pair.
+type inprocQP struct {
+	out chan<- inprocMsg
+	in  <-chan inprocMsg
+
+	mu       sync.Mutex
+	closed   bool
+	sendCQ   chan Completion
+	recvCQ   chan Completion
+	recvPend chan *MemoryRegion
+	done     chan struct{}
+	loopDone chan struct{}
+}
+
+// NewPair creates two connected in-process queue pairs (one per ring
+// neighbour). depth bounds the number of in-flight messages.
+func NewPair(depth int) (QueuePair, QueuePair) {
+	if depth <= 0 {
+		depth = 16
+	}
+	ab := make(chan inprocMsg, depth)
+	ba := make(chan inprocMsg, depth)
+	a := newInprocQP(ab, ba, depth)
+	b := newInprocQP(ba, ab, depth)
+	return a, b
+}
+
+func newInprocQP(out chan<- inprocMsg, in <-chan inprocMsg, depth int) *inprocQP {
+	qp := &inprocQP{
+		out:      out,
+		in:       in,
+		sendCQ:   make(chan Completion, depth*2),
+		recvCQ:   make(chan Completion, depth*2),
+		recvPend: make(chan *MemoryRegion, depth*2),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	go qp.receiveLoop()
+	return qp
+}
+
+func (qp *inprocQP) receiveLoop() {
+	defer close(qp.loopDone)
+	for {
+		select {
+		case <-qp.done:
+			return
+		case msg, ok := <-qp.in:
+			if !ok {
+				return
+			}
+			select {
+			case mr := <-qp.recvPend:
+				n := copy(mr.buf, msg.data)
+				qp.recvCQ <- Completion{Bytes: n}
+			case <-qp.done:
+				return
+			}
+		}
+	}
+}
+
+func (qp *inprocQP) PostSend(mr *MemoryRegion, n int) error {
+	if !mr.registered {
+		return ErrNotRegistered
+	}
+	if n > len(mr.buf) {
+		return ErrTooLarge
+	}
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return ErrClosed
+	}
+	qp.mu.Unlock()
+	// Zero-copy semantics of real RDMA cannot be faked safely across
+	// goroutines; copy once (this is the "data copying" cost the CPU
+	// model charges the legacy stack with — the emulation is honest
+	// about being an emulation).
+	data := make([]byte, n)
+	copy(data, mr.buf[:n])
+	go func() {
+		select {
+		case qp.out <- inprocMsg{data: data}:
+			qp.sendCQ <- Completion{Bytes: n}
+		case <-qp.done:
+			select {
+			case qp.sendCQ <- Completion{Err: ErrClosed}:
+			default:
+			}
+		}
+	}()
+	return nil
+}
+
+func (qp *inprocQP) PostRecv(mr *MemoryRegion) error {
+	if !mr.registered {
+		return ErrNotRegistered
+	}
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return ErrClosed
+	}
+	qp.mu.Unlock()
+	select {
+	case qp.recvPend <- mr:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+func (qp *inprocQP) SendCompletions() <-chan Completion { return qp.sendCQ }
+func (qp *inprocQP) RecvCompletions() <-chan Completion { return qp.recvCQ }
+func (qp *inprocQP) Done() <-chan struct{}              { return qp.done }
+
+func (qp *inprocQP) Close() error {
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return nil
+	}
+	qp.closed = true
+	qp.mu.Unlock()
+	close(qp.done)
+	<-qp.loopDone // receiveLoop is the only recvCQ writer
+	close(qp.recvCQ)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// TCP provider
+// ---------------------------------------------------------------------
+
+// tcpQP frames messages over a TCP connection: 4-byte length prefix +
+// payload. It keeps the same post/poll API shape.
+type tcpQP struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	closed bool
+	sendCQ chan Completion
+	recvCQ chan Completion
+
+	sendQ    chan []byte
+	recvPend chan *MemoryRegion
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewTCP wraps an established connection in a queue pair.
+func NewTCP(conn net.Conn) QueuePair {
+	qp := &tcpQP{
+		conn:     conn,
+		sendCQ:   make(chan Completion, 64),
+		recvCQ:   make(chan Completion, 64),
+		sendQ:    make(chan []byte, 64),
+		recvPend: make(chan *MemoryRegion, 64),
+		done:     make(chan struct{}),
+	}
+	qp.wg.Add(2)
+	go qp.sendLoop()
+	go qp.recvLoop()
+	return qp
+}
+
+func (qp *tcpQP) sendLoop() {
+	defer qp.wg.Done()
+	var hdr [4]byte
+	for {
+		select {
+		case <-qp.done:
+			return
+		case data := <-qp.sendQ:
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+			if _, err := qp.conn.Write(hdr[:]); err != nil {
+				qp.sendCQ <- Completion{Err: err}
+				continue
+			}
+			if _, err := qp.conn.Write(data); err != nil {
+				qp.sendCQ <- Completion{Err: err}
+				continue
+			}
+			qp.sendCQ <- Completion{Bytes: len(data)}
+		}
+	}
+}
+
+func (qp *tcpQP) recvLoop() {
+	defer qp.wg.Done()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(qp.conn, hdr[:]); err != nil {
+			qp.failPendingRecv(err)
+			return
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		var mr *MemoryRegion
+		select {
+		case mr = <-qp.recvPend:
+		case <-qp.done:
+			return
+		}
+		if n > len(mr.buf) {
+			// Drain and report.
+			io.CopyN(io.Discard, qp.conn, int64(n))
+			qp.recvCQ <- Completion{Err: ErrTooLarge}
+			continue
+		}
+		if _, err := io.ReadFull(qp.conn, mr.buf[:n]); err != nil {
+			qp.recvCQ <- Completion{Err: err}
+			return
+		}
+		qp.recvCQ <- Completion{Bytes: n}
+	}
+}
+
+func (qp *tcpQP) failPendingRecv(err error) {
+	select {
+	case <-qp.recvPend:
+		select {
+		case qp.recvCQ <- Completion{Err: err}:
+		default:
+		}
+	default:
+	}
+}
+
+func (qp *tcpQP) PostSend(mr *MemoryRegion, n int) error {
+	if !mr.registered {
+		return ErrNotRegistered
+	}
+	if n > len(mr.buf) {
+		return ErrTooLarge
+	}
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return ErrClosed
+	}
+	qp.mu.Unlock()
+	data := make([]byte, n)
+	copy(data, mr.buf[:n])
+	select {
+	case qp.sendQ <- data:
+		return nil
+	case <-qp.done:
+		return ErrClosed
+	}
+}
+
+func (qp *tcpQP) PostRecv(mr *MemoryRegion) error {
+	if !mr.registered {
+		return ErrNotRegistered
+	}
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return ErrClosed
+	}
+	qp.mu.Unlock()
+	select {
+	case qp.recvPend <- mr:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+func (qp *tcpQP) SendCompletions() <-chan Completion { return qp.sendCQ }
+func (qp *tcpQP) RecvCompletions() <-chan Completion { return qp.recvCQ }
+func (qp *tcpQP) Done() <-chan struct{}              { return qp.done }
+
+func (qp *tcpQP) Close() error {
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return nil
+	}
+	qp.closed = true
+	qp.mu.Unlock()
+	close(qp.done)
+	err := qp.conn.Close() // unblocks the receive loop
+	qp.wg.Wait()
+	close(qp.recvCQ)
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: CPU-load model
+// ---------------------------------------------------------------------
+
+// Stack identifies the network processing architecture of Figure 1.
+type Stack int
+
+// The three compared configurations.
+const (
+	// LegacyStack does everything on the CPU: kernel TCP/IP, driver,
+	// context switches, and intermediate data copies.
+	LegacyStack Stack = iota
+	// NICOffload moves TCP processing to the NIC but still copies data
+	// between network buffers and application memory.
+	NICOffload
+	// RDMA places data directly in application memory: no copies, no
+	// kernel involvement.
+	RDMA
+)
+
+func (s Stack) String() string {
+	switch s {
+	case LegacyStack:
+		return "everything-on-cpu"
+	case NICOffload:
+		return "network-stack-on-nic"
+	case RDMA:
+		return "rdma"
+	}
+	return fmt.Sprintf("stack(%d)", int(s))
+}
+
+// CPUBreakdown is the per-component CPU load (fraction of one core) for
+// a given stack at a given throughput.
+type CPUBreakdown struct {
+	Stack           Stack
+	NetworkStack    float64
+	Driver          float64
+	ContextSwitches float64
+	DataCopying     float64
+}
+
+// Total sums the components.
+func (b CPUBreakdown) Total() float64 {
+	return b.NetworkStack + b.Driver + b.ContextSwitches + b.DataCopying
+}
+
+// CPUModel computes Figure 1's breakdown. It encodes the rule of thumb
+// of §2.2 — about 1 GHz of CPU per 1 Gb/s of network throughput on a
+// legacy stack — split over the cost components shown in the figure
+// (data copying dominates), and the observation that offloading the
+// stack alone does not remove the copy cost, while RDMA reduces local
+// I/O overhead to nearly zero.
+func CPUModel(stack Stack, gbps, cpuGHz float64) CPUBreakdown {
+	if gbps < 0 || cpuGHz <= 0 {
+		panic("rdma: invalid CPU model parameters")
+	}
+	// Legacy total load: 1 GHz per 1 Gb/s.
+	legacyTotal := gbps / cpuGHz
+	// Component shares of the legacy cost (after Figure 1 / [13]):
+	const (
+		copyShare   = 0.50
+		stackShare  = 0.25
+		driverShare = 0.15
+		ctxShare    = 0.10
+	)
+	switch stack {
+	case LegacyStack:
+		return CPUBreakdown{
+			Stack:           stack,
+			NetworkStack:    legacyTotal * stackShare,
+			Driver:          legacyTotal * driverShare,
+			ContextSwitches: legacyTotal * ctxShare,
+			DataCopying:     legacyTotal * copyShare,
+		}
+	case NICOffload:
+		// Stack processing moves to the NIC; copies and (reduced)
+		// driver/context costs remain.
+		return CPUBreakdown{
+			Stack:           stack,
+			Driver:          legacyTotal * driverShare * 0.5,
+			ContextSwitches: legacyTotal * ctxShare * 0.5,
+			DataCopying:     legacyTotal * copyShare,
+		}
+	case RDMA:
+		// Direct data placement: one DMA pass, no kernel, no copies.
+		return CPUBreakdown{
+			Stack:       stack,
+			DataCopying: legacyTotal * 0.02, // residual completion handling
+		}
+	}
+	panic("rdma: unknown stack")
+}
+
+// MemoryBusCrossings reports how many times a transferred byte crosses
+// the memory bus under each stack (§2.2: the kernel stack crosses
+// several times; RDMA exactly once).
+func MemoryBusCrossings(stack Stack) int {
+	switch stack {
+	case LegacyStack:
+		return 3
+	case NICOffload:
+		return 2
+	case RDMA:
+		return 1
+	}
+	return 0
+}

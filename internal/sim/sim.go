@@ -1,0 +1,200 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// It is the replacement for the NS-2 core used in the paper's evaluation:
+// a virtual clock plus an event heap. All Data Cyclotron protocol code is
+// written against this clock so that every experiment is reproducible
+// bit-for-bit from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration for convenience; link delays and
+// processing times are expressed with it.
+type Duration = time.Duration
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once removed
+	cancel bool
+}
+
+// At reports the virtual time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending event set.
+// The zero value is ready to use.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// New returns a simulator with its clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now reports the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired reports how many events have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule runs fn after delay d of virtual time. A negative delay is
+// treated as zero. The returned event may be cancelled.
+func (s *Simulator) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t. Times in the past are
+// clamped to the current time (the event still fires after all events
+// already scheduled for Now).
+func (s *Simulator) ScheduleAt(t Time, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step fires the next event, if any, advancing the clock to its time.
+// It reports whether an event was fired.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with times <= t, then advances the clock to t.
+// Events scheduled exactly at t do fire.
+func (s *Simulator) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.events) == 0 {
+			break
+		}
+		// Peek at the earliest non-cancelled event.
+		e := s.events[0]
+		if e.cancel {
+			heap.Pop(&s.events)
+			continue
+		}
+		if e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Ticker invokes fn every period until cancelled via the returned stop
+// function. The first invocation happens after one period.
+func (s *Simulator) Ticker(period Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			s.Schedule(period, tick)
+		}
+	}
+	s.Schedule(period, tick)
+	return func() { stopped = true }
+}

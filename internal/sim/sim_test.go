@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Simulator
+	fired := false
+	s.Schedule(time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if got := s.Now(); got != Time(time.Second) {
+		t.Fatalf("Now() = %v, want 1s", got)
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3*time.Second, func() { order = append(order, 3) })
+	s.Schedule(1*time.Second, func() { order = append(order, 1) })
+	s.Schedule(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(time.Second, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var e *Event
+	e.Cancel() // must not panic
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	count := 0
+	var rec func()
+	rec = func() {
+		count++
+		if count < 5 {
+			s.Schedule(time.Millisecond, rec)
+		}
+	}
+	s.Schedule(0, rec)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if got, want := s.Now(), Time(4*time.Millisecond); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	s := New()
+	s.Schedule(time.Second, func() {
+		e := s.ScheduleAt(0, func() {})
+		if e.At() != s.Now() {
+			t.Errorf("past event at %v, want clamped to %v", e.At(), s.Now())
+		}
+	})
+	s.Run()
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("negative-delay event: fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var times []Time
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Second
+		s.Schedule(d, func() { times = append(times, s.Now()) })
+	}
+	s.RunUntil(Time(3 * time.Second))
+	if len(times) != 3 {
+		t.Fatalf("fired %d events, want 3", len(times))
+	}
+	if s.Now() != Time(3*time.Second) {
+		t.Fatalf("Now() = %v, want 3s", s.Now())
+	}
+	s.RunUntil(Time(10 * time.Second))
+	if len(times) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(times))
+	}
+	if s.Now() != Time(10*time.Second) {
+		t.Fatalf("Now() = %v, want 10s (clock advances past last event)", s.Now())
+	}
+}
+
+func TestRunUntilFiresBoundary(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(time.Second, func() { fired = true })
+	s.RunUntil(Time(time.Second))
+	if !fired {
+		t.Fatal("event exactly at boundary did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (Stop should halt the loop)", count)
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 after resuming", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	count := 0
+	var stop func()
+	stop = s.Ticker(time.Second, func() {
+		count++
+		if count == 4 {
+			stop()
+		}
+	})
+	s.RunUntil(Time(100 * time.Second))
+	if count != 4 {
+		t.Fatalf("ticks = %d, want 4", count)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0 after ticker stop", s.Pending())
+	}
+}
+
+func TestTickerPanicsOnZeroPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Ticker(0, func() {})
+}
+
+func TestFiredCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.Schedule(time.Duration(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", s.Fired())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(1500 * time.Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", tm.Seconds())
+	}
+	if tm.Add(500*time.Millisecond) != Time(2*time.Second) {
+		t.Errorf("Add failed")
+	}
+	if tm.Sub(Time(time.Second)) != 500*time.Millisecond {
+		t.Errorf("Sub failed")
+	}
+	if tm.String() != "1.500s" {
+		t.Errorf("String() = %q", tm.String())
+	}
+}
+
+// Property: for any set of delays, events fire in non-decreasing time
+// order and the clock ends at the max delay.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint32) bool {
+		s := New()
+		var fireTimes []Time
+		var max Time
+		for _, d := range delays {
+			dd := Duration(d % 1e9)
+			at := Time(dd)
+			if at > max {
+				max = at
+			}
+			s.Schedule(dd, func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.Run()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] }) {
+			return false
+		}
+		return len(delays) == 0 || s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		s := New()
+		n := 1 + rng.Intn(100)
+		fired := 0
+		events := make([]*Event, n)
+		for i := range events {
+			events[i] = s.Schedule(Duration(rng.Intn(1000)), func() { fired++ })
+		}
+		cancelled := 0
+		for _, e := range events {
+			if rng.Intn(2) == 0 {
+				e.Cancel()
+				cancelled++
+			}
+		}
+		s.Run()
+		if fired != n-cancelled {
+			t.Fatalf("fired = %d, want %d", fired, n-cancelled)
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 100; j++ {
+			s.Schedule(Duration(j), func() {})
+		}
+		s.Run()
+	}
+}

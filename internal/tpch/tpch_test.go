@@ -1,0 +1,256 @@
+package tpch
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mal"
+	"repro/internal/minisql"
+)
+
+func TestQueriesWellFormed(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 22 {
+		t.Fatalf("queries = %d, want 22", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if seen[q.Name] {
+			t.Fatalf("duplicate %s", q.Name)
+		}
+		seen[q.Name] = true
+		if len(q.Columns) == 0 {
+			t.Fatalf("%s touches no columns", q.Name)
+		}
+		if q.Time <= 0 {
+			t.Fatalf("%s has no CPU time", q.Name)
+		}
+		colSeen := map[TraceColumn]bool{}
+		for _, c := range q.Columns {
+			if colSeen[c] {
+				t.Fatalf("%s touches %v twice", q.Name, c)
+			}
+			colSeen[c] = true
+			if _, ok := tableRowsSF1[c.Table]; !ok {
+				t.Fatalf("%s references unknown table %q", q.Name, c.Table)
+			}
+		}
+	}
+}
+
+func TestMixCalibration(t *testing.T) {
+	// The Gaussian(10,2) mix should average ≈1.05s CPU per query, so
+	// 1200 queries on 4 cores ≈ 315s — the paper's single-node total.
+	w := DefaultWorkload(1)
+	mean := w.MeanQueryTime(rand.New(rand.NewSource(1)), 200000)
+	if mean < 950*time.Millisecond || mean > 1200*time.Millisecond {
+		t.Fatalf("mean query CPU = %v, want ≈1.05s", mean)
+	}
+}
+
+func TestCatalogPartitioning(t *testing.T) {
+	cat := BuildCatalog(5, 10)
+	if cat.NumBATs() == 0 {
+		t.Fatal("empty catalog")
+	}
+	// lineitem columns at SF-5 are 240MB: must be partitioned.
+	parts := cat.Partitions("lineitem", "l_quantity")
+	if len(parts) < 2 {
+		t.Fatalf("lineitem partitions = %d, want several", len(parts))
+	}
+	// nation is tiny: single partition.
+	if n := len(cat.Partitions("nation", "n_nationkey")); n != 1 {
+		t.Fatalf("nation partitions = %d, want 1", n)
+	}
+	for _, s := range cat.Specs() {
+		if s.Size <= 0 || s.Size > PartitionBytes {
+			t.Fatalf("BAT %d size %d outside (0,%d]", s.ID, s.Size, PartitionBytes)
+		}
+	}
+	if cat.TotalBytes() < 1<<30 {
+		t.Fatalf("SF-5 dataset = %d bytes, suspiciously small", cat.TotalBytes())
+	}
+}
+
+func TestWorkloadBuild(t *testing.T) {
+	cat := BuildCatalog(5, 4)
+	w := DefaultWorkload(4)
+	w.QueriesPerNode = 50
+	specs := w.Build(rand.New(rand.NewSource(2)), cat)
+	if len(specs) != 200 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for _, q := range specs {
+		if len(q.Steps) == 0 {
+			t.Fatal("query with no steps")
+		}
+		var total time.Duration
+		for _, s := range q.Steps {
+			total += s.Proc
+			if _, ok := findSpec(cat, s.BAT); !ok {
+				t.Fatalf("query references unknown BAT %d", s.BAT)
+			}
+		}
+		if total < 200*time.Millisecond || total > 5*time.Second {
+			t.Fatalf("query CPU %v outside plausible range", total)
+		}
+	}
+	// Registration spacing: 8/s.
+	if specs[1].Arrival-specs[0].Arrival != 125*time.Millisecond {
+		t.Fatalf("registration interval = %v", specs[1].Arrival-specs[0].Arrival)
+	}
+}
+
+func findSpec(cat *Catalog, id core.BATID) (cluster.BATSpec, bool) {
+	for _, s := range cat.Specs() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return cluster.BATSpec{}, false
+}
+
+func TestSingleNodeMakespanMatchesPaperBallpark(t *testing.T) {
+	// Two-node ring with all data owned by node 0 and all queries on
+	// node 0 == the paper's simulated single node: no remote waits.
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.CoresPerNode = 4
+	cfg.Ring.Data.QueueCap = 1 << 30
+	c := cluster.New(cfg)
+	cat := BuildCatalog(5, 1) // all owned by node 0
+	for _, s := range cat.Specs() {
+		c.AddBAT(s)
+	}
+	w := DefaultWorkload(1)
+	w.QueriesPerNode = 300 // scaled down 4x for test speed
+	specs := w.Build(rand.New(rand.NewSource(3)), cat)
+	for _, q := range specs {
+		c.Submit(q)
+	}
+	end := c.Run(30 * time.Minute)
+	if c.QueriesDone() != 300 {
+		t.Fatalf("done = %d", c.QueriesDone())
+	}
+	// 300 queries ≈ 315 CPU-seconds over 4 cores ≈ 79s; registration
+	// takes 37.5s. Expect makespan near max(79, 37.5) with some tail.
+	sec := end.Seconds()
+	if sec < 60 || sec > 110 {
+		t.Fatalf("single-node makespan = %.1fs, want ≈80s (quarter of the paper's 317s)", sec)
+	}
+	util := c.CPUUtilization(end) * 2 // node 1 idles; count node 0 only
+	if util < 0.85 {
+		t.Fatalf("CPU utilization = %.2f, want near-optimal (paper: 99.7%%)", util)
+	}
+}
+
+func TestGenDBDeterministic(t *testing.T) {
+	a := GenDB(0.001, 7)
+	b := GenDB(0.001, 7)
+	ca, _ := a.Column("lineitem", "l_quantity")
+	cb, _ := b.Column("lineitem", "l_quantity")
+	if ca.Len() != cb.Len() {
+		t.Fatal("nondeterministic row count")
+	}
+	for i := 0; i < ca.Len(); i++ {
+		if ca.Tail().Int(i) != cb.Tail().Int(i) {
+			t.Fatal("nondeterministic data")
+		}
+	}
+}
+
+func TestGenDBShape(t *testing.T) {
+	db := GenDB(0.001, 1)
+	if got := db.Rows("lineitem"); got != 6000 {
+		t.Fatalf("lineitem rows = %d, want 6000", got)
+	}
+	if got := db.Rows("orders"); got != 1500 {
+		t.Fatalf("orders rows = %d", got)
+	}
+	if got := db.Rows("nation"); got != 25 {
+		t.Fatalf("nation rows = %d", got)
+	}
+	if len(db.Columns()) < 15 {
+		t.Fatalf("columns = %d", len(db.Columns()))
+	}
+}
+
+func TestExecutableQ1(t *testing.T) {
+	db := GenDB(0.001, 1)
+	plan, err := minisql.Compile(Q1SQL, db.Schema(), "sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), Catalog: db}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := v.(*mal.ResultSet)
+	// 3 return flags x 2 statuses = up to 6 groups.
+	if rs.NumRows() < 4 || rs.NumRows() > 6 {
+		t.Fatalf("Q1 groups = %d", rs.NumRows())
+	}
+	// Aggregate sanity: count_order sums to the number of qualifying rows.
+	lship, _ := db.Column("lineitem", "l_shipdate")
+	qualifying := 0
+	for i := 0; i < lship.Len(); i++ {
+		if lship.Tail().Int(i) <= 19980902 {
+			qualifying++
+		}
+	}
+	var total int64
+	idx := len(rs.Names) - 1 // count_order is last
+	for _, row := range rs.Rows() {
+		total += row[idx].(int64)
+	}
+	if int(total) != qualifying {
+		t.Fatalf("count_order total = %d, want %d", total, qualifying)
+	}
+}
+
+func TestExecutableQ6ish(t *testing.T) {
+	db := GenDB(0.001, 1)
+	plan, err := minisql.Compile(Q6ishSQL, db.Schema(), "sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), Catalog: db}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := v.(*mal.ResultSet)
+	if rs.NumRows() != 1 {
+		t.Fatalf("rows = %d", rs.NumRows())
+	}
+	if cnt := rs.Row(0)[1].(int64); cnt <= 0 {
+		t.Fatalf("no qualifying rows; data generator too narrow (count=%d)", cnt)
+	}
+}
+
+func TestExecutableQ3ish(t *testing.T) {
+	db := GenDB(0.001, 1)
+	plan, err := minisql.Compile(Q3ishSQL, db.Schema(), "sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), Catalog: db, Workers: 4}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := v.(*mal.ResultSet)
+	if rs.NumRows() == 0 || rs.NumRows() > 10 {
+		t.Fatalf("Q3 rows = %d (limit 10)", rs.NumRows())
+	}
+	// Revenue ordered descending.
+	prev := rs.Row(0)[1].(float64)
+	for i := 1; i < rs.NumRows(); i++ {
+		cur := rs.Row(i)[1].(float64)
+		if cur > prev {
+			t.Fatal("revenue not descending")
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,303 @@
+// Package tpch provides the TPC-H substrate of the evaluation (§5.4):
+//
+//   - a trace model of the 22 queries — which columns (BATs) each query
+//     touches and how much operator CPU time it spends — calibrated so a
+//     simulated single node reproduces the paper's Table-4 baseline
+//     (1200 queries, 8 q/s registration, 4 cores, ≈317 s at ≈99% CPU);
+//   - a deterministic mini data generator producing real relational
+//     columns for the executable SQL examples and the live ring.
+//
+// Substitution note (documented in DESIGN.md): the paper calibrates with
+// proprietary MonetDB traces; we synthesize equivalent traces. Column
+// BATs larger than PartitionBytes are range-partitioned and each query
+// instance touches one partition per column — across the 1200-query
+// stream the interest covers all partitions, which preserves the hot-set
+// behaviour the experiment measures.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// PartitionBytes caps the size of one column partition BAT.
+const PartitionBytes = 16 << 20
+
+// RowBytes is the assumed per-value width of a column (MonetDB's dense
+// binary columns; strings are dictionary-encoded in this model).
+const RowBytes = 8
+
+// Table rows per scale factor 1.
+var tableRowsSF1 = map[string]int{
+	"lineitem": 6_000_000,
+	"orders":   1_500_000,
+	"partsupp": 800_000,
+	"part":     200_000,
+	"customer": 150_000,
+	"supplier": 10_000,
+	"nation":   25,
+	"region":   5,
+}
+
+// TraceColumn names one column touched by a query.
+type TraceColumn struct {
+	Table  string
+	Column string
+}
+
+// QueryTrace describes one of the 22 TPC-H queries for the simulator.
+type QueryTrace struct {
+	Name    string
+	Columns []TraceColumn
+	// Time is the net CPU time of the query at SF-5 on the simulated
+	// engine (the sum of all operator execution times in the trace).
+	Time time.Duration
+}
+
+func cols(table string, names ...string) []TraceColumn {
+	out := make([]TraceColumn, len(names))
+	for i, n := range names {
+		out[i] = TraceColumn{Table: table, Column: n}
+	}
+	return out
+}
+
+func concat(groups ...[]TraceColumn) []TraceColumn {
+	var out []TraceColumn
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// traceCalibration scales the synthetic per-query times so that the
+// Gaussian(10,2) mix averages ≈1.056 s of CPU per query — the value
+// that reproduces Table 4's single-node total (1200 queries × 1.056 s /
+// 4 cores ≈ 317 s).
+const traceCalibration = 1.121
+
+// Queries returns the 22 query traces, ordered Q1..Q22. The CPU times
+// are synthetic but follow the well-known relative weight of the
+// queries (Q1/Q9/Q18/Q21 heavy; Q2/Q6/Q13 light) and are calibrated so
+// the Gaussian(10,2) mix of §5.4 averages ≈1.05 s of CPU per query,
+// reproducing the paper's single-node totals.
+func Queries() []QueryTrace {
+	ms := func(v int) time.Duration {
+		return time.Duration(float64(v) * traceCalibration * float64(time.Millisecond))
+	}
+	return []QueryTrace{
+		{"Q1", cols("lineitem", "l_shipdate", "l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus"), ms(2600)},
+		{"Q2", concat(cols("part", "p_partkey", "p_size", "p_type"), cols("supplier", "s_suppkey", "s_nationkey"), cols("partsupp", "ps_partkey", "ps_suppkey", "ps_supplycost"), cols("nation", "n_nationkey", "n_regionkey"), cols("region", "r_regionkey", "r_name")), ms(320)},
+		{"Q3", concat(cols("customer", "c_custkey", "c_mktsegment"), cols("orders", "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"), cols("lineitem", "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate")), ms(1250)},
+		{"Q4", concat(cols("orders", "o_orderkey", "o_orderdate", "o_orderpriority"), cols("lineitem", "l_orderkey", "l_commitdate", "l_receiptdate")), ms(900)},
+		{"Q5", concat(cols("customer", "c_custkey", "c_nationkey"), cols("orders", "o_orderkey", "o_custkey", "o_orderdate"), cols("lineitem", "l_orderkey", "l_suppkey", "l_extendedprice"), cols("supplier", "s_suppkey", "s_nationkey"), cols("nation", "n_nationkey", "n_regionkey"), cols("region", "r_regionkey", "r_name")), ms(1500)},
+		{"Q6", cols("lineitem", "l_shipdate", "l_discount", "l_quantity", "l_extendedprice"), ms(280)},
+		{"Q7", concat(cols("supplier", "s_suppkey", "s_nationkey"), cols("lineitem", "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"), cols("orders", "o_orderkey", "o_custkey"), cols("customer", "c_custkey", "c_nationkey"), cols("nation", "n_nationkey", "n_name")), ms(1650)},
+		{"Q8", concat(cols("part", "p_partkey", "p_type"), cols("supplier", "s_suppkey", "s_nationkey"), cols("lineitem", "l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"), cols("orders", "o_orderkey", "o_custkey", "o_orderdate"), cols("customer", "c_custkey", "c_nationkey"), cols("nation", "n_nationkey", "n_regionkey"), cols("region", "r_regionkey", "r_name")), ms(1400)},
+		{"Q9", concat(cols("part", "p_partkey", "p_name"), cols("supplier", "s_suppkey", "s_nationkey"), cols("lineitem", "l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount", "l_quantity"), cols("partsupp", "ps_partkey", "ps_suppkey", "ps_supplycost"), cols("orders", "o_orderkey", "o_orderdate"), cols("nation", "n_nationkey", "n_name")), ms(3300)},
+		{"Q10", concat(cols("customer", "c_custkey", "c_name", "c_nationkey", "c_acctbal"), cols("orders", "o_orderkey", "o_custkey", "o_orderdate"), cols("lineitem", "l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"), cols("nation", "n_nationkey", "n_name")), ms(1350)},
+		{"Q11", concat(cols("partsupp", "ps_partkey", "ps_suppkey", "ps_supplycost"), cols("supplier", "s_suppkey", "s_nationkey"), cols("nation", "n_nationkey", "n_name")), ms(420)},
+		{"Q12", concat(cols("orders", "o_orderkey", "o_orderpriority"), cols("lineitem", "l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate", "l_shipdate")), ms(1000)},
+		{"Q13", concat(cols("customer", "c_custkey"), cols("orders", "o_custkey", "o_comment")), ms(650)},
+		{"Q14", concat(cols("lineitem", "l_partkey", "l_extendedprice", "l_discount", "l_shipdate"), cols("part", "p_partkey", "p_type")), ms(700)},
+		{"Q15", concat(cols("lineitem", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"), cols("supplier", "s_suppkey", "s_name")), ms(750)},
+		{"Q16", concat(cols("partsupp", "ps_partkey", "ps_suppkey"), cols("part", "p_partkey", "p_brand", "p_type", "p_size"), cols("supplier", "s_suppkey", "s_comment")), ms(550)},
+		{"Q17", concat(cols("lineitem", "l_partkey", "l_quantity", "l_extendedprice"), cols("part", "p_partkey", "p_brand", "p_container")), ms(1800)},
+		{"Q18", concat(cols("customer", "c_custkey", "c_name"), cols("orders", "o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"), cols("lineitem", "l_orderkey", "l_quantity")), ms(2900)},
+		{"Q19", concat(cols("lineitem", "l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipmode", "l_shipinstruct"), cols("part", "p_partkey", "p_brand", "p_container", "p_size")), ms(1100)},
+		{"Q20", concat(cols("supplier", "s_suppkey", "s_name", "s_nationkey"), cols("nation", "n_nationkey", "n_name"), cols("partsupp", "ps_partkey", "ps_suppkey", "ps_availqty"), cols("part", "p_partkey", "p_name"), cols("lineitem", "l_partkey", "l_suppkey", "l_quantity")), ms(1200)},
+		{"Q21", concat(cols("supplier", "s_suppkey", "s_name", "s_nationkey"), cols("lineitem", "l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"), cols("orders", "o_orderkey", "o_orderstatus"), cols("nation", "n_nationkey", "n_name")), ms(3100)},
+		{"Q22", concat(cols("customer", "c_custkey", "c_phone", "c_acctbal"), cols("orders", "o_custkey")), ms(380)},
+	}
+}
+
+// Catalog maps every (table, column, partition) of the touched columns
+// to a BAT id with its size, for a given scale factor.
+type Catalog struct {
+	SF float64
+	// ids[table.column] = BAT ids of the column's partitions.
+	ids   map[string][]core.BATID
+	specs []cluster.BATSpec
+}
+
+// BuildCatalog allocates partitioned column BATs for every column any
+// query touches, assigning owners round-robin over nodes.
+func BuildCatalog(sf float64, nodes int) *Catalog {
+	cat := &Catalog{SF: sf, ids: map[string][]core.BATID{}}
+	next := core.BATID(0)
+	seen := map[string]bool{}
+	for _, q := range Queries() {
+		for _, c := range q.Columns {
+			key := c.Table + "." + c.Column
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rows := int(float64(tableRowsSF1[c.Table]) * sf)
+			if rows < 1 {
+				rows = 1
+			}
+			bytes := rows * RowBytes
+			nparts := (bytes + PartitionBytes - 1) / PartitionBytes
+			if nparts < 1 {
+				nparts = 1
+			}
+			per := bytes / nparts
+			for p := 0; p < nparts; p++ {
+				cat.ids[key] = append(cat.ids[key], next)
+				cat.specs = append(cat.specs, cluster.BATSpec{
+					ID:    next,
+					Size:  per,
+					Owner: core.NodeID(int(next) % nodes),
+					Tag:   c.Table,
+				})
+				next++
+			}
+		}
+	}
+	return cat
+}
+
+// Specs returns the BAT specs to populate a cluster with.
+func (c *Catalog) Specs() []cluster.BATSpec { return c.specs }
+
+// NumBATs reports the catalog size.
+func (c *Catalog) NumBATs() int { return len(c.specs) }
+
+// TotalBytes reports the dataset size.
+func (c *Catalog) TotalBytes() int {
+	t := 0
+	for _, s := range c.specs {
+		t += s.Size
+	}
+	return t
+}
+
+// Partitions returns the BAT ids of one column.
+func (c *Catalog) Partitions(table, column string) []core.BATID {
+	return c.ids[table+"."+column]
+}
+
+// WorkloadConfig describes the §5.4 experiment.
+type WorkloadConfig struct {
+	Nodes          int
+	QueriesPerNode int     // paper: 1200
+	Rate           float64 // registrations per second per node (paper: 8)
+	MixMean        float64 // Gaussian schedule mean (paper: 10)
+	MixStd         float64 // Gaussian schedule std (paper: 2)
+	// OpShare is the fraction of a query's CPU spent between pins (the
+	// OpT gaps); the rest is the tail T after the last pin.
+	OpShare float64
+}
+
+// DefaultWorkload mirrors §5.4.
+func DefaultWorkload(nodes int) WorkloadConfig {
+	return WorkloadConfig{
+		Nodes:          nodes,
+		QueriesPerNode: 1200,
+		Rate:           8,
+		MixMean:        10,
+		MixStd:         2,
+		OpShare:        0.55,
+	}
+}
+
+// Build generates the query stream: queries per node registered at Rate,
+// template chosen by rank ~ N(MixMean, MixStd) over the queries sorted
+// by CPU time (fast queries more likely). Each query pins one partition
+// per touched column, with operator-time gaps between pins.
+func (w WorkloadConfig) Build(rng *rand.Rand, cat *Catalog) []cluster.QuerySpec {
+	qs := Queries()
+	// Sort by time ascending = speed rank (they are close to sorted;
+	// do it properly).
+	sorted := make([]QueryTrace, len(qs))
+	copy(sorted, qs)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Time < sorted[j-1].Time; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	interval := time.Duration(float64(time.Second) / w.Rate)
+	var specs []cluster.QuerySpec
+	id := int64(0)
+	for node := 0; node < w.Nodes; node++ {
+		for k := 0; k < w.QueriesPerNode; k++ {
+			rank := int(rng.NormFloat64()*w.MixStd + w.MixMean)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > len(sorted) {
+				rank = len(sorted)
+			}
+			q := sorted[rank-1]
+			spec := w.instance(rng, cat, q, core.NodeID(node))
+			spec.ID = core.QueryID(id)
+			spec.Arrival = time.Duration(k) * interval
+			specs = append(specs, spec)
+			id++
+		}
+	}
+	return specs
+}
+
+// instance builds one query execution trace: a pin per touched column
+// partition with OpT gaps, per the §5.4 calibration scheme.
+func (w WorkloadConfig) instance(rng *rand.Rand, cat *Catalog, q QueryTrace, node core.NodeID) cluster.QuerySpec {
+	n := len(q.Columns)
+	opTotal := time.Duration(float64(q.Time) * w.OpShare)
+	tail := q.Time - opTotal
+	perOp := opTotal / time.Duration(n)
+	steps := make([]cluster.Step, 0, n)
+	for i, c := range q.Columns {
+		parts := cat.Partitions(c.Table, c.Column)
+		b := parts[rng.Intn(len(parts))]
+		proc := perOp
+		if i == n-1 {
+			proc += tail // the T after the last pin
+		}
+		steps = append(steps, cluster.Step{BAT: b, Proc: proc})
+	}
+	return cluster.QuerySpec{Node: node, Steps: steps, Tag: q.Name}
+}
+
+// MeanQueryTime reports the expected CPU per query under the mix, for
+// calibration checks.
+func (w WorkloadConfig) MeanQueryTime(rng *rand.Rand, samples int) time.Duration {
+	cat := Queries()
+	sorted := make([]QueryTrace, len(cat))
+	copy(sorted, cat)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Time < sorted[j-1].Time; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var total time.Duration
+	for i := 0; i < samples; i++ {
+		rank := int(rng.NormFloat64()*w.MixStd + w.MixMean)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		total += sorted[rank-1].Time
+	}
+	return total / time.Duration(samples)
+}
+
+// BaselineEfficiency models the real-engine (MonetDB) baseline of
+// Table 4: thread management and client context switches keep the CPU
+// at ~70%, so the measured wall-clock is simulated-ideal / efficiency.
+const BaselineEfficiency = 317.0 / 420.0
+
+// BaselineCPUPercent is the CPU utilization Table 4 reports for the
+// MonetDB baseline.
+const BaselineCPUPercent = 70.0
+
+func (c *Catalog) String() string {
+	return fmt.Sprintf("tpch.Catalog{SF=%.1f, BATs=%d, bytes=%d}", c.SF, len(c.specs), c.TotalBytes())
+}

@@ -1,0 +1,268 @@
+// Package workload builds the datasets and query streams of the paper's
+// evaluation (§5): the uniform 8 GB / 1000-BAT dataset, the §5.1
+// synthetic query mix, the Table-3 skewed workloads, and the §5.3
+// Gaussian access pattern. All generation is driven by a seeded
+// math/rand.Rand, so every experiment is reproducible.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// DatasetConfig describes the base dataset of §5: BATs with sizes
+// uniform in [MinSize, MaxSize], uniformly distributed over the nodes.
+type DatasetConfig struct {
+	NumBATs int
+	MinSize int
+	MaxSize int
+	Nodes   int
+	// TagOf optionally labels BATs (used by the skewed workloads to
+	// track disjoint hot sets).
+	TagOf func(id int) string
+}
+
+// DefaultDataset is the paper's 8 GB raw dataset: 1000 BATs, 1-10 MB.
+func DefaultDataset(nodes int) DatasetConfig {
+	return DatasetConfig{
+		NumBATs: 1000,
+		MinSize: 1 << 20,
+		MaxSize: 10 << 20,
+		Nodes:   nodes,
+	}
+}
+
+// Build materializes the dataset into BAT specs. Owners are assigned
+// round-robin after a seeded shuffle ("randomly assigned to nodes").
+func (d DatasetConfig) Build(rng *rand.Rand) []cluster.BATSpec {
+	specs := make([]cluster.BATSpec, d.NumBATs)
+	perm := rng.Perm(d.NumBATs)
+	for i := 0; i < d.NumBATs; i++ {
+		size := d.MinSize
+		if d.MaxSize > d.MinSize {
+			size += rng.Intn(d.MaxSize - d.MinSize + 1)
+		}
+		tag := ""
+		if d.TagOf != nil {
+			tag = d.TagOf(i)
+		}
+		specs[i] = cluster.BATSpec{
+			ID:    core.BATID(i),
+			Size:  size,
+			Owner: core.NodeID(perm[i] % d.Nodes),
+			Tag:   tag,
+		}
+	}
+	return specs
+}
+
+// Populate adds every spec to the cluster.
+func Populate(c *cluster.Cluster, specs []cluster.BATSpec) map[core.BATID]core.NodeID {
+	owners := make(map[core.BATID]core.NodeID, len(specs))
+	for _, s := range specs {
+		c.AddBAT(s)
+		owners[s.ID] = s.Owner
+	}
+	return owners
+}
+
+// SyntheticConfig describes the §5.1 query stream: Rate queries per
+// second fired at each node for Duration, each accessing between
+// MinBATs and MaxBATs distinct remote BATs, scoring each with a
+// processing time uniform in [MinProc, MaxProc].
+type SyntheticConfig struct {
+	Nodes    int
+	Rate     float64 // queries per second per node (paper: 80)
+	Duration time.Duration
+	MinBATs  int // paper: 1
+	MaxBATs  int // paper: 5
+	MinProc  time.Duration
+	MaxProc  time.Duration
+	// Pick chooses a BAT id given the generator; nil means uniform over
+	// [0, NumBATs). The Gaussian workload of §5.3 substitutes a normal
+	// distribution here.
+	Pick    func(rng *rand.Rand) int
+	NumBATs int
+	Tag     string
+	// Start shifts all arrivals (used by the skewed workloads).
+	Start time.Duration
+	// FirstID seeds query ids to keep streams disjoint.
+	FirstID int64
+}
+
+// DefaultSynthetic is the §5.1 setup: 80 q/s on each of 10 nodes for
+// 60 s (48 000 queries), 1-5 BATs, 100-200 ms per BAT.
+func DefaultSynthetic(nodes int) SyntheticConfig {
+	return SyntheticConfig{
+		Nodes:    nodes,
+		Rate:     80,
+		Duration: 60 * time.Second,
+		MinBATs:  1,
+		MaxBATs:  5,
+		MinProc:  100 * time.Millisecond,
+		MaxProc:  200 * time.Millisecond,
+		NumBATs:  1000,
+	}
+}
+
+// Build generates the query stream. Queries access remote BATs only
+// ("we are primarily interested in the adaptive behavior of the ring
+// structure itself", §5), so picks owned by the query's node are
+// rejected and redrawn.
+func (s SyntheticConfig) Build(rng *rand.Rand, owners map[core.BATID]core.NodeID) []cluster.QuerySpec {
+	perNode := int(s.Rate * s.Duration.Seconds())
+	var specs []cluster.QuerySpec
+	id := s.FirstID
+	pick := s.Pick
+	if pick == nil {
+		pick = func(rng *rand.Rand) int { return rng.Intn(s.NumBATs) }
+	}
+	interval := time.Duration(float64(time.Second) / s.Rate)
+	for node := 0; node < s.Nodes; node++ {
+		for k := 0; k < perNode; k++ {
+			// Jittered arrivals around the nominal rate.
+			arrival := s.Start + time.Duration(k)*interval +
+				time.Duration(rng.Int63n(int64(interval)))
+			n := s.MinBATs
+			if s.MaxBATs > s.MinBATs {
+				n += rng.Intn(s.MaxBATs - s.MinBATs + 1)
+			}
+			steps := make([]cluster.Step, 0, n)
+			seen := map[int]bool{}
+			for len(steps) < n {
+				b := pick(rng)
+				if b < 0 {
+					b = 0
+				}
+				if b >= s.NumBATs {
+					b = s.NumBATs - 1
+				}
+				if seen[b] {
+					continue
+				}
+				if owners[core.BATID(b)] == core.NodeID(node) {
+					continue // remote BATs only
+				}
+				seen[b] = true
+				proc := s.MinProc
+				if s.MaxProc > s.MinProc {
+					proc += time.Duration(rng.Int63n(int64(s.MaxProc - s.MinProc)))
+				}
+				steps = append(steps, cluster.Step{BAT: core.BATID(b), Proc: proc})
+			}
+			specs = append(specs, cluster.QuerySpec{
+				ID:      core.QueryID(id),
+				Node:    core.NodeID(node),
+				Arrival: arrival,
+				Steps:   steps,
+				Tag:     s.Tag,
+			})
+			id++
+		}
+	}
+	return specs
+}
+
+// GaussianPick returns a §5.3 BAT chooser: ids drawn from N(mean, std),
+// clamped to [0, n).
+func GaussianPick(mean, std float64, n int) func(*rand.Rand) int {
+	return func(rng *rand.Rand) int {
+		v := int(math.Round(rng.NormFloat64()*std + mean))
+		if v < 0 {
+			v = 0
+		}
+		if v >= n {
+			v = n - 1
+		}
+		return v
+	}
+}
+
+// ---------------------------------------------------------------------
+// Skewed workloads (§5.2, Table 3)
+// ---------------------------------------------------------------------
+
+// SkewedWorkload is one SW row of Table 3.
+type SkewedWorkload struct {
+	Name  string
+	Skew  int // D_i = BATs whose id % Skew == 0
+	Start time.Duration
+	End   time.Duration
+	Rate  float64 // queries per second over the whole ring
+	Tag   string
+}
+
+// Table3 returns the four workloads exactly as specified.
+func Table3() []SkewedWorkload {
+	return []SkewedWorkload{
+		{Name: "SW1", Skew: 3, Start: 0, End: 30 * time.Second, Rate: 200, Tag: "sw1"},
+		{Name: "SW2", Skew: 5, Start: 15 * time.Second, End: 45 * time.Second, Rate: 300, Tag: "sw2"},
+		{Name: "SW3", Skew: 7, Start: 37500 * time.Millisecond, End: 67500 * time.Millisecond, Rate: 400, Tag: "sw3"},
+		{Name: "SW4", Skew: 9, Start: 67500 * time.Millisecond, End: 97500 * time.Millisecond, Rate: 500, Tag: "sw4"},
+	}
+}
+
+// DisjointTag labels a BAT id with the disjoint hot set DH_i it belongs
+// to, per §5.2: DH_i ⊆ D_i and disjoint from the other workloads' data,
+// except DH4 ⊂ DH1 (every multiple of 9 is a multiple of 3).
+func DisjointTag(id int) string {
+	m3, m5, m7, m9 := id%3 == 0, id%5 == 0, id%7 == 0, id%9 == 0
+	switch {
+	case m9 && !m5 && !m7:
+		return "dh4"
+	case m7 && !m3 && !m5:
+		return "dh3"
+	case m5 && !m3 && !m7:
+		return "dh2"
+	case m3 && !m5 && !m7:
+		return "dh1"
+	}
+	return ""
+}
+
+// BuildSkewed generates the query streams of all Table-3 workloads.
+// Each SW_i accesses its D_i uniformly; queries use 1-5 distinct remote
+// BATs with the §5.1 processing times.
+func BuildSkewed(rng *rand.Rand, workloads []SkewedWorkload, nodes, numBATs int, owners map[core.BATID]core.NodeID) []cluster.QuerySpec {
+	var specs []cluster.QuerySpec
+	id := int64(0)
+	for _, w := range workloads {
+		var members []int
+		for b := 0; b < numBATs; b++ {
+			if b%w.Skew == 0 {
+				members = append(members, b)
+			}
+		}
+		cfg := SyntheticConfig{
+			Nodes:    nodes,
+			Rate:     w.Rate / float64(nodes),
+			Duration: w.End - w.Start,
+			MinBATs:  1,
+			MaxBATs:  5,
+			MinProc:  100 * time.Millisecond,
+			MaxProc:  200 * time.Millisecond,
+			NumBATs:  numBATs,
+			Tag:      w.Tag,
+			Start:    w.Start,
+			FirstID:  id,
+			Pick: func(rng *rand.Rand) int {
+				return members[rng.Intn(len(members))]
+			},
+		}
+		batch := cfg.Build(rng, owners)
+		specs = append(specs, batch...)
+		id += int64(len(batch)) + 1
+	}
+	return specs
+}
+
+// Submit feeds every query spec into the cluster.
+func Submit(c *cluster.Cluster, specs []cluster.QuerySpec) {
+	for _, q := range specs {
+		c.Submit(q)
+	}
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func TestDatasetBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := DefaultDataset(10)
+	specs := d.Build(rng)
+	if len(specs) != 1000 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	total := 0
+	perNode := map[core.NodeID]int{}
+	for i, s := range specs {
+		if s.ID != core.BATID(i) {
+			t.Fatalf("ids not sequential")
+		}
+		if s.Size < 1<<20 || s.Size > 10<<20 {
+			t.Fatalf("size %d out of [1MB,10MB]", s.Size)
+		}
+		total += s.Size
+		perNode[s.Owner]++
+	}
+	// ~8 GB raw dataset, ~0.8 GB per node ownership.
+	if total < 4<<30 || total > 9<<30 {
+		t.Fatalf("total dataset = %d bytes, want ~5.5GB", total)
+	}
+	if len(perNode) != 10 {
+		t.Fatalf("owners = %d nodes", len(perNode))
+	}
+	for n, cnt := range perNode {
+		if cnt != 100 {
+			t.Fatalf("node %d owns %d BATs, want 100 (uniform)", n, cnt)
+		}
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	d := DefaultDataset(10)
+	a := d.Build(rand.New(rand.NewSource(42)))
+	b := d.Build(rand.New(rand.NewSource(42)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("dataset generation not deterministic")
+		}
+	}
+}
+
+func ownersOf(specs []cluster.BATSpec) map[core.BATID]core.NodeID {
+	m := map[core.BATID]core.NodeID{}
+	for _, s := range specs {
+		m[s.ID] = s.Owner
+	}
+	return m
+}
+
+func TestSyntheticBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := DefaultDataset(10)
+	owners := ownersOf(d.Build(rng))
+	cfg := DefaultSynthetic(10)
+	cfg.Duration = 5 * time.Second // keep the test small
+	specs := cfg.Build(rng, owners)
+	if len(specs) != 10*80*5 {
+		t.Fatalf("queries = %d, want 4000", len(specs))
+	}
+	ids := map[core.QueryID]bool{}
+	for _, q := range specs {
+		if ids[q.ID] {
+			t.Fatal("duplicate query id")
+		}
+		ids[q.ID] = true
+		if len(q.Steps) < 1 || len(q.Steps) > 5 {
+			t.Fatalf("steps = %d", len(q.Steps))
+		}
+		if q.Arrival < 0 || q.Arrival > 6*time.Second {
+			t.Fatalf("arrival = %v", q.Arrival)
+		}
+		seen := map[core.BATID]bool{}
+		for _, s := range q.Steps {
+			if seen[s.BAT] {
+				t.Fatal("duplicate BAT within query")
+			}
+			seen[s.BAT] = true
+			if owners[s.BAT] == q.Node {
+				t.Fatal("query accesses a local BAT (must be remote only)")
+			}
+			if s.Proc < 100*time.Millisecond || s.Proc > 200*time.Millisecond {
+				t.Fatalf("proc = %v", s.Proc)
+			}
+		}
+	}
+}
+
+func TestGaussianPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pick := GaussianPick(500, 50, 1000)
+	counts := map[int]int{}
+	inVogue := 0
+	for i := 0; i < 10000; i++ {
+		v := pick(rng)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("pick out of range: %d", v)
+		}
+		counts[v]++
+		if v >= 350 && v <= 650 {
+			inVogue++
+		}
+	}
+	// Nearly all mass within 3 sigma.
+	if float64(inVogue)/10000 < 0.99 {
+		t.Fatalf("in-vogue fraction = %v, want >0.99", float64(inVogue)/10000)
+	}
+	if counts[500] == 0 || counts[10] > counts[500] {
+		t.Fatal("distribution not centered at 500")
+	}
+}
+
+func TestDisjointTag(t *testing.T) {
+	cases := map[int]string{
+		3:  "dh1", // 3: only mult of 3
+		9:  "dh4", // mult of 9 (and 3): DH4 ⊂ DH1
+		5:  "dh2",
+		7:  "dh3",
+		15: "", // mult of 3 and 5: shared, not disjoint
+		21: "", // 3 and 7
+		35: "", // 5 and 7
+		45: "", // 9 and 5
+		63: "", // 9 and 7
+		1:  "", // no workload at all
+		6:  "dh1",
+	}
+	for id, want := range cases {
+		if got := DisjointTag(id); got != want {
+			t.Errorf("DisjointTag(%d) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestTable3Matches(t *testing.T) {
+	ws := Table3()
+	if len(ws) != 4 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	wantSkew := []int{3, 5, 7, 9}
+	wantRate := []float64{200, 300, 400, 500}
+	for i, w := range ws {
+		if w.Skew != wantSkew[i] || w.Rate != wantRate[i] {
+			t.Fatalf("workload %d = %+v", i, w)
+		}
+	}
+	// 50% overlap between SW1 and SW2, 25% between SW2/SW3, 0 SW3/SW4.
+	if ws[0].End-ws[1].Start != 15*time.Second {
+		t.Fatal("SW1/SW2 overlap wrong")
+	}
+	if ws[2].Start != ws[3].Start-30*time.Second {
+		t.Fatal("SW3/SW4 offset wrong")
+	}
+}
+
+func TestBuildSkewedRespectsMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := DefaultDataset(10)
+	d.TagOf = DisjointTag
+	owners := ownersOf(d.Build(rng))
+	specs := BuildSkewed(rng, Table3(), 10, 1000, owners)
+	if len(specs) == 0 {
+		t.Fatal("no queries")
+	}
+	for _, q := range specs {
+		var skew int
+		switch q.Tag {
+		case "sw1":
+			skew = 3
+		case "sw2":
+			skew = 5
+		case "sw3":
+			skew = 7
+		case "sw4":
+			skew = 9
+		default:
+			t.Fatalf("unexpected tag %q", q.Tag)
+		}
+		for _, s := range q.Steps {
+			if int(s.BAT)%skew != 0 {
+				t.Fatalf("%s query uses BAT %d (not in D)", q.Tag, s.BAT)
+			}
+		}
+	}
+}
+
+func TestEndToEndSmallRun(t *testing.T) {
+	// A miniature §5.1 run: everything wired together.
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	c := cluster.New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	d := DatasetConfig{NumBATs: 64, MinSize: 1 << 20, MaxSize: 2 << 20, Nodes: 4}
+	owners := Populate(c, d.Build(rng))
+	s := SyntheticConfig{
+		Nodes: 4, Rate: 20, Duration: 2 * time.Second,
+		MinBATs: 1, MaxBATs: 3,
+		MinProc: 10 * time.Millisecond, MaxProc: 20 * time.Millisecond,
+		NumBATs: 64,
+	}
+	specs := s.Build(rng, owners)
+	Submit(c, specs)
+	c.Run(2 * time.Minute)
+	if c.QueriesDone() != len(specs) {
+		t.Fatalf("done = %d / %d", c.QueriesDone(), len(specs))
+	}
+	if c.Metrics().Errors != 0 {
+		t.Fatalf("errors = %d", c.Metrics().Errors)
+	}
+}
