@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bat"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -249,6 +250,42 @@ func BenchmarkTPCHMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if specs := w.Build(rng, cat); len(specs) != 800 {
 			b.Fatal("bad workload")
+		}
+	}
+}
+
+// BenchmarkBATQueryPipeline runs a realistic 1M-row operator chain
+// through the public kernel API — range select, positional fetch join,
+// grouped sum — the shape every live-ring query and TPC-H trace replay
+// reduces to. Companion microbenchmarks (typed vs boxed, sorted vs
+// unsorted) live in internal/bat.
+func BenchmarkBATQueryPipeline(b *testing.B) {
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(4))
+	dates := make([]int64, n)
+	keys := make([]int64, n)
+	qty := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dates[i] = int64(19920000 + rng.Intn(70000))
+		keys[i] = int64(rng.Intn(100))
+		qty[i] = float64(rng.Intn(50))
+	}
+	dateCol := bat.MakeInts("l_shipdate", dates)
+	keyCol := bat.MakeInts("l_key", keys)
+	qtyCol := bat.MakeFloats("l_qty", qty)
+	lo := &bat.Bound{Value: int64(19940101), Inclusive: true}
+	hi := &bat.Bound{Value: int64(19950101), Inclusive: false}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := dateCol.Select(lo, hi)     // qualifying rows [origPos | date]
+		pos := sel.MarkT(0).Reverse()     // [newPos | origPos]
+		k := pos.Join(keyCol)             // fetch keys   [newPos | key]
+		v := pos.Join(qtyCol)             // fetch values [newPos | qty]
+		groups, _ := k.GroupIDs()         // group by key
+		sums := bat.GroupedSum(groups, v) // per-group sums
+		if sums.Len() != 100 {
+			b.Fatal("bad group count")
 		}
 	}
 }

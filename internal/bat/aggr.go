@@ -1,6 +1,14 @@
 package bat
 
-import "fmt"
+import (
+	"cmp"
+	"fmt"
+)
+
+// Aggregation and grouping kernels. Like ops.go, every operator here
+// dispatches on the column kind once per call and then runs a
+// monomorphic loop; sorted tails group/dedup by adjacent comparison
+// with no hash table at all.
 
 // Sum reduces the tail column to a scalar sum. Int columns sum to int64,
 // float columns to float64.
@@ -19,9 +27,14 @@ func (b *BAT) Sum() any {
 		}
 		return s
 	case KOid:
+		if b.t.dense {
+			// Arithmetic series: n*base + 0+1+...+(n-1).
+			n := int64(b.t.n)
+			return n*int64(b.t.base) + n*(n-1)/2
+		}
 		var s int64
-		for i := 0; i < b.t.Len(); i++ {
-			s += int64(b.t.Oid(i))
+		for _, o := range b.t.oids {
+			s += int64(o)
 		}
 		return s
 	}
@@ -37,18 +50,57 @@ func (b *BAT) Min() any { return b.extreme(-1) }
 // Max returns the maximum tail value, or nil when empty.
 func (b *BAT) Max() any { return b.extreme(1) }
 
-func (b *BAT) extreme(sign int) any {
-	if b.Len() == 0 {
-		return nil
-	}
-	best := b.t.Value(0)
-	for i := 1; i < b.Len(); i++ {
-		v := b.t.Value(i)
-		if cmpValues(b.t.kind, v, best) == sign {
-			best = v
+// extremeOf scans a typed payload for its minimum or maximum.
+func extremeOf[T cmp.Ordered](vals []T, wantMax bool) T {
+	best := vals[0]
+	if wantMax {
+		for _, v := range vals[1:] {
+			if v > best {
+				best = v
+			}
+		}
+	} else {
+		for _, v := range vals[1:] {
+			if v < best {
+				best = v
+			}
 		}
 	}
 	return best
+}
+
+func (b *BAT) extreme(sign int) any {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	t := b.t
+	wantMax := sign > 0
+	if t.Sorted() && t.kind != KBool {
+		// Sorted tails answer extremes in O(1).
+		if wantMax {
+			return t.Value(n - 1)
+		}
+		return t.Value(0)
+	}
+	switch t.kind {
+	case KOid:
+		return extremeOf(t.oids, wantMax)
+	case KInt:
+		return extremeOf(t.ints, wantMax)
+	case KFloat:
+		return extremeOf(t.floats, wantMax)
+	case KStr:
+		return extremeOf(t.strs, wantMax)
+	case KBool:
+		for _, v := range t.bools {
+			if v == wantMax {
+				return wantMax
+			}
+		}
+		return !wantMax
+	}
+	panic("bat: bad kind")
 }
 
 // Avg returns the arithmetic mean of a numeric tail as float64.
@@ -65,36 +117,155 @@ func (b *BAT) Avg() float64 {
 	panic("bat: Avg over non-numeric tail")
 }
 
-// GroupIDs assigns a dense group id to each row based on its tail value
-// (group.new): the result is [head | group oid], plus a representative
-// BAT [group oid | tail value] in first-appearance order.
-func (b *BAT) GroupIDs() (groups, reps *BAT) {
-	ids := make([]Oid, b.Len())
-	idOf := make(map[any]Oid, b.Len())
-	var repIdx []int
-	for i := 0; i < b.Len(); i++ {
-		k := b.t.Value(i)
-		id, ok := idOf[k]
-		if !ok {
+// groupKeys assigns dense group ids by first appearance using a typed
+// hash table: one map instantiation per kind.
+func groupKeys[T comparable](vals []T) (ids []Oid, repIdx []int32) {
+	ids = make([]Oid, len(vals))
+	idOf := make(map[T]Oid, len(vals))
+	for i, v := range vals {
+		id, seen := idOf[v]
+		if !seen {
 			id = Oid(len(repIdx))
-			idOf[k] = id
-			repIdx = append(repIdx, i)
+			idOf[v] = id
+			repIdx = append(repIdx, int32(i))
 		}
 		ids[i] = id
 	}
-	groups = &BAT{Name: b.Name, h: b.h.take(identity(b.Len())), t: OidColumn(ids)}
-	reps = &BAT{Name: b.Name, h: DenseColumn(0, len(repIdx)), t: b.t.take(repIdx)}
-	// groups keeps b's head; take(identity) materializes it.
-	groups.h = b.h.take(identity(b.Len()))
+	return ids, repIdx
+}
+
+// groupSortedKeys is groupKeys over a sorted payload: group boundaries
+// are adjacent-value changes, no hash table needed.
+func groupSortedKeys[T comparable](vals []T) (ids []Oid, repIdx []int32) {
+	ids = make([]Oid, len(vals))
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			repIdx = append(repIdx, int32(i))
+		}
+		ids[i] = Oid(len(repIdx) - 1)
+	}
+	return ids, repIdx
+}
+
+// groupTail computes group ids and representative row positions for b's
+// tail, picking the sorted or hashed kernel per kind.
+func (b *BAT) groupTail() (ids []Oid, repIdx []int32) {
+	t := b.t
+	if t.dense {
+		// Every value is distinct: each row is its own group.
+		ids = make([]Oid, t.n)
+		repIdx = make([]int32, t.n)
+		for i := range ids {
+			ids[i] = Oid(i)
+			repIdx[i] = int32(i)
+		}
+		return ids, repIdx
+	}
+	sorted := t.Sorted()
+	switch t.kind {
+	case KOid:
+		if sorted {
+			return groupSortedKeys(t.oids)
+		}
+		return groupKeys(t.oids)
+	case KInt:
+		if sorted {
+			return groupSortedKeys(t.ints)
+		}
+		return groupKeys(t.ints)
+	case KFloat:
+		if sorted {
+			return groupSortedKeys(t.floats)
+		}
+		return groupKeys(t.floats)
+	case KStr:
+		if sorted {
+			return groupSortedKeys(t.strs)
+		}
+		return groupKeys(t.strs)
+	case KBool:
+		return groupKeys(t.bools)
+	}
+	panic("bat: bad kind")
+}
+
+// GroupIDs assigns a dense group id to each row based on its tail value
+// (group.new): the result is [head | group oid], plus a representative
+// BAT [group oid | tail value] in first-appearance order. The result
+// shares b's head zero-copy.
+func (b *BAT) GroupIDs() (groups, reps *BAT) {
+	ids, repIdx := b.groupTail()
+	gt := OidColumn(ids)
+	gt.sorted = b.t.Sorted() // sorted keys yield non-decreasing ids
+	groups = &BAT{Name: b.Name, h: b.h, t: gt}
+	reps = &BAT{Name: b.Name, h: DenseColumn(0, len(repIdx)), t: b.t.take32(repIdx)}
+	reps.t.sorted = b.t.Sorted()
 	return groups, reps
 }
 
-func identity(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+// GroupIDsPos is GroupIDs but returns representatives as row positions:
+// reps is [group oid | head oid of first row in group], so representative
+// key values can be fetched by joining reps against any aligned column.
+func (b *BAT) GroupIDsPos() (groups, reps *BAT) {
+	ids, repIdx := b.groupTail()
+	gt := OidColumn(ids)
+	gt.sorted = b.t.Sorted()
+	groups = &BAT{Name: b.Name, h: b.h, t: gt}
+	reps = New(b.Name, DenseColumn(0, len(repIdx)), b.h.take32(repIdx))
+	return groups, reps
+}
+
+// gpair is the typed composite key of GroupDerive.
+type gpair[T comparable] struct {
+	g Oid
+	v T
+}
+
+func deriveKeys[T comparable](gids []Oid, vals []T) (ids []Oid, repIdx []int32) {
+	ids = make([]Oid, len(vals))
+	idOf := make(map[gpair[T]]Oid, len(vals))
+	for i, v := range vals {
+		k := gpair[T]{gids[i], v}
+		id, seen := idOf[k]
+		if !seen {
+			id = Oid(len(repIdx))
+			idOf[k] = id
+			repIdx = append(repIdx, int32(i))
+		}
+		ids[i] = id
 	}
-	return idx
+	return ids, repIdx
+}
+
+// GroupDerive refines an existing grouping by an additional key column
+// (MAL's group.derive): rows belong to the same refined group iff they
+// share both the old group id and the key value. Returns the refined
+// [head | group oid] plus a representative row BAT [group oid | row pos]
+// usable to fetch representative key values.
+func GroupDerive(groups, keys *BAT) (refined, reps *BAT) {
+	if groups.Len() != keys.Len() {
+		panic("bat: GroupDerive length mismatch")
+	}
+	gids := groups.t.oidValues()
+	var ids []Oid
+	var repIdx []int32
+	switch keys.t.kind {
+	case KOid:
+		ids, repIdx = deriveKeys(gids, keys.t.oidValues())
+	case KInt:
+		ids, repIdx = deriveKeys(gids, keys.t.ints)
+	case KFloat:
+		ids, repIdx = deriveKeys(gids, keys.t.floats)
+	case KStr:
+		ids, repIdx = deriveKeys(gids, keys.t.strs)
+	case KBool:
+		ids, repIdx = deriveKeys(gids, keys.t.bools)
+	default:
+		panic("bat: bad kind")
+	}
+	refined = &BAT{Name: groups.Name, h: groups.h, t: OidColumn(ids)}
+	reps = New(groups.Name, DenseColumn(0, len(repIdx)), groups.h.take32(repIdx))
+	return refined, reps
 }
 
 // GroupedSum computes per-group sums: groups maps row position to group
@@ -105,17 +276,20 @@ func GroupedSum(groups, vals *BAT) *BAT {
 		panic("bat: GroupedSum length mismatch")
 	}
 	ngroups := maxGroup(groups) + 1
+	gids := groups.t.oidValues()
 	switch vals.t.kind {
 	case KInt:
 		sums := make([]int64, ngroups)
-		for i := 0; i < groups.Len(); i++ {
-			sums[groups.t.Oid(i)] += vals.t.ints[i]
+		vv := vals.t.ints
+		for i, g := range gids {
+			sums[g] += vv[i]
 		}
 		return New(vals.Name, DenseColumn(0, ngroups), IntColumn(sums))
 	case KFloat:
 		sums := make([]float64, ngroups)
-		for i := 0; i < groups.Len(); i++ {
-			sums[groups.t.Oid(i)] += vals.t.floats[i]
+		vv := vals.t.floats
+		for i, g := range gids {
+			sums[g] += vv[i]
 		}
 		return New(vals.Name, DenseColumn(0, ngroups), FloatColumn(sums))
 	}
@@ -126,8 +300,8 @@ func GroupedSum(groups, vals *BAT) *BAT {
 func GroupedCount(groups *BAT) *BAT {
 	ngroups := maxGroup(groups) + 1
 	counts := make([]int64, ngroups)
-	for i := 0; i < groups.Len(); i++ {
-		counts[groups.t.Oid(i)]++
+	for _, g := range groups.t.oidValues() {
+		counts[g]++
 	}
 	return New(groups.Name, DenseColumn(0, ngroups), IntColumn(counts))
 }
@@ -159,103 +333,111 @@ func GroupedMin(groups, vals *BAT) *BAT { return groupedExtreme(groups, vals, -1
 // GroupedMax computes per-group maxima: [group oid | max].
 func GroupedMax(groups, vals *BAT) *BAT { return groupedExtreme(groups, vals, 1) }
 
+// extremeByGroup folds a typed payload to per-group minima or maxima.
+func extremeByGroup[T cmp.Ordered](gids []Oid, vals []T, ngroups int, wantMax bool) []T {
+	out := make([]T, ngroups)
+	set := make([]bool, ngroups)
+	for i, g := range gids {
+		v := vals[i]
+		switch {
+		case !set[g]:
+			set[g] = true
+			out[g] = v
+		case wantMax && v > out[g]:
+			out[g] = v
+		case !wantMax && v < out[g]:
+			out[g] = v
+		}
+	}
+	for g := range set {
+		if !set[g] {
+			panic("bat: empty group in grouped extreme")
+		}
+	}
+	return out
+}
+
 func groupedExtreme(groups, vals *BAT, sign int) *BAT {
 	if groups.Len() != vals.Len() {
 		panic("bat: grouped extreme length mismatch")
 	}
 	ngroups := maxGroup(groups) + 1
-	out := NewColumn(vals.t.kind)
-	set := make([]bool, ngroups)
-	tmp := make([]any, ngroups)
-	for i := 0; i < groups.Len(); i++ {
-		g := groups.t.Oid(i)
-		v := vals.t.Value(i)
-		if !set[g] || cmpValues(vals.t.kind, v, tmp[g]) == sign {
-			set[g] = true
-			tmp[g] = v
+	gids := groups.t.oidValues()
+	wantMax := sign > 0
+	var out *Column
+	switch vals.t.kind {
+	case KOid:
+		out = OidColumn(extremeByGroup(gids, vals.t.oidValues(), ngroups, wantMax))
+	case KInt:
+		out = IntColumn(extremeByGroup(gids, vals.t.ints, ngroups, wantMax))
+	case KFloat:
+		out = FloatColumn(extremeByGroup(gids, vals.t.floats, ngroups, wantMax))
+	case KStr:
+		out = StrColumn(extremeByGroup(gids, vals.t.strs, ngroups, wantMax))
+	case KBool:
+		// bool is not cmp.Ordered; widen to bytes (false < true).
+		bytes := make([]uint8, len(vals.t.bools))
+		for i, v := range vals.t.bools {
+			if v {
+				bytes[i] = 1
+			}
 		}
-	}
-	for g := 0; g < ngroups; g++ {
-		if !set[g] {
-			panic("bat: empty group in grouped extreme")
+		folded := extremeByGroup(gids, bytes, ngroups, wantMax)
+		bools := make([]bool, ngroups)
+		for i, v := range folded {
+			bools[i] = v == 1
 		}
-		out.Append(tmp[g])
+		out = BoolColumn(bools)
+	default:
+		panic("bat: bad kind")
 	}
 	return New(vals.Name, DenseColumn(0, ngroups), out)
-}
-
-// GroupIDsPos is GroupIDs but returns representatives as row positions:
-// reps is [group oid | head oid of first row in group], so representative
-// key values can be fetched by joining reps against any aligned column.
-func (b *BAT) GroupIDsPos() (groups, reps *BAT) {
-	ids := make([]Oid, b.Len())
-	idOf := make(map[any]Oid, b.Len())
-	var repIdx []int
-	for i := 0; i < b.Len(); i++ {
-		k := b.t.Value(i)
-		id, ok := idOf[k]
-		if !ok {
-			id = Oid(len(repIdx))
-			idOf[k] = id
-			repIdx = append(repIdx, i)
-		}
-		ids[i] = id
-	}
-	groups = &BAT{Name: b.Name, h: b.h.take(identity(b.Len())), t: OidColumn(ids)}
-	repOids := make([]Oid, len(repIdx))
-	for i, r := range repIdx {
-		repOids[i] = b.h.Oid(r)
-	}
-	reps = New(b.Name, DenseColumn(0, len(repIdx)), OidColumn(repOids))
-	return groups, reps
-}
-
-// GroupDerive refines an existing grouping by an additional key column
-// (MAL's group.derive): rows belong to the same refined group iff they
-// share both the old group id and the key value. Returns the refined
-// [head | group oid] plus a representative row BAT [group oid | row pos]
-// usable to fetch representative key values.
-func GroupDerive(groups, keys *BAT) (refined, reps *BAT) {
-	if groups.Len() != keys.Len() {
-		panic("bat: GroupDerive length mismatch")
-	}
-	type pair struct {
-		g Oid
-		v any
-	}
-	ids := make([]Oid, groups.Len())
-	idOf := make(map[pair]Oid, groups.Len())
-	var repIdx []int
-	for i := 0; i < groups.Len(); i++ {
-		k := pair{groups.t.Oid(i), keys.t.Value(i)}
-		id, ok := idOf[k]
-		if !ok {
-			id = Oid(len(repIdx))
-			idOf[k] = id
-			repIdx = append(repIdx, i)
-		}
-		ids[i] = id
-	}
-	refined = &BAT{Name: groups.Name, h: groups.h.take(identity(groups.Len())), t: OidColumn(ids)}
-	repOids := make([]Oid, len(repIdx))
-	for i, r := range repIdx {
-		repOids[i] = groups.h.Oid(r)
-	}
-	reps = New(groups.Name, DenseColumn(0, len(repIdx)), OidColumn(repOids))
-	return refined, reps
 }
 
 func maxGroup(groups *BAT) int {
 	if groups.t.kind != KOid {
 		panic("bat: group column must be oid")
 	}
+	if groups.t.dense {
+		return groups.t.n - 1
+	}
 	max := -1
-	for i := 0; i < groups.Len(); i++ {
-		if g := int(groups.t.Oid(i)); g > max {
-			max = g
+	for _, g := range groups.t.oids {
+		if int(g) > max {
+			max = int(g)
 		}
 	}
 	return max
+}
+
+// tailFloats returns the tail as a []float64: zero-copy for float
+// columns, one typed widening pass for int and OID tails.
+func tailFloats(b *BAT) []float64 {
+	t := b.t
+	switch t.kind {
+	case KFloat:
+		return t.floats
+	case KInt:
+		out := make([]float64, len(t.ints))
+		for i, v := range t.ints {
+			out[i] = float64(v)
+		}
+		return out
+	case KOid:
+		if t.dense {
+			out := make([]float64, t.n)
+			for i := range out {
+				out[i] = float64(t.base + Oid(i))
+			}
+			return out
+		}
+		out := make([]float64, len(t.oids))
+		for i, o := range t.oids {
+			out[i] = float64(o)
+		}
+		return out
+	}
+	panic(fmt.Sprintf("bat: non-numeric tail %s", t.kind))
 }
 
 // MulIF multiplies an int-tail BAT by a float-tail BAT positionally,
@@ -265,9 +447,10 @@ func MulIF(a, b *BAT) *BAT {
 	if a.Len() != b.Len() {
 		panic("bat: MulIF length mismatch")
 	}
-	out := make([]float64, a.Len())
+	af, bf := tailFloats(a), tailFloats(b)
+	out := make([]float64, len(af))
 	for i := range out {
-		out[i] = tailAsFloat(a, i) * tailAsFloat(b, i)
+		out[i] = af[i] * bf[i]
 	}
 	return New(a.Name, DenseColumn(0, len(out)), FloatColumn(out))
 }
@@ -277,39 +460,30 @@ func AddF(a, b *BAT) *BAT {
 	if a.Len() != b.Len() {
 		panic("bat: AddF length mismatch")
 	}
-	out := make([]float64, a.Len())
+	af, bf := tailFloats(a), tailFloats(b)
+	out := make([]float64, len(af))
 	for i := range out {
-		out[i] = tailAsFloat(a, i) + tailAsFloat(b, i)
+		out[i] = af[i] + bf[i]
 	}
 	return New(a.Name, DenseColumn(0, len(out)), FloatColumn(out))
 }
 
 // ConstMinusF computes c - tail for each row.
 func ConstMinusF(c float64, b *BAT) *BAT {
-	out := make([]float64, b.Len())
+	bf := tailFloats(b)
+	out := make([]float64, len(bf))
 	for i := range out {
-		out[i] = c - tailAsFloat(b, i)
+		out[i] = c - bf[i]
 	}
 	return New(b.Name, DenseColumn(0, len(out)), FloatColumn(out))
 }
 
 // ConstPlusF computes c + tail for each row.
 func ConstPlusF(c float64, b *BAT) *BAT {
-	out := make([]float64, b.Len())
+	bf := tailFloats(b)
+	out := make([]float64, len(bf))
 	for i := range out {
-		out[i] = c + tailAsFloat(b, i)
+		out[i] = c + bf[i]
 	}
 	return New(b.Name, DenseColumn(0, len(out)), FloatColumn(out))
-}
-
-func tailAsFloat(b *BAT, i int) float64 {
-	switch b.t.kind {
-	case KInt:
-		return float64(b.t.ints[i])
-	case KFloat:
-		return b.t.floats[i]
-	case KOid:
-		return float64(b.t.Oid(i))
-	}
-	panic(fmt.Sprintf("bat: non-numeric tail %s", b.t.kind))
 }

@@ -200,7 +200,17 @@ func (c *Column) Append(v any) {
 }
 
 // take returns a new column with the rows at the given positions.
-func (c *Column) take(idx []int) *Column {
+func (c *Column) take(idx []int) *Column { return takeIdx(c, idx) }
+
+// take32 is take over the compact int32 row indexes the typed kernels
+// produce.
+func (c *Column) take32(idx []int32) *Column { return takeIdx(c, idx) }
+
+// takeIdx gathers the rows at the given positions into a fresh
+// materialized column. It is generic over the index width so the typed
+// kernels can carry int32 row ids (half the memory traffic of int on
+// 64-bit) without a conversion pass.
+func takeIdx[I int | int32](c *Column, idx []I) *Column {
 	out := &Column{kind: c.kind}
 	switch c.kind {
 	case KOid:
@@ -236,6 +246,67 @@ func (c *Column) take(idx []int) *Column {
 		}
 	}
 	return out
+}
+
+// view returns an O(1) zero-copy view of rows [from, to). Dense columns
+// stay dense (the base shifts); materialized columns share the payload.
+// The shared subslices are capped (three-index slicing) so a later
+// Append on the view reallocates instead of clobbering the parent.
+func (c *Column) view(from, to int) *Column {
+	if c.dense {
+		return &Column{kind: c.kind, dense: true, base: c.base + Oid(from), n: to - from, sorted: true}
+	}
+	out := &Column{kind: c.kind, sorted: c.sorted}
+	switch c.kind {
+	case KOid:
+		out.oids = c.oids[from:to:to]
+	case KInt:
+		out.ints = c.ints[from:to:to]
+	case KFloat:
+		out.floats = c.floats[from:to:to]
+	case KStr:
+		out.strs = c.strs[from:to:to]
+	case KBool:
+		out.bools = c.bools[from:to:to]
+	}
+	return out
+}
+
+// clone returns a materialized deep copy (dense columns stay dense —
+// they are immutable descriptors anyway).
+func (c *Column) clone() *Column {
+	if c.dense {
+		return &Column{kind: c.kind, dense: true, base: c.base, n: c.n, sorted: true}
+	}
+	out := &Column{kind: c.kind, sorted: c.sorted}
+	switch c.kind {
+	case KOid:
+		out.oids = append([]Oid(nil), c.oids...)
+	case KInt:
+		out.ints = append([]int64(nil), c.ints...)
+	case KFloat:
+		out.floats = append([]float64(nil), c.floats...)
+	case KStr:
+		out.strs = append([]string(nil), c.strs...)
+	case KBool:
+		out.bools = append([]bool(nil), c.bools...)
+	}
+	return out
+}
+
+// oidValues returns the column's OIDs as a plain slice: O(1) for
+// materialized columns, one allocation for dense ones. The typed
+// kernels use it to run a single monomorphic loop regardless of
+// density.
+func (c *Column) oidValues() []Oid {
+	if !c.dense {
+		return c.oids
+	}
+	v := make([]Oid, c.n)
+	for i := range v {
+		v[i] = c.base + Oid(i)
+	}
+	return v
 }
 
 // Bytes reports the memory footprint of the column payload.
@@ -340,28 +411,19 @@ func (b *BAT) MarkH(base Oid) *BAT {
 	return &BAT{Name: b.Name, h: DenseColumn(base, b.Len()), t: b.t}
 }
 
-// Slice returns rows [from, to).
+// Slice returns rows [from, to) as an O(1) zero-copy view: no payload
+// is moved, dense columns stay dense, and sortedness is preserved.
 func (b *BAT) Slice(from, to int) *BAT {
 	if from < 0 || to > b.Len() || from > to {
 		panic(fmt.Sprintf("bat: slice [%d,%d) out of range 0..%d", from, to, b.Len()))
 	}
-	idx := make([]int, to-from)
-	for i := range idx {
-		idx[i] = from + i
-	}
-	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	return &BAT{Name: b.Name, h: b.h.view(from, to), t: b.t.view(from, to)}
 }
 
-// Copy returns a deep(-enough) materialized copy of b.
+// Copy returns a deep materialized copy of b (one payload copy per
+// column, no index indirection).
 func (b *BAT) Copy() *BAT {
-	idx := make([]int, b.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	nb := &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
-	nb.h.sorted = b.h.Sorted()
-	nb.t.sorted = b.t.Sorted()
-	return nb
+	return &BAT{Name: b.Name, h: b.h.clone(), t: b.t.clone()}
 }
 
 // String renders a compact description, not the payload.
@@ -388,27 +450,36 @@ func (b *BAT) Dump(max int) string {
 	return s + "}"
 }
 
-// sortIdxByTail returns row positions ordered by tail value.
+// sortIdxByTail returns row positions ordered by tail value. The kind
+// switch runs once per call; each kind gets its own monomorphic
+// comparator closure instead of re-dispatching per comparison.
 func (b *BAT) sortIdxByTail(desc bool) []int {
 	idx := make([]int, b.Len())
 	for i := range idx {
 		idx[i] = i
 	}
 	t := b.t
-	less := func(i, j int) bool {
-		switch t.kind {
-		case KOid:
-			return t.Oid(idx[i]) < t.Oid(idx[j])
-		case KInt:
-			return t.ints[idx[i]] < t.ints[idx[j]]
-		case KFloat:
-			return t.floats[idx[i]] < t.floats[idx[j]]
-		case KStr:
-			return t.strs[idx[i]] < t.strs[idx[j]]
-		case KBool:
-			return !t.bools[idx[i]] && t.bools[idx[j]]
-		}
-		return false
+	var less func(i, j int) bool
+	switch {
+	case t.dense:
+		less = func(i, j int) bool { return idx[i] < idx[j] }
+	case t.kind == KOid:
+		v := t.oids
+		less = func(i, j int) bool { return v[idx[i]] < v[idx[j]] }
+	case t.kind == KInt:
+		v := t.ints
+		less = func(i, j int) bool { return v[idx[i]] < v[idx[j]] }
+	case t.kind == KFloat:
+		v := t.floats
+		less = func(i, j int) bool { return v[idx[i]] < v[idx[j]] }
+	case t.kind == KStr:
+		v := t.strs
+		less = func(i, j int) bool { return v[idx[i]] < v[idx[j]] }
+	case t.kind == KBool:
+		v := t.bools
+		less = func(i, j int) bool { return !v[idx[i]] && v[idx[j]] }
+	default:
+		less = func(i, j int) bool { return false }
 	}
 	if desc {
 		sort.SliceStable(idx, func(i, j int) bool { return less(j, i) })
@@ -418,8 +489,12 @@ func (b *BAT) sortIdxByTail(desc bool) []int {
 	return idx
 }
 
-// SortT returns b ordered by tail value (stable).
+// SortT returns b ordered by tail value (stable). Already-sorted tails
+// (including dense ones) return an O(1) view.
 func (b *BAT) SortT(desc bool) *BAT {
+	if !desc && b.t.Sorted() {
+		return b.Slice(0, b.Len())
+	}
 	idx := b.sortIdxByTail(desc)
 	nb := &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
 	if !desc {

@@ -1,6 +1,20 @@
 package bat
 
-import "fmt"
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The operators in this file are devirtualized: each call dispatches on
+// the column kind ONCE, then runs a monomorphic loop over the typed
+// payload slice (the generic functions below instantiate per kind).
+// Sorted tails take a binary-search span and return an O(1) zero-copy
+// view; unsorted scans count qualifying rows first and allocate the
+// index buffer at its exact size. The boxed row-at-a-time path lives in
+// generic.go and is reached only for literals that cannot be normalized
+// to the column kind.
 
 // Predicate bounds for Select. Nil means unbounded on that side.
 type Bound struct {
@@ -8,120 +22,415 @@ type Bound struct {
 	Inclusive bool
 }
 
-func cmpValues(kind Kind, a, b any) int {
-	switch kind {
-	case KOid:
-		x, y := a.(Oid), b.(Oid)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		}
-	case KInt:
-		// Mixed int/float comparisons (e.g. an int column against a
-		// float literal) are compared as floats.
-		if isFloat(a) || isFloat(b) {
-			x, y := toFloat64(a), toFloat64(b)
-			switch {
-			case x < y:
-				return -1
-			case x > y:
-				return 1
-			}
-			return 0
-		}
-		x, y := toInt64(a), toInt64(b)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		}
-	case KFloat:
-		x, y := toFloat64(a), toFloat64(b)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		}
-	case KStr:
-		x, y := a.(string), b.(string)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		}
-	case KBool:
-		x, y := a.(bool), b.(bool)
-		switch {
-		case !x && y:
-			return -1
-		case x && !y:
-			return 1
+// emptyLike returns a zero-row BAT with b's column kinds and density.
+func (b *BAT) emptyLike() *BAT {
+	return &BAT{Name: b.Name, h: b.h.view(0, 0), t: b.t.view(0, 0)}
+}
+
+// viewAll returns the whole BAT as a zero-copy view.
+func (b *BAT) viewAll() *BAT {
+	return &BAT{Name: b.Name, h: b.h, t: b.t}
+}
+
+// inRange is the typed range predicate; it inlines into the scan loops.
+func inRange[T cmp.Ordered](v T, lo *T, loIncl bool, hi *T, hiIncl bool) bool {
+	if lo != nil && (v < *lo || (v == *lo && !loIncl)) {
+		return false
+	}
+	if hi != nil && (v > *hi || (v == *hi && !hiIncl)) {
+		return false
+	}
+	return true
+}
+
+// rangeIdx scans an unsorted payload and returns the qualifying row
+// positions. It counts first and fills second: the exact-size
+// allocation replaces append-growth, and the counting pass is a cheap,
+// branch-predictable read-only sweep.
+func rangeIdx[T cmp.Ordered](vals []T, lo *T, loIncl bool, hi *T, hiIncl bool) []int32 {
+	n := 0
+	for _, v := range vals {
+		if inRange(v, lo, loIncl, hi, hiIncl) {
+			n++
 		}
 	}
-	return 0
+	idx := make([]int32, 0, n)
+	for i, v := range vals {
+		if inRange(v, lo, loIncl, hi, hiIncl) {
+			idx = append(idx, int32(i))
+		}
+	}
+	return idx
 }
 
-func isFloat(v any) bool {
-	_, ok := v.(float64)
-	return ok
+// rangeSpan binary-searches a sorted payload for the qualifying
+// half-open row range [from, to): O(log n).
+func rangeSpan[T cmp.Ordered](vals []T, lo *T, loIncl bool, hi *T, hiIncl bool) (from, to int) {
+	from, to = 0, len(vals)
+	if lo != nil {
+		l := *lo
+		if loIncl {
+			from = sort.Search(len(vals), func(i int) bool { return vals[i] >= l })
+		} else {
+			from = sort.Search(len(vals), func(i int) bool { return vals[i] > l })
+		}
+	}
+	if hi != nil {
+		h := *hi
+		if hiIncl {
+			to = sort.Search(len(vals), func(i int) bool { return vals[i] > h })
+		} else {
+			to = sort.Search(len(vals), func(i int) bool { return vals[i] >= h })
+		}
+	}
+	if to < from {
+		to = from
+	}
+	return from, to
 }
 
-func toInt64(v any) int64 {
-	switch x := v.(type) {
+// selectTyped runs the monomorphic select kernel over one typed payload:
+// sorted tails get the O(log n + k) span path and come back as zero-copy
+// views, unsorted tails get the count-then-fill scan.
+func selectTyped[T cmp.Ordered](b *BAT, vals []T, lo *T, loIncl bool, hi *T, hiIncl bool) *BAT {
+	if b.t.Sorted() {
+		from, to := rangeSpan(vals, lo, loIncl, hi, hiIncl)
+		return b.Slice(from, to)
+	}
+	idx := rangeIdx(vals, lo, loIncl, hi, hiIncl)
+	nb := &BAT{Name: b.Name, h: b.h.take32(idx), t: b.t.take32(idx)}
+	// Row order is preserved, so a sorted head stays sorted.
+	nb.h.sorted = b.h.Sorted()
+	// A point predicate yields a constant — hence sorted — tail.
+	if lo != nil && hi != nil && *lo == *hi && loIncl && hiIncl {
+		nb.t.sorted = true
+	}
+	return nb
+}
+
+const (
+	maxI64f = float64(1 << 63)  // 2^63, exact in float64
+	minI64f = -float64(1 << 63) // -2^63, exact in float64
+	maxU64f = float64(1 << 64)  // 2^64, exact in float64
+)
+
+// normIntBound turns a Bound over an int column into an inclusive int64
+// limit. Float literals round toward the inside of the range, so mixed
+// int/float predicates stay on the typed path. has=false: unbounded.
+// empty=true: unsatisfiable. ok=false: fall back to the generic path.
+func normIntBound(bd *Bound, isLo bool) (v int64, has, empty, ok bool) {
+	if bd == nil {
+		return 0, false, false, true
+	}
+	switch x := bd.Value.(type) {
 	case int64:
-		return x
+		v = x
 	case int:
-		return int64(x)
+		v = int64(x)
 	case Oid:
-		return int64(x)
+		v = int64(x)
+	case float64:
+		if math.IsNaN(x) {
+			return 0, false, false, false
+		}
+		if isLo {
+			if x >= maxI64f {
+				return 0, false, true, true
+			}
+			if x < minI64f {
+				return 0, false, false, true
+			}
+			if c := math.Ceil(x); c != x {
+				if c >= maxI64f {
+					return 0, false, true, true
+				}
+				return int64(c), true, false, true // fractional: inclusiveness moot
+			}
+		} else {
+			if x < minI64f {
+				return 0, false, true, true
+			}
+			if x >= maxI64f {
+				return 0, false, false, true
+			}
+			if f := math.Floor(x); f != x {
+				return int64(f), true, false, true
+			}
+		}
+		v = int64(x)
+	default:
+		return 0, false, false, false
 	}
-	panic(fmt.Sprintf("bat: cannot convert %T to int64", v))
+	if !bd.Inclusive {
+		if isLo {
+			if v == math.MaxInt64 {
+				return 0, false, true, true
+			}
+			v++
+		} else {
+			if v == math.MinInt64 {
+				return 0, false, true, true
+			}
+			v--
+		}
+	}
+	return v, true, false, true
 }
 
-func toFloat64(v any) float64 {
-	switch x := v.(type) {
-	case float64:
-		return x
-	case int64:
-		return float64(x)
-	case int:
-		return float64(x)
+// normOidBound is normIntBound for OID (unsigned) columns.
+func normOidBound(bd *Bound, isLo bool) (v Oid, has, empty, ok bool) {
+	if bd == nil {
+		return 0, false, false, true
 	}
-	panic(fmt.Sprintf("bat: cannot convert %T to float64", v))
+	switch x := bd.Value.(type) {
+	case Oid:
+		v = x
+	case int64:
+		if x < 0 {
+			if isLo {
+				return 0, false, false, true // every OID exceeds it
+			}
+			return 0, false, true, true
+		}
+		v = Oid(x)
+	case int:
+		if x < 0 {
+			if isLo {
+				return 0, false, false, true
+			}
+			return 0, false, true, true
+		}
+		v = Oid(x)
+	case float64:
+		if math.IsNaN(x) {
+			return 0, false, false, false
+		}
+		if x < 0 {
+			if isLo {
+				return 0, false, false, true
+			}
+			return 0, false, true, true
+		}
+		if x >= maxU64f {
+			if isLo {
+				return 0, false, true, true
+			}
+			return 0, false, false, true
+		}
+		if isLo {
+			if c := math.Ceil(x); c != x {
+				if c >= maxU64f {
+					return 0, false, true, true
+				}
+				return Oid(c), true, false, true
+			}
+		} else if f := math.Floor(x); f != x {
+			return Oid(f), true, false, true
+		}
+		v = Oid(x)
+	default:
+		return 0, false, false, false
+	}
+	if !bd.Inclusive {
+		if isLo {
+			if v == ^Oid(0) {
+				return 0, false, true, true
+			}
+			v++
+		} else {
+			if v == 0 {
+				return 0, false, true, true
+			}
+			v--
+		}
+	}
+	return v, true, false, true
+}
+
+// normFloatBound turns a Bound over a float column into a typed limit;
+// int literals widen to float64 exactly like the boxed comparator did.
+func normFloatBound(bd *Bound) (v float64, has, ok bool) {
+	if bd == nil {
+		return 0, false, true
+	}
+	switch x := bd.Value.(type) {
+	case float64:
+		if math.IsNaN(x) {
+			return 0, false, false
+		}
+		return x, true, true
+	case int64:
+		return float64(x), true, true
+	case int:
+		return float64(x), true, true
+	}
+	return 0, false, false
+}
+
+func ptrIf[T any](v T, has bool) *T {
+	if !has {
+		return nil
+	}
+	return &v
 }
 
 // Select returns the BUNs whose tail value lies within [lo, hi]
 // (respecting inclusiveness; nil bounds are open). The result preserves
 // head values and tail values of the qualifying rows, like MAL's
-// algebra.select.
+// algebra.select. Sorted (and dense) tails are answered with a binary
+// search and an O(1) slice view instead of a scan.
 func (b *BAT) Select(lo, hi *Bound) *BAT {
-	var idx []int
-	n := b.Len()
-	for i := 0; i < n; i++ {
-		v := b.t.Value(i)
+	if lo == nil && hi == nil {
+		return b.viewAll()
+	}
+	switch b.t.kind {
+	case KInt:
+		loV, hasLo, emptyLo, ok1 := normIntBound(lo, true)
+		hiV, hasHi, emptyHi, ok2 := normIntBound(hi, false)
+		if !ok1 || !ok2 {
+			return b.selectGeneric(lo, hi)
+		}
+		if emptyLo || emptyHi {
+			return b.emptyLike()
+		}
+		return selectTyped(b, b.t.ints, ptrIf(loV, hasLo), true, ptrIf(hiV, hasHi), true)
+	case KFloat:
+		loV, hasLo, ok1 := normFloatBound(lo)
+		hiV, hasHi, ok2 := normFloatBound(hi)
+		if !ok1 || !ok2 {
+			return b.selectGeneric(lo, hi)
+		}
+		loIncl := lo == nil || lo.Inclusive
+		hiIncl := hi == nil || hi.Inclusive
+		return selectTyped(b, b.t.floats, ptrIf(loV, hasLo), loIncl, ptrIf(hiV, hasHi), hiIncl)
+	case KOid:
+		loV, hasLo, emptyLo, ok1 := normOidBound(lo, true)
+		hiV, hasHi, emptyHi, ok2 := normOidBound(hi, false)
+		if !ok1 || !ok2 {
+			return b.selectGeneric(lo, hi)
+		}
+		if emptyLo || emptyHi {
+			return b.emptyLike()
+		}
+		if b.t.dense {
+			return b.selectDenseTail(loV, hasLo, hiV, hasHi)
+		}
+		return selectTyped(b, b.t.oids, ptrIf(loV, hasLo), true, ptrIf(hiV, hasHi), true)
+	case KStr:
+		loV, hasLo, ok1 := normStrBound(lo)
+		hiV, hasHi, ok2 := normStrBound(hi)
+		if !ok1 || !ok2 {
+			return b.selectGeneric(lo, hi)
+		}
+		loIncl := lo == nil || lo.Inclusive
+		hiIncl := hi == nil || hi.Inclusive
+		return selectTyped(b, b.t.strs, ptrIf(loV, hasLo), loIncl, ptrIf(hiV, hasHi), hiIncl)
+	case KBool:
+		return b.selectBool(lo, hi)
+	}
+	return b.selectGeneric(lo, hi)
+}
+
+func normStrBound(bd *Bound) (v string, has, ok bool) {
+	if bd == nil {
+		return "", false, true
+	}
+	if s, isStr := bd.Value.(string); isStr {
+		return s, true, true
+	}
+	return "", false, false
+}
+
+// selectDenseTail answers a range select over a dense OID tail with
+// pure arithmetic: O(1), returning a view.
+func (b *BAT) selectDenseTail(lo Oid, hasLo bool, hi Oid, hasHi bool) *BAT {
+	n := b.t.n
+	base := b.t.base
+	from, to := 0, n
+	if hasLo {
+		if n == 0 || lo > base+Oid(n-1) {
+			return b.emptyLike()
+		}
+		if lo > base {
+			from = int(lo - base)
+		}
+	}
+	if hasHi {
+		if hi < base {
+			return b.emptyLike()
+		}
+		if n > 0 && hi < base+Oid(n-1) {
+			to = int(hi-base) + 1
+		}
+	}
+	if to < from {
+		to = from
+	}
+	return b.Slice(from, to)
+}
+
+// selectBool evaluates the bounds against the two possible values once,
+// then runs a monomorphic equality scan (or returns a view when both or
+// neither value qualifies).
+func (b *BAT) selectBool(lo, hi *Bound) *BAT {
+	qualifies := func(v bool) bool {
 		if lo != nil {
-			c := cmpValues(b.t.kind, v, lo.Value)
-			if c < 0 || (c == 0 && !lo.Inclusive) {
-				continue
+			lv, isBool := lo.Value.(bool)
+			if !isBool {
+				return false
+			}
+			if boolLess(v, lv) || (v == lv && !lo.Inclusive) {
+				return false
 			}
 		}
 		if hi != nil {
-			c := cmpValues(b.t.kind, v, hi.Value)
-			if c > 0 || (c == 0 && !hi.Inclusive) {
-				continue
+			hv, isBool := hi.Value.(bool)
+			if !isBool {
+				return false
+			}
+			if boolLess(hv, v) || (v == hv && !hi.Inclusive) {
+				return false
 			}
 		}
-		idx = append(idx, i)
+		return true
 	}
-	nb := &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	if (lo != nil && !isBoolVal(lo.Value)) || (hi != nil && !isBoolVal(hi.Value)) {
+		return b.selectGeneric(lo, hi) // non-bool literal: boxed path panics as before
+	}
+	allowF, allowT := qualifies(false), qualifies(true)
+	switch {
+	case allowF && allowT:
+		return b.viewAll()
+	case !allowF && !allowT:
+		return b.emptyLike()
+	}
+	idx := eqScan(b.t.bools, allowT, true)
+	nb := &BAT{Name: b.Name, h: b.h.take32(idx), t: b.t.take32(idx)}
 	nb.h.sorted = b.h.Sorted()
-	nb.t.sorted = b.t.Sorted()
+	nb.t.sorted = true // constant tail
 	return nb
+}
+
+func isBoolVal(v any) bool { _, ok := v.(bool); return ok }
+
+func boolLess(a, b bool) bool { return !a && b }
+
+// eqScan returns the positions whose value equals (keep=true) or
+// differs from (keep=false) x, count-then-fill.
+func eqScan[T comparable](vals []T, x T, keep bool) []int32 {
+	n := 0
+	for _, v := range vals {
+		if (v == x) == keep {
+			n++
+		}
+	}
+	idx := make([]int32, 0, n)
+	for i, v := range vals {
+		if (v == x) == keep {
+			idx = append(idx, int32(i))
+		}
+	}
+	return idx
 }
 
 // SelectEq returns the BUNs whose tail equals v.
@@ -132,17 +441,67 @@ func (b *BAT) SelectEq(v any) *BAT {
 
 // SelectNe returns the BUNs whose tail differs from v.
 func (b *BAT) SelectNe(v any) *BAT {
-	var idx []int
-	for i := 0; i < b.Len(); i++ {
-		if cmpValues(b.t.kind, b.t.Value(i), v) != 0 {
-			idx = append(idx, i)
+	switch b.t.kind {
+	case KInt:
+		switch x := v.(type) {
+		case int64:
+			return b.selectNeTyped(eqScan(b.t.ints, x, false))
+		case int:
+			return b.selectNeTyped(eqScan(b.t.ints, int64(x), false))
+		case Oid:
+			return b.selectNeTyped(eqScan(b.t.ints, int64(x), false))
+		case float64:
+			if x != math.Trunc(x) || x >= maxI64f || x < minI64f {
+				return b.viewAll() // no int equals a fractional/out-of-range float
+			}
+			return b.selectNeTyped(eqScan(b.t.ints, int64(x), false))
+		}
+	case KFloat:
+		switch x := v.(type) {
+		case float64:
+			return b.selectNeTyped(eqScan(b.t.floats, x, false))
+		case int64:
+			return b.selectNeTyped(eqScan(b.t.floats, float64(x), false))
+		case int:
+			return b.selectNeTyped(eqScan(b.t.floats, float64(x), false))
+		}
+	case KOid:
+		switch x := v.(type) {
+		case Oid:
+			return b.selectNeTyped(eqScan(b.t.oidValues(), x, false))
+		case int64:
+			if x < 0 {
+				return b.viewAll()
+			}
+			return b.selectNeTyped(eqScan(b.t.oidValues(), Oid(x), false))
+		case int:
+			if x < 0 {
+				return b.viewAll()
+			}
+			return b.selectNeTyped(eqScan(b.t.oidValues(), Oid(x), false))
+		}
+	case KStr:
+		if x, isStr := v.(string); isStr {
+			return b.selectNeTyped(eqScan(b.t.strs, x, false))
+		}
+	case KBool:
+		if x, isBool := v.(bool); isBool {
+			return b.selectNeTyped(eqScan(b.t.bools, x, false))
 		}
 	}
-	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	return b.selectNeGeneric(v)
+}
+
+func (b *BAT) selectNeTyped(idx []int32) *BAT {
+	nb := &BAT{Name: b.Name, h: b.h.take32(idx), t: b.t.take32(idx)}
+	nb.h.sorted = b.h.Sorted()
+	nb.t.sorted = b.t.Sorted()
+	return nb
 }
 
 // SelectFunc filters rows by an arbitrary tail predicate (used for LIKE
-// and other non-range predicates).
+// and other non-range predicates). Inherently boxed: the predicate
+// itself takes an any.
 func (b *BAT) SelectFunc(pred func(v any) bool) *BAT {
 	var idx []int
 	for i := 0; i < b.Len(); i++ {
@@ -150,76 +509,166 @@ func (b *BAT) SelectFunc(pred func(v any) bool) *BAT {
 			idx = append(idx, i)
 		}
 	}
-	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	nb := &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	nb.h.sorted = b.h.Sorted()
+	return nb
 }
 
-// EqRows returns the rows of a whose tail equals b's tail at the same
-// position (a positional equality filter, used for cyclic join
+// eqIdx returns the positions where the two aligned payloads agree.
+func eqIdx[T comparable](a, b []T) []int32 {
+	n := 0
+	for i, v := range a {
+		if v == b[i] {
+			n++
+		}
+	}
+	idx := make([]int32, 0, n)
+	for i, v := range a {
+		if v == b[i] {
+			idx = append(idx, int32(i))
+		}
+	}
+	return idx
+}
+
+// EqRows returns the rows of b whose tail value equals r's tail at the
+// same position (a positional equality filter, used for cyclic join
 // predicates).
 func (b *BAT) EqRows(r *BAT) *BAT {
 	if b.Len() != r.Len() {
 		panic("bat: EqRows length mismatch")
 	}
-	var idx []int
-	for i := 0; i < b.Len(); i++ {
-		if cmpValues(b.t.kind, b.t.Value(i), r.t.Value(i)) == 0 {
-			idx = append(idx, i)
+	if b.t.kind != r.t.kind {
+		return b.eqRowsGeneric(r) // mixed numeric kinds compare boxed
+	}
+	var idx []int32
+	switch b.t.kind {
+	case KOid:
+		idx = eqIdx(b.t.oidValues(), r.t.oidValues())
+	case KInt:
+		idx = eqIdx(b.t.ints, r.t.ints)
+	case KFloat:
+		idx = eqIdx(b.t.floats, r.t.floats)
+	case KStr:
+		idx = eqIdx(b.t.strs, r.t.strs)
+	case KBool:
+		idx = eqIdx(b.t.bools, r.t.bools)
+	default:
+		return b.eqRowsGeneric(r)
+	}
+	nb := &BAT{Name: b.Name, h: b.h.take32(idx), t: b.t.take32(idx)}
+	nb.h.sorted = b.h.Sorted()
+	return nb
+}
+
+// hashJoinTyped builds a typed hash table on the right payload and
+// probes it with the left: one map instantiation per column kind, no
+// boxing. Duplicate build keys chain through one flat next array
+// (head[v] = first row, next[j] = following row with the same value),
+// so the build side does exactly two allocations regardless of key
+// skew. capHint sizes the output buffers; MAL plans mostly run
+// foreign-key joins that match ~1:1, so the probe-side length is the
+// estimate.
+func hashJoinTyped[T comparable](lvals, rvals []T, capHint int) (li, ri []int32) {
+	head := make(map[T]int32, len(rvals))
+	next := make([]int32, len(rvals))
+	// Build backwards so chains run in ascending row order.
+	for j := len(rvals) - 1; j >= 0; j-- {
+		if first, dup := head[rvals[j]]; dup {
+			next[j] = first
+		} else {
+			next[j] = -1
+		}
+		head[rvals[j]] = int32(j)
+	}
+	li = make([]int32, 0, capHint)
+	ri = make([]int32, 0, capHint)
+	for i, v := range lvals {
+		if j, ok := head[v]; ok {
+			for ; j >= 0; j = next[j] {
+				li = append(li, int32(i))
+				ri = append(ri, j)
+			}
 		}
 	}
-	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
-}
-
-// hashKey normalizes a value for map lookup across numeric kinds.
-func hashKey(kind Kind, v any) any {
-	switch kind {
-	case KOid:
-		return v.(Oid)
-	default:
-		return v
-	}
-}
-
-// buildHash indexes column c: value -> row positions.
-func buildHash(c *Column) map[any][]int {
-	m := make(map[any][]int, c.Len())
-	for i := 0; i < c.Len(); i++ {
-		k := c.Value(i)
-		m[k] = append(m[k], i)
-	}
-	return m
+	return li, ri
 }
 
 // Join computes the natural join of b and r on b.tail == r.head,
 // returning [b.head | r.tail], MAL's algebra.join. When r's head is a
 // dense OID column the join degenerates to positional fetch
-// (leftfetchjoin), the fast path MonetDB uses for projections.
+// (leftfetchjoin); when BOTH sides are dense the overlap is contiguous
+// and the join is an O(1) pair of views.
 func (b *BAT) Join(r *BAT) *BAT {
 	if b.t.kind != r.h.kind {
 		panic(fmt.Sprintf("bat: join type mismatch %s != %s", b.t.kind, r.h.kind))
 	}
-	// Fast path: positional fetch against a dense head.
 	if r.h.dense {
-		var li, ri []int
-		base, n := r.h.base, r.h.Len()
-		for i := 0; i < b.Len(); i++ {
-			o := b.t.Oid(i)
-			if o >= base && o < base+Oid(n) {
-				li = append(li, i)
-				ri = append(ri, int(o-base))
+		rbase, rn := r.h.base, r.h.Len()
+		rend := rbase + Oid(rn)
+		if b.t.dense {
+			// Dense ∩ dense: the matching OIDs form one contiguous run.
+			lo, hi := b.t.base, b.t.base+Oid(b.t.n)
+			if rbase > lo {
+				lo = rbase
+			}
+			if rend < hi {
+				hi = rend
+			}
+			if hi <= lo {
+				return &BAT{Name: b.Name, h: b.h.view(0, 0), t: r.t.view(0, 0)}
+			}
+			i0, cnt := int(lo-b.t.base), int(hi-lo)
+			j0 := int(lo - rbase)
+			return &BAT{Name: b.Name, h: b.h.view(i0, i0+cnt), t: r.t.view(j0, j0+cnt)}
+		}
+		// Typed positional fetch.
+		oids := b.t.oids
+		cnt := 0
+		for _, o := range oids {
+			if o >= rbase && o < rend {
+				cnt++
 			}
 		}
-		return &BAT{Name: b.Name, h: b.h.take(li), t: r.t.take(ri)}
-	}
-	// Hash join: build on the smaller side when possible.
-	hash := buildHash(r.h)
-	var li, ri []int
-	for i := 0; i < b.Len(); i++ {
-		for _, j := range hash[b.t.Value(i)] {
-			li = append(li, i)
-			ri = append(ri, j)
+		if cnt == len(oids) {
+			// Every position lands: the head passes through zero-copy.
+			ri := make([]int32, cnt)
+			for i, o := range oids {
+				ri[i] = int32(o - rbase)
+			}
+			return &BAT{Name: b.Name, h: b.h, t: r.t.take32(ri)}
 		}
+		li := make([]int32, 0, cnt)
+		ri := make([]int32, 0, cnt)
+		for i, o := range oids {
+			if o >= rbase && o < rend {
+				li = append(li, int32(i))
+				ri = append(ri, int32(o-rbase))
+			}
+		}
+		nb := &BAT{Name: b.Name, h: b.h.take32(li), t: r.t.take32(ri)}
+		nb.h.sorted = b.h.Sorted()
+		return nb
 	}
-	return &BAT{Name: b.Name, h: b.h.take(li), t: r.t.take(ri)}
+	// Typed hash join, one instantiation per kind.
+	var li, ri []int32
+	switch b.t.kind {
+	case KOid:
+		li, ri = hashJoinTyped(b.t.oidValues(), r.h.oidValues(), b.Len())
+	case KInt:
+		li, ri = hashJoinTyped(b.t.ints, r.h.ints, b.Len())
+	case KFloat:
+		li, ri = hashJoinTyped(b.t.floats, r.h.floats, b.Len())
+	case KStr:
+		li, ri = hashJoinTyped(b.t.strs, r.h.strs, b.Len())
+	case KBool:
+		li, ri = hashJoinTyped(b.t.bools, r.h.bools, b.Len())
+	default:
+		return b.joinGeneric(r)
+	}
+	nb := &BAT{Name: b.Name, h: b.h.take32(li), t: r.t.take32(ri)}
+	nb.h.sorted = b.h.Sorted() // probe order is preserved
+	return nb
 }
 
 // Project is leftfetchjoin with explicit naming: positions in b's tail
@@ -232,109 +681,246 @@ func (b *BAT) Project(r *BAT) *BAT {
 	return b.Join(r)
 }
 
+// makeSet builds a typed membership set over one payload.
+func makeSet[T comparable](vals []T) map[T]struct{} {
+	set := make(map[T]struct{}, len(vals))
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	return set
+}
+
+// memberIdx returns the positions whose value is (keep=true) or is not
+// (keep=false) in the set.
+func memberIdx[T comparable](vals []T, set map[T]struct{}, keep bool) []int32 {
+	n := 0
+	for _, v := range vals {
+		if _, in := set[v]; in == keep {
+			n++
+		}
+	}
+	idx := make([]int32, 0, n)
+	for i, v := range vals {
+		if _, in := set[v]; in == keep {
+			idx = append(idx, int32(i))
+		}
+	}
+	return idx
+}
+
+// rangeMemberIdx filters positions by membership in the dense OID range
+// [base, end) — the set is implicit, no hash table at all.
+func rangeMemberIdx(vals []Oid, base, end Oid, keep bool) []int32 {
+	n := 0
+	for _, o := range vals {
+		if (o >= base && o < end) == keep {
+			n++
+		}
+	}
+	idx := make([]int32, 0, n)
+	for i, o := range vals {
+		if (o >= base && o < end) == keep {
+			idx = append(idx, int32(i))
+		}
+	}
+	return idx
+}
+
+// headFilterIdx computes the row positions of b whose head value
+// does (keep) or does not (!keep) appear among r's head values, using
+// typed sets — or plain range arithmetic when r's head is dense.
+func headFilterIdx(b, r *BAT, keep bool) []int32 {
+	if r.h.dense {
+		base, end := r.h.base, r.h.base+Oid(r.h.Len())
+		return rangeMemberIdx(b.h.oidValues(), base, end, keep)
+	}
+	switch b.h.kind {
+	case KOid:
+		return memberIdx(b.h.oidValues(), makeSet(r.h.oidValues()), keep)
+	case KInt:
+		return memberIdx(b.h.ints, makeSet(r.h.ints), keep)
+	case KFloat:
+		return memberIdx(b.h.floats, makeSet(r.h.floats), keep)
+	case KStr:
+		return memberIdx(b.h.strs, makeSet(r.h.strs), keep)
+	case KBool:
+		return memberIdx(b.h.bools, makeSet(r.h.bools), keep)
+	}
+	return nil
+}
+
+// takeRows gathers the given rows of both columns, propagating head and
+// tail sortedness (row order is preserved by all int32 index kernels).
+func (b *BAT) takeRows(idx []int32) *BAT {
+	nb := &BAT{Name: b.Name, h: b.h.take32(idx), t: b.t.take32(idx)}
+	nb.h.sorted = b.h.Sorted()
+	nb.t.sorted = b.t.Sorted()
+	return nb
+}
+
 // Semijoin returns the rows of b whose head value appears among r's head
 // values (MAL's algebra.semijoin).
 func (b *BAT) Semijoin(r *BAT) *BAT {
 	if b.h.kind != r.h.kind {
 		panic(fmt.Sprintf("bat: semijoin type mismatch %s != %s", b.h.kind, r.h.kind))
 	}
-	if r.h.dense {
-		var idx []int
-		base, n := r.h.base, r.h.Len()
-		for i := 0; i < b.Len(); i++ {
-			o := b.h.Oid(i)
-			if o >= base && o < base+Oid(n) {
-				idx = append(idx, i)
-			}
+	if r.h.dense && b.h.dense {
+		// Dense ∩ dense range: contiguous O(1) view.
+		lo, hi := b.h.base, b.h.base+Oid(b.h.n)
+		rbase, rend := r.h.base, r.h.base+Oid(r.h.Len())
+		if rbase > lo {
+			lo = rbase
 		}
-		return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
-	}
-	set := make(map[any]bool, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		set[r.h.Value(i)] = true
-	}
-	var idx []int
-	for i := 0; i < b.Len(); i++ {
-		if set[b.h.Value(i)] {
-			idx = append(idx, i)
+		if rend < hi {
+			hi = rend
 		}
+		if hi <= lo {
+			return b.emptyLike()
+		}
+		i0 := int(lo - b.h.base)
+		return b.Slice(i0, i0+int(hi-lo))
 	}
-	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	return b.takeRows(headFilterIdx(b, r, true))
 }
 
 // Diff returns the rows of b whose head value does NOT appear among r's
 // head values (MAL's kdiff).
 func (b *BAT) Diff(r *BAT) *BAT {
-	set := make(map[any]bool, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		set[r.h.Value(i)] = true
+	if b.h.kind != r.h.kind {
+		// Different key kinds can never match; kdiff keeps everything.
+		return b.viewAll()
 	}
-	var idx []int
-	for i := 0; i < b.Len(); i++ {
-		if !set[b.h.Value(i)] {
-			idx = append(idx, i)
-		}
-	}
-	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	return b.takeRows(headFilterIdx(b, r, false))
 }
 
-// Union appends r's rows to b's (kunion without duplicate elimination).
+// concatCol concatenates two columns of the same kind into a fresh one
+// with a single exact-size allocation. Adjacent dense columns fuse back
+// into one dense column; sortedness survives when the boundary values
+// are ordered.
+func concatCol(a, c *Column) *Column {
+	if a.dense && c.dense && c.base == a.base+Oid(a.n) {
+		return &Column{kind: KOid, dense: true, base: a.base, n: a.n + c.n, sorted: true}
+	}
+	out := &Column{kind: a.kind}
+	switch a.kind {
+	case KOid:
+		v := make([]Oid, 0, a.Len()+c.Len())
+		v = append(v, a.oidValues()...)
+		out.oids = append(v, c.oidValues()...)
+	case KInt:
+		v := make([]int64, 0, len(a.ints)+len(c.ints))
+		v = append(v, a.ints...)
+		out.ints = append(v, c.ints...)
+	case KFloat:
+		v := make([]float64, 0, len(a.floats)+len(c.floats))
+		v = append(v, a.floats...)
+		out.floats = append(v, c.floats...)
+	case KStr:
+		v := make([]string, 0, len(a.strs)+len(c.strs))
+		v = append(v, a.strs...)
+		out.strs = append(v, c.strs...)
+	case KBool:
+		v := make([]bool, 0, len(a.bools)+len(c.bools))
+		v = append(v, a.bools...)
+		out.bools = append(v, c.bools...)
+	}
+	if a.Sorted() && c.Sorted() && (a.Len() == 0 || c.Len() == 0 || boundaryOrdered(a, c)) {
+		out.sorted = true
+	}
+	return out
+}
+
+// boundaryOrdered reports last(a) <= first(c); kinds match.
+func boundaryOrdered(a, c *Column) bool {
+	i, j := a.Len()-1, 0
+	switch a.kind {
+	case KOid:
+		return a.Oid(i) <= c.Oid(j)
+	case KInt:
+		return a.ints[i] <= c.ints[j]
+	case KFloat:
+		return a.floats[i] <= c.floats[j]
+	case KStr:
+		return a.strs[i] <= c.strs[j]
+	case KBool:
+		return !a.bools[i] || c.bools[j]
+	}
+	return false
+}
+
+// Union appends r's rows to b's (kunion without duplicate elimination):
+// one exact-size allocation per column, no index indirection.
 func (b *BAT) Union(r *BAT) *BAT {
 	if b.h.kind != r.h.kind || b.t.kind != r.t.kind {
 		panic("bat: union kind mismatch")
 	}
-	bi := make([]int, b.Len())
-	for i := range bi {
-		bi[i] = i
+	return &BAT{Name: b.Name, h: concatCol(b.h, r.h), t: concatCol(b.t, r.t)}
+}
+
+// uniqueIdx returns the first position of each distinct value, in
+// first-appearance order, via a typed seen-set.
+func uniqueIdx[T comparable](vals []T) []int32 {
+	seen := make(map[T]struct{}, len(vals))
+	var idx []int32
+	for i, v := range vals {
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			idx = append(idx, int32(i))
+		}
 	}
-	ri := make([]int, r.Len())
-	for i := range ri {
-		ri[i] = i
+	return idx
+}
+
+// uniqueSortedIdx dedups a sorted payload with adjacent comparison — no
+// hash table at all.
+func uniqueSortedIdx[T comparable](vals []T) []int32 {
+	var idx []int32
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			idx = append(idx, int32(i))
+		}
 	}
-	h := b.h.take(bi)
-	t := b.t.take(bi)
-	rh := r.h.take(ri)
-	rt := r.t.take(ri)
-	switch h.kind {
-	case KOid:
-		h.oids = append(h.oids, rh.oids...)
-	case KInt:
-		h.ints = append(h.ints, rh.ints...)
-	case KFloat:
-		h.floats = append(h.floats, rh.floats...)
-	case KStr:
-		h.strs = append(h.strs, rh.strs...)
-	case KBool:
-		h.bools = append(h.bools, rh.bools...)
-	}
-	switch t.kind {
-	case KOid:
-		t.oids = append(t.oids, rt.oids...)
-	case KInt:
-		t.ints = append(t.ints, rt.ints...)
-	case KFloat:
-		t.floats = append(t.floats, rt.floats...)
-	case KStr:
-		t.strs = append(t.strs, rt.strs...)
-	case KBool:
-		t.bools = append(t.bools, rt.bools...)
-	}
-	return &BAT{Name: b.Name, h: h, t: t}
+	return idx
 }
 
 // UniqueT returns the first row for each distinct tail value, in first-
-// appearance order.
+// appearance order. Dense tails are trivially unique (zero-copy view);
+// sorted tails dedup by adjacent comparison.
 func (b *BAT) UniqueT() *BAT {
-	seen := make(map[any]bool, b.Len())
-	var idx []int
-	for i := 0; i < b.Len(); i++ {
-		k := b.t.Value(i)
-		if !seen[k] {
-			seen[k] = true
-			idx = append(idx, i)
-		}
+	if b.t.dense {
+		return b.viewAll()
 	}
-	return &BAT{Name: b.Name, h: b.h.take(idx), t: b.t.take(idx)}
+	var idx []int32
+	sorted := b.t.Sorted()
+	switch b.t.kind {
+	case KOid:
+		if sorted {
+			idx = uniqueSortedIdx(b.t.oids)
+		} else {
+			idx = uniqueIdx(b.t.oids)
+		}
+	case KInt:
+		if sorted {
+			idx = uniqueSortedIdx(b.t.ints)
+		} else {
+			idx = uniqueIdx(b.t.ints)
+		}
+	case KFloat:
+		if sorted {
+			idx = uniqueSortedIdx(b.t.floats)
+		} else {
+			idx = uniqueIdx(b.t.floats)
+		}
+	case KStr:
+		if sorted {
+			idx = uniqueSortedIdx(b.t.strs)
+		} else {
+			idx = uniqueIdx(b.t.strs)
+		}
+	case KBool:
+		idx = uniqueIdx(b.t.bools)
+	}
+	return b.takeRows(idx)
 }
 
 // TopN returns the first n rows of b ordered by tail (desc if desc).

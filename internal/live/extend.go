@@ -58,7 +58,10 @@ func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 }
 
 // Fetch retrieves a fragment by name through the normal Data Cyclotron
-// path: request, wait for it to flow past, pin, copy out, unpin.
+// path: request, wait for it to flow past, pin, and unpin. The returned
+// BAT shares the pinned payload zero-copy: fragments are immutable
+// (updates install a fresh version, see UpdateColumn), so no defensive
+// deep copy is needed and the GC keeps the payload alive past eviction.
 func (n *Node) Fetch(name string) (*bat.BAT, error) {
 	n.ring.idsMu.RLock()
 	id, ok := n.ring.ids[name]
@@ -81,11 +84,12 @@ func (n *Node) Fetch(name string) (*bat.BAT, error) {
 		return nil, err
 	}
 	b := v.(*bat.BAT)
-	out := b.Copy()
 	if err := dc.Unpin(v); err != nil {
 		return nil, err
 	}
-	return out, nil
+	// Full-length view rather than the stored BAT itself: the capped
+	// slices keep a caller's Append from growing into the owner's copy.
+	return b.Slice(0, b.Len()), nil
 }
 
 // UpdateColumn applies fn to the latest version of the named column at

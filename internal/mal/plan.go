@@ -204,11 +204,42 @@ func (r *ResultSet) Row(i int) []any {
 	return out
 }
 
-// Rows materializes the full result.
+// Rows materializes the full result column-at-a-time: one kind
+// dispatch per column instead of one boxed Value call per cell.
 func (r *ResultSet) Rows() [][]any {
-	out := make([][]any, r.NumRows())
+	n := r.NumRows()
+	out := make([][]any, n)
 	for i := range out {
-		out[i] = r.Row(i)
+		out[i] = make([]any, len(r.Cols))
+	}
+	for c, b := range r.Cols {
+		t := b.Tail()
+		switch t.Kind() {
+		case bat.KInt:
+			for i := 0; i < n; i++ {
+				out[i][c] = t.Int(i)
+			}
+		case bat.KFloat:
+			for i := 0; i < n; i++ {
+				out[i][c] = t.Float(i)
+			}
+		case bat.KStr:
+			for i := 0; i < n; i++ {
+				out[i][c] = t.Str(i)
+			}
+		case bat.KOid:
+			for i := 0; i < n; i++ {
+				out[i][c] = t.Oid(i)
+			}
+		case bat.KBool:
+			for i := 0; i < n; i++ {
+				out[i][c] = t.Bool(i)
+			}
+		default:
+			for i := 0; i < n; i++ {
+				out[i][c] = t.Value(i)
+			}
+		}
 	}
 	return out
 }

@@ -74,6 +74,15 @@ func randDate(rng *rand.Rand) int64 {
 	return date(1992+rng.Intn(7), 1+rng.Intn(12), 1+rng.Intn(28))
 }
 
+// sortedInts builds an int BAT whose tail is known to be ascending
+// (sequentially generated keys), so range and point predicates over it
+// hit the kernel's binary-search fast path instead of a scan.
+func sortedInts(name string, vals []int64) *bat.BAT {
+	b := bat.MakeInts(name, vals)
+	b.Tail().SetSorted(true)
+	return b
+}
+
 // GenDB generates a deterministic database. sf scales row counts
 // (sf=0.001 gives lineitem≈6000 rows, fine for tests and examples).
 func GenDB(sf float64, seed int64) *DB {
@@ -98,7 +107,7 @@ func GenDB(sf float64, seed int64) *DB {
 		nname[i] = nations[i]
 		nregion[i] = int64(i % 5)
 	}
-	db.add("nation", "n_nationkey", bat.MakeInts("nation.n_nationkey", nk))
+	db.add("nation", "n_nationkey", sortedInts("nation.n_nationkey", nk))
 	db.add("nation", "n_name", bat.MakeStrs("nation.n_name", nname))
 	db.add("nation", "n_regionkey", bat.MakeInts("nation.n_regionkey", nregion))
 
@@ -109,7 +118,7 @@ func GenDB(sf float64, seed int64) *DB {
 		sk[i] = int64(i + 1)
 		snat[i] = int64(rng.Intn(nNation))
 	}
-	db.add("supplier", "s_suppkey", bat.MakeInts("supplier.s_suppkey", sk))
+	db.add("supplier", "s_suppkey", sortedInts("supplier.s_suppkey", sk))
 	db.add("supplier", "s_nationkey", bat.MakeInts("supplier.s_nationkey", snat))
 
 	// customer
@@ -123,7 +132,7 @@ func GenDB(sf float64, seed int64) *DB {
 		cseg[i] = segments[rng.Intn(len(segments))]
 		cbal[i] = float64(rng.Intn(1000000))/100 - 999
 	}
-	db.add("customer", "c_custkey", bat.MakeInts("customer.c_custkey", ck))
+	db.add("customer", "c_custkey", sortedInts("customer.c_custkey", ck))
 	db.add("customer", "c_nationkey", bat.MakeInts("customer.c_nationkey", cnat))
 	db.add("customer", "c_mktsegment", bat.MakeStrs("customer.c_mktsegment", cseg))
 	db.add("customer", "c_acctbal", bat.MakeFloats("customer.c_acctbal", cbal))
@@ -139,7 +148,7 @@ func GenDB(sf float64, seed int64) *DB {
 		odate[i] = randDate(rng)
 		oprice[i] = float64(1000+rng.Intn(400000)) / 100
 	}
-	db.add("orders", "o_orderkey", bat.MakeInts("orders.o_orderkey", ok))
+	db.add("orders", "o_orderkey", sortedInts("orders.o_orderkey", ok))
 	db.add("orders", "o_custkey", bat.MakeInts("orders.o_custkey", ocust))
 	db.add("orders", "o_orderdate", bat.MakeInts("orders.o_orderdate", odate))
 	db.add("orders", "o_totalprice", bat.MakeFloats("orders.o_totalprice", oprice))
