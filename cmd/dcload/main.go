@@ -1,0 +1,241 @@
+// Command dcload is a concurrent load driver for the Data Cyclotron
+// query service: it fires N client sessions at a served ring, verifies
+// every result against a per-query reference, and reports throughput,
+// latency quantiles, and admission-control outcomes.
+//
+// Drive an external server (see cmd/dcserve):
+//
+//	dcload -addrs 127.0.0.1:4001,127.0.0.1:4002 -clients 64 -queries 2000
+//
+// Or let it stand up its own ring + server in-process (CI smoke mode):
+//
+//	dcload -selfserve -nodes 4 -clients 64 -queries 500
+//
+// It exits non-zero on any incorrect result or hard failure; admission
+// rejections are expected under pressure and reported separately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dc "repro"
+	"repro/internal/dcclient"
+	"repro/internal/live"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		addrs     = flag.String("addrs", "", "comma-separated node addresses to load (alternative to -selfserve)")
+		selfserve = flag.Bool("selfserve", false, "start an in-process ring + server and load that")
+		nodes     = flag.Int("nodes", 4, "ring size (selfserve)")
+		sf        = flag.Float64("sf", 0.0005, "TPC-H scale factor (selfserve)")
+		seed      = flag.Int64("seed", 1, "data generator seed (selfserve)")
+		transport = flag.String("transport", "inproc", "ring interconnect: inproc or tcp (selfserve)")
+		inflight  = flag.Int("inflight", 8, "max in-flight queries per node (selfserve)")
+		queue     = flag.Int("queue", 64, "max queued queries per node (selfserve)")
+		clients   = flag.Int("clients", 64, "concurrent client sessions")
+		queries   = flag.Int("queries", 2000, "total queries to fire")
+		sql       = flag.String("q", "", "single SQL query (default: TPC-H demo mix)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-query timeout")
+	)
+	flag.Parse()
+
+	var (
+		targets []string
+		srv     *dc.QueryServer
+		ring    *dc.LiveRing
+	)
+	switch {
+	case *selfserve:
+		var err error
+		ring, srv, err = startRing(*nodes, *sf, *seed, *transport, *inflight, *queue)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcload:", err)
+			os.Exit(1)
+		}
+		defer ring.Close()
+		defer srv.Close()
+		targets = srv.Addrs()
+		fmt.Printf("selfserve: %d-node ring over TPC-H sf=%g, inflight=%d queue=%d\n",
+			*nodes, *sf, *inflight, *queue)
+	case *addrs != "":
+		targets = strings.Split(*addrs, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "dcload: need -addrs or -selfserve")
+		os.Exit(1)
+	}
+
+	mix := []string{tpch.Q6ishSQL, tpch.Q1SQL, tpch.Q3ishSQL}
+	if *sql != "" {
+		mix = []string{*sql}
+	}
+
+	res := drive(targets, mix, *clients, *queries, *timeout)
+
+	fmt.Printf("\n%d clients x %d queries against %d node(s) in %.2fs\n",
+		*clients, *queries, len(targets), res.wall.Seconds())
+	fmt.Printf("throughput: %.0f q/s (completed %d)\n",
+		float64(res.ok)/res.wall.Seconds(), res.ok)
+	fmt.Printf("outcomes: ok=%d rejected=%d failed=%d incorrect=%d\n",
+		res.ok, res.rejected, res.failed, res.incorrect)
+	if res.ok > 0 {
+		fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s\n",
+			res.quantile(0.50), res.quantile(0.95), res.quantile(0.99), res.lats[len(res.lats)-1])
+	}
+	if srv != nil {
+		fmt.Println("\nper-node server stats:")
+		for i := 0; i < ring.Size(); i++ {
+			fmt.Printf("node %d: %s\n", i, srv.Stats(i))
+		}
+	}
+	for _, e := range res.errors {
+		fmt.Fprintln(os.Stderr, "dcload:", e)
+	}
+	if res.failed > 0 || res.incorrect > 0 || res.ok == 0 {
+		os.Exit(1)
+	}
+}
+
+func startRing(nodes int, sf float64, seed int64, transport string, inflight, queue int) (*dc.LiveRing, *dc.QueryServer, error) {
+	ringCfg := dc.DefaultLiveConfig()
+	switch transport {
+	case "inproc":
+		ringCfg.Transport = live.InProc
+	case "tcp":
+		ringCfg.Transport = live.TCP
+	default:
+		return nil, nil, fmt.Errorf("unknown transport %q", transport)
+	}
+	db := tpch.GenDB(sf, seed)
+	columns := db.ColumnMap()
+	ring, err := dc.NewLiveRing(nodes, columns, db.Schema(), ringCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	srvCfg := dc.DefaultServerConfig()
+	srvCfg.MaxInFlight = inflight
+	srvCfg.MaxQueue = queue
+	srv, err := dc.Serve(ring, srvCfg)
+	if err != nil {
+		ring.Close()
+		return nil, nil, err
+	}
+	return ring, srv, nil
+}
+
+// result aggregates the run.
+type result struct {
+	ok, rejected, failed, incorrect int64
+	lats                            []time.Duration // successful queries, sorted
+	wall                            time.Duration
+	errors                          []string
+}
+
+func (r *result) quantile(q float64) time.Duration {
+	if len(r.lats) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(r.lats)))
+	if i >= len(r.lats) {
+		i = len(r.lats) - 1
+	}
+	return r.lats[i]
+}
+
+// drive fires total queries from `clients` concurrent sessions spread
+// round-robin over the target addresses and the query mix. The first
+// successful answer for each distinct SQL text becomes the reference;
+// every later answer must match it exactly (zero-incorrect guarantee).
+func drive(targets, mix []string, clients, total int, timeout time.Duration) *result {
+	var (
+		res     result
+		mu      sync.Mutex // guards lats, errors, references
+		refs    = map[string]string{}
+		next    int64
+		wg      sync.WaitGroup
+		maxErrs = 10
+		started = time.Now()
+	)
+	fingerprint := func(rows [][]any) string {
+		keys := make([]string, len(rows))
+		for i, row := range rows {
+			keys[i] = fmt.Sprint(row)
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, "\n")
+	}
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := dcclient.Dial(targets[w%len(targets)])
+			if err != nil {
+				mu.Lock()
+				res.errors = append(res.errors, fmt.Sprintf("client %d: %v", w, err))
+				mu.Unlock()
+				atomic.AddInt64(&res.failed, 1)
+				return
+			}
+			defer cl.Close()
+			var local []time.Duration
+			for {
+				n := atomic.AddInt64(&next, 1)
+				if n > int64(total) {
+					break
+				}
+				sql := mix[int(n)%len(mix)]
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				start := time.Now()
+				rs, err := cl.Query(ctx, sql)
+				lat := time.Since(start)
+				cancel()
+				switch {
+				case err == nil:
+					fp := fingerprint(rs.Rows())
+					mu.Lock()
+					ref, seen := refs[sql]
+					if !seen {
+						refs[sql] = fp
+					}
+					mu.Unlock()
+					if seen && fp != ref {
+						atomic.AddInt64(&res.incorrect, 1)
+						mu.Lock()
+						if len(res.errors) < maxErrs {
+							res.errors = append(res.errors, fmt.Sprintf("client %d: result mismatch for %.40q", w, sql))
+						}
+						mu.Unlock()
+						continue
+					}
+					atomic.AddInt64(&res.ok, 1)
+					local = append(local, lat)
+				case dcclient.IsTemporary(err):
+					atomic.AddInt64(&res.rejected, 1)
+				default:
+					atomic.AddInt64(&res.failed, 1)
+					mu.Lock()
+					if len(res.errors) < maxErrs {
+						res.errors = append(res.errors, fmt.Sprintf("client %d: %v", w, err))
+					}
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			res.lats = append(res.lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.wall = time.Since(started)
+	sort.Slice(res.lats, func(i, j int) bool { return res.lats[i] < res.lats[j] })
+	return &res
+}

@@ -14,7 +14,6 @@ import (
 	"os"
 
 	dc "repro"
-	"repro/internal/bat"
 	"repro/internal/tpch"
 )
 
@@ -28,16 +27,7 @@ func main() {
 	flag.Parse()
 
 	db := tpch.GenDB(*sf, *seed)
-	columns := map[string]*bat.BAT{}
-	for _, name := range db.Columns() {
-		for i := 0; i < len(name); i++ {
-			if name[i] == '.' {
-				b, _ := db.Column(name[:i], name[i+1:])
-				columns[name] = b
-				break
-			}
-		}
-	}
+	columns := db.ColumnMap()
 	ring, err := dc.NewLiveRing(*nodes, columns, db.Schema(), dc.DefaultLiveConfig())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcring:", err)

@@ -30,11 +30,13 @@ import (
 	"repro/internal/bat"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dcclient"
 	"repro/internal/dcopt"
 	"repro/internal/experiments"
 	"repro/internal/live"
 	"repro/internal/mal"
 	"repro/internal/minisql"
+	"repro/internal/server"
 )
 
 // Re-exported types: the simulation surface.
@@ -82,6 +84,33 @@ type (
 	// MapSchema is the trivial in-memory Schema.
 	MapSchema = minisql.MapSchema
 )
+
+// Re-exported types: the network query service.
+type (
+	// QueryServer serves a live ring over TCP: one listener per node,
+	// admission control, a plan cache, and graceful drain.
+	QueryServer = server.Server
+	// ServerConfig tunes the query service.
+	ServerConfig = server.Config
+	// ServerNodeStats snapshots one served node's counters.
+	ServerNodeStats = server.NodeStats
+	// QueryClient is the pooled network client for a served node.
+	QueryClient = dcclient.Client
+	// ClientConfig tunes a query client.
+	ClientConfig = dcclient.Config
+)
+
+// Serve starts the network query service in front of a live ring: one
+// TCP listener per node speaking the length-prefixed binary protocol.
+func Serve(r *LiveRing, cfg ServerConfig) (*QueryServer, error) {
+	return server.Serve(r, cfg)
+}
+
+// DefaultServerConfig suits loopback serving.
+func DefaultServerConfig() ServerConfig { return server.DefaultConfig() }
+
+// Dial connects a query client to one served node.
+func Dial(addr string) (*QueryClient, error) { return dcclient.Dial(addr) }
 
 // NewSimCluster builds a simulated ring.
 func NewSimCluster(cfg SimConfig) *SimCluster { return cluster.New(cfg) }

@@ -1,0 +1,280 @@
+// Package dcclient is the Go client for the Data Cyclotron query
+// service (internal/server): it dials a node's listener, performs the
+// protocol handshake, and executes SQL with context-based timeouts.
+// Connections are pooled and reused across queries; protocol-level
+// errors (rejection, drain, query failure) keep the connection alive,
+// transport errors discard it.
+package dcclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mal"
+	"repro/internal/server"
+)
+
+// Config tunes a client.
+type Config struct {
+	// DialTimeout bounds establishing + handshaking a new connection
+	// when the calling context has no deadline of its own.
+	DialTimeout time.Duration
+	// MaxIdle bounds pooled idle connections.
+	MaxIdle int
+	// MaxFrame bounds a single protocol frame (result sets included).
+	MaxFrame int
+}
+
+// DefaultConfig suits loopback clients.
+func DefaultConfig() Config {
+	return Config{DialTimeout: 5 * time.Second, MaxIdle: 8, MaxFrame: server.DefaultMaxFrame}
+}
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("dcclient: client closed")
+
+// Client talks to one node of a served ring.
+type Client struct {
+	addr  string
+	cfg   Config
+	hello server.Hello
+
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+}
+
+// conn is one established, handshaken connection.
+type conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// Dial connects to a node server and performs the handshake.
+func Dial(addr string) (*Client, error) {
+	return DialConfig(addr, DefaultConfig())
+}
+
+// DialConfig is Dial with explicit tuning.
+func DialConfig(addr string, cfg Config) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultConfig().DialTimeout
+	}
+	if cfg.MaxIdle <= 0 {
+		cfg.MaxIdle = DefaultConfig().MaxIdle
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = server.DefaultMaxFrame
+	}
+	cl := &Client{addr: addr, cfg: cfg}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DialTimeout)
+	defer cancel()
+	cn, err := cl.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cl.put(cn)
+	return cl, nil
+}
+
+// Node reports the served node's handshake info (ring position, ring
+// size, admission slots).
+func (cl *Client) Node() server.Hello {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.hello
+}
+
+// Addr reports the server address this client talks to.
+func (cl *Client) Addr() string { return cl.addr }
+
+// Query executes sql on the connected node, honouring ctx's deadline
+// and cancellation for the whole round trip (including dialing a fresh
+// connection when the pool is empty).
+func (cl *Client) Query(ctx context.Context, sql string) (*mal.ResultSet, error) {
+	cn, err := cl.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := cn.roundTrip(ctx, cl.cfg.MaxFrame, sql)
+	if err != nil {
+		var re *server.RemoteError
+		if errors.As(err, &re) {
+			// The server answered; the connection is still in protocol.
+			cl.put(cn)
+			return nil, err
+		}
+		cn.c.Close()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// The only socket deadline is the one mapped from ctx, so a
+		// timeout is the context's deadline even when the socket clock
+		// fired a moment before the context's own timer.
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			if _, ok := ctx.Deadline(); ok {
+				return nil, context.DeadlineExceeded
+			}
+		}
+		return nil, err
+	}
+	cl.put(cn)
+	return rs, nil
+}
+
+// Close releases all pooled connections.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.closed = true
+	for _, cn := range cl.idle {
+		cn.c.Close()
+	}
+	cl.idle = nil
+	return nil
+}
+
+// get pops a pooled connection or dials a new one.
+func (cl *Client) get(ctx context.Context) (*conn, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(cl.idle); n > 0 {
+		cn := cl.idle[n-1]
+		cl.idle = cl.idle[:n-1]
+		cl.mu.Unlock()
+		return cn, nil
+	}
+	cl.mu.Unlock()
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cl.cfg.DialTimeout)
+		defer cancel()
+	}
+	return cl.dial(ctx)
+}
+
+// put returns a connection to the pool (or closes it when full/closed).
+func (cl *Client) put(cn *conn) {
+	cl.mu.Lock()
+	if cl.closed || len(cl.idle) >= cl.cfg.MaxIdle {
+		cl.mu.Unlock()
+		cn.c.Close()
+		return
+	}
+	cl.idle = append(cl.idle, cn)
+	cl.mu.Unlock()
+}
+
+// dial establishes and handshakes one connection under ctx.
+func (cl *Client) dial(ctx context.Context) (*conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", cl.addr)
+	if err != nil {
+		return nil, fmt.Errorf("dcclient: dial %s: %w", cl.addr, err)
+	}
+	cn := &conn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+	if d, ok := ctx.Deadline(); ok {
+		c.SetDeadline(d)
+	}
+	if err := server.WriteFrame(cn.bw, server.FrameHello, []byte(server.Magic)); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := cn.bw.Flush(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	typ, payload, err := server.ReadFrame(cn.br, cl.cfg.MaxFrame)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dcclient: handshake: %w", err)
+	}
+	if typ != server.FrameHelloOK {
+		c.Close()
+		if typ == server.FrameError {
+			return nil, server.DecodeError(payload)
+		}
+		return nil, fmt.Errorf("dcclient: handshake got frame type %d", typ)
+	}
+	hello, err := server.DecodeHello(payload)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dcclient: handshake: %w", err)
+	}
+	c.SetDeadline(time.Time{})
+	cl.mu.Lock()
+	cl.hello = hello
+	cl.mu.Unlock()
+	return cn, nil
+}
+
+// roundTrip sends one query and reads its answer, mapping ctx's
+// deadline and cancellation onto the socket.
+func (cn *conn) roundTrip(ctx context.Context, maxFrame int, sql string) (*mal.ResultSet, error) {
+	if d, ok := ctx.Deadline(); ok {
+		cn.c.SetDeadline(d)
+	} else {
+		cn.c.SetDeadline(time.Time{})
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-done:
+				// Wake any blocked read/write; Query maps the resulting
+				// I/O error back onto ctx.Err().
+				cn.c.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		// Join the watcher before returning: a fire-and-forget goroutine
+		// could otherwise poison this connection's deadline after it has
+		// been pooled and picked up by an unrelated query.
+		defer func() {
+			close(stop)
+			<-exited
+		}()
+	}
+	if err := server.WriteFrame(cn.bw, server.FrameQuery, []byte(sql)); err != nil {
+		return nil, err
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := server.ReadFrame(cn.br, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case server.FrameResult:
+		return server.DecodeResult(payload)
+	case server.FrameError:
+		return nil, server.DecodeError(payload)
+	}
+	return nil, fmt.Errorf("dcclient: unexpected frame type %d", typ)
+}
+
+// IsTemporary reports whether err is a server-side pushback (admission
+// rejection or drain) that may succeed on retry.
+func IsTemporary(err error) bool {
+	var re *server.RemoteError
+	return errors.As(err, &re) && re.Temporary()
+}
+
+// IsRejected reports whether err is an admission-control rejection.
+func IsRejected(err error) bool {
+	var re *server.RemoteError
+	return errors.As(err, &re) && re.Code == server.CodeRejected
+}

@@ -1,0 +1,133 @@
+package dcclient
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/live"
+	"repro/internal/minisql"
+	"repro/internal/server"
+)
+
+func servedRing(t *testing.T) *server.Server {
+	t.Helper()
+	cols := map[string]*bat.BAT{
+		"t.id":  bat.MakeInts("t.id", []int64{1, 2, 3}),
+		"t.val": bat.MakeInts("t.val", []int64{10, 20, 30}),
+	}
+	schema := minisql.MapSchema{"t": {"id", "val"}}
+	r, err := live.NewRing(2, cols, schema, live.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.Serve(r, server.DefaultConfig())
+	if err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		r.Close()
+	})
+	return s
+}
+
+// TestConnectionReuse checks sequential queries share one pooled
+// connection instead of dialing per query.
+func TestConnectionReuse(t *testing.T) {
+	s := servedRing(t)
+	cl, err := Dial(s.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Query(context.Background(), "select sum(val) from t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.mu.Lock()
+	idle := len(cl.idle)
+	cl.mu.Unlock()
+	if idle != 1 {
+		t.Fatalf("pool holds %d connections after sequential queries, want 1", idle)
+	}
+}
+
+// stalledServer handshakes correctly and then never answers queries.
+func stalledServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				bw := bufio.NewWriter(conn)
+				if typ, _, err := server.ReadFrame(br, server.DefaultMaxFrame); err != nil || typ != server.FrameHello {
+					return
+				}
+				hello, _ := server.EncodeHello(server.Hello{Ring: 1})
+				server.WriteFrame(bw, server.FrameHelloOK, hello)
+				bw.Flush()
+				// Swallow queries forever.
+				for {
+					if _, _, err := server.ReadFrame(br, server.DefaultMaxFrame); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestQueryDeadline checks a context deadline aborts a round trip whose
+// answer never comes, and surfaces as context.DeadlineExceeded.
+func TestQueryDeadline(t *testing.T) {
+	cl, err := Dial(stalledServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cl.Query(ctx, "select 1")
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("deadline ignored: waited %s", waited)
+	}
+}
+
+// TestMidQueryCancel checks cancellation (not just a deadline) unblocks
+// an in-flight round trip.
+func TestMidQueryCancel(t *testing.T) {
+	cl, err := Dial(stalledServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := cl.Query(ctx, "select 1"); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

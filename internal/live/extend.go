@@ -126,6 +126,8 @@ func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error
 
 	owner.mu.Lock()
 	owner.store[id] = next
+	// The serialized form of the old version must not be re-sent.
+	delete(owner.wireCache, id)
 	if owner.versions == nil {
 		owner.versions = map[core.BATID]int{}
 	}

@@ -129,6 +129,26 @@ type Node struct {
 	versions      map[core.BATID]int
 	updateMu      map[core.BATID]*sync.Mutex
 	activeQueries int64
+
+	// wireCache holds the marshalled bytes of each fragment version so
+	// forwarding an unchanged fragment does not pay bat.Marshal again.
+	// Fragments are immutable per version, so the payload pointer is the
+	// version identity: an entry is valid exactly while its src pointer
+	// still names the payload being sent. Guarded by mu; entries are
+	// dropped on unload and on update.
+	wireCache  map[core.BATID]*wireEntry
+	wireHits   int64 // atomic
+	wireMisses int64 // atomic
+
+	// interpRunning counts live interpreter goroutines (leak detector
+	// and drain hook).
+	interpRunning int64
+}
+
+// wireEntry caches one fragment's serialized form.
+type wireEntry struct {
+	src *bat.BAT // payload the bytes were marshalled from
+	raw []byte
 }
 
 type cachedBAT struct {
@@ -167,17 +187,18 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 	// Nodes and transports.
 	for i := 0; i < n; i++ {
 		node := &Node{
-			ring:    r,
-			id:      core.NodeID(i),
-			cfg:     cfg,
-			store:   map[core.BATID]*bat.BAT{},
-			transit: map[core.BATID]*bat.BAT{},
-			cached:  map[core.BATID]*cachedBAT{},
-			waiters: map[waitKey]chan *bat.BAT{},
-			errs:    map[core.QueryID]chan error{},
-			schema:  schema,
-			start:   time.Now(),
-			closed:  make(chan struct{}),
+			ring:      r,
+			id:        core.NodeID(i),
+			cfg:       cfg,
+			store:     map[core.BATID]*bat.BAT{},
+			transit:   map[core.BATID]*bat.BAT{},
+			cached:    map[core.BATID]*cachedBAT{},
+			waiters:   map[waitKey]chan *bat.BAT{},
+			errs:      map[core.QueryID]chan error{},
+			wireCache: map[core.BATID]*wireEntry{},
+			schema:    schema,
+			start:     time.Now(),
+			closed:    make(chan struct{}),
 		}
 		node.rt = core.New(node.id, (*liveEnv)(node), cfg.Core)
 		r.nodes = append(r.nodes, node)
@@ -288,9 +309,26 @@ func (n *Node) dataLoop(wg *sync.WaitGroup) {
 		n.mu.Lock()
 		if payload != nil {
 			n.transit[m.Hdr.BAT] = payload
+			// Seed the wire cache with the bytes just received: if OnBAT
+			// forwards this fragment, SendData reuses them verbatim
+			// instead of re-marshalling the payload it just decoded.
+			n.wireCache[m.Hdr.BAT] = &wireEntry{src: payload, raw: m.Payload}
 		}
 		n.rt.OnBAT(m.Hdr)
 		delete(n.transit, m.Hdr.BAT)
+		if payload != nil {
+			// The seed has served its purpose (the forward, if any,
+			// happened inside OnBAT). On a non-owner, keeping it would
+			// pin the raw bytes and the decoded payload of every
+			// fragment that ever flowed past — the next arrival reseeds
+			// anyway. Persistent entries are kept only for fragments in
+			// the local store, where repeat sends amortize the marshal.
+			if _, owned := n.store[m.Hdr.BAT]; !owned {
+				if ent, ok := n.wireCache[m.Hdr.BAT]; ok && ent.src == payload {
+					delete(n.wireCache, m.Hdr.BAT)
+				}
+			}
+		}
 		n.mu.Unlock()
 	}
 }
@@ -338,9 +376,22 @@ func (e *liveEnv) SendData(m core.BATMsg) {
 	if payload == nil {
 		return // nothing to forward; drop (should not happen)
 	}
-	raw, err := bat.Marshal(payload)
-	if err != nil {
-		return
+	// Fragments are immutable per version: reuse the marshalled bytes as
+	// long as the cached entry still points at this exact payload. An
+	// update installs a new *bat.BAT, so the pointer comparison doubles
+	// as version validation.
+	var raw []byte
+	if ent, ok := n.wireCache[m.BAT]; ok && ent.src == payload {
+		raw = ent.raw
+		atomic.AddInt64(&n.wireHits, 1)
+	} else {
+		var err error
+		raw, err = bat.Marshal(payload)
+		if err != nil {
+			return
+		}
+		n.wireCache[m.BAT] = &wireEntry{src: payload, raw: raw}
+		atomic.AddInt64(&n.wireMisses, 1)
 	}
 	msg := wireMsg{IsData: true, Hdr: m, Payload: raw}
 	data, err := encodeMsg(msg)
@@ -442,8 +493,14 @@ func (e *liveEnv) QueryError(q core.QueryID, b core.BATID, reason string) {
 	}
 }
 
-func (e *liveEnv) OnLoad(b core.BATID, size int)   {}
-func (e *liveEnv) OnUnload(b core.BATID, size int) {}
+func (e *liveEnv) OnLoad(b core.BATID, size int) {}
+
+// OnUnload drops the fragment's cached wire bytes: once the BAT leaves
+// the hot set there is no forward to amortize them over. Called with
+// n.mu held.
+func (e *liveEnv) OnUnload(b core.BATID, size int) {
+	delete(e.node().wireCache, b)
+}
 
 // ---------------------------------------------------------------------
 // query execution
@@ -451,10 +508,14 @@ func (e *liveEnv) OnUnload(b core.BATID, size int) {}
 
 // queryDC adapts one query's datacyclotron.* calls onto the node.
 type queryDC struct {
-	n    *Node
-	q    core.QueryID
-	mu   sync.Mutex
-	bats []core.BATID
+	n *Node
+	q core.QueryID
+	// cancel, when non-nil, aborts blocked pins: ExecPlan closes it when
+	// the query fails so the interpreter goroutine can exit instead of
+	// waiting for a delivery that will never come.
+	cancel <-chan struct{}
+	mu     sync.Mutex
+	bats   []core.BATID
 	// pinned maps delivered BAT values back to their fragment ids:
 	// the DcOptimizer emits unpin(X) on the pinned variable (Table 2),
 	// so unpin receives the *bat.BAT, not the request handle.
@@ -501,9 +562,39 @@ func (d *queryDC) Pin(handle mal.Value) (mal.Value, error) {
 		d.pinned[b] = id
 		d.mu.Unlock()
 		return b, nil
+	case <-d.cancel: // nil for uncancellable callers: blocks forever
+		d.abandonPin(id, ch)
+		return nil, mal.ErrCancelled
 	case <-n.closed:
+		d.abandonPin(id, ch)
 		return nil, fmt.Errorf("live: ring closed")
 	}
+}
+
+// abandonPin unwinds a pin the caller gave up on. A concurrent Deliver
+// (which runs under n.mu) may already have removed the waiter entry,
+// bumped the payload's refcount, and sent into ch — in which case the
+// cancel branch of Pin's select raced the delivery and must consume the
+// payload and drop that ref, or the cachedBAT leaks for the ring's
+// lifetime. Otherwise the waiter entry is still registered and removing
+// it keeps a later Deliver from counting a ref nobody will release.
+func (d *queryDC) abandonPin(id core.BATID, ch chan *bat.BAT) {
+	n := d.n
+	n.mu.Lock()
+	delete(n.waiters, waitKey{d.q, id})
+	select {
+	case b := <-ch:
+		if b != nil {
+			if c, ok := n.cached[id]; ok {
+				c.refs--
+				if c.refs <= 0 {
+					delete(n.cached, id)
+				}
+			}
+		}
+	default:
+	}
+	n.mu.Unlock()
 }
 
 // Unpin implements mal.DCRuntime. It accepts either the request handle
@@ -559,31 +650,44 @@ func (n *Node) ExecPlan(plan *mal.Plan) (*mal.ResultSet, error) {
 	atomic.AddInt64(&n.activeQueries, 1)
 	defer atomic.AddInt64(&n.activeQueries, -1)
 	q := core.QueryID(atomic.AddInt64(&n.nextQ, 1))<<16 | core.QueryID(n.id)
-	dc := &queryDC{n: n, q: q}
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	abort := func() { cancelOnce.Do(func() { close(cancel) }) }
+	dc := &queryDC{n: n, q: q, cancel: cancel}
 	errCh := make(chan error, 1)
 	n.mu.Lock()
 	n.errs[q] = errCh
 	n.mu.Unlock()
 	defer func() {
+		abort()
 		n.mu.Lock()
 		delete(n.errs, q)
+		n.releaseQuery(q, dc)
 		n.rt.CancelQuery(q, dc.bats)
 		n.mu.Unlock()
 	}()
 
-	ctx := &mal.Context{Registry: mal.NewRegistry(), DC: dc, Workers: n.cfg.Workers}
+	ctx := &mal.Context{Registry: mal.NewRegistry(), DC: dc, Workers: n.cfg.Workers, Cancel: cancel}
 	done := make(chan struct{})
 	var (
 		res    mal.Value
 		runErr error
 	)
+	atomic.AddInt64(&n.interpRunning, 1)
 	go func() {
+		defer atomic.AddInt64(&n.interpRunning, -1)
 		res, runErr = mal.Run(ctx, plan)
 		close(done)
 	}()
 	select {
 	case <-done:
 	case err := <-errCh:
+		// The query failed at the protocol layer. Cancel the interpreter
+		// and wait for it: pins observe the cancel channel, so the
+		// goroutine exits promptly instead of leaking against a query
+		// the runtime has already given up on.
+		abort()
+		<-done
 		return nil, err
 	}
 	if runErr != nil {
@@ -596,6 +700,41 @@ func (n *Node) ExecPlan(plan *mal.Plan) (*mal.ResultSet, error) {
 	return rs, nil
 }
 
+// releaseQuery drops whatever protocol state an aborted interpreter
+// left behind: unconsumed waiter channels (including payload refs a
+// Deliver already handed them) and pins that never saw their unpin
+// instruction. Called with n.mu held, after the interpreter goroutine
+// has stopped.
+func (n *Node) releaseQuery(q core.QueryID, dc *queryDC) {
+	unref := func(id core.BATID) {
+		if c, ok := n.cached[id]; ok {
+			c.refs--
+			if c.refs <= 0 {
+				delete(n.cached, id)
+			}
+		}
+	}
+	for key, ch := range n.waiters {
+		if key.q != q {
+			continue
+		}
+		delete(n.waiters, key)
+		select {
+		case b := <-ch:
+			if b != nil {
+				unref(key.b)
+			}
+		default:
+		}
+	}
+	dc.mu.Lock()
+	for _, id := range dc.pinned {
+		unref(id)
+	}
+	dc.pinned = nil
+	dc.mu.Unlock()
+}
+
 // Runtime exposes the node's DC runtime for inspection (stats).
 func (n *Node) Runtime() *core.Runtime { return n.rt }
 
@@ -604,4 +743,48 @@ func (n *Node) Stats() core.Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.rt.Stats()
+}
+
+// ID reports the node's ring position.
+func (n *Node) ID() core.NodeID { return n.id }
+
+// Schema exposes the node's SQL schema (every node shares the ring's).
+func (n *Node) Schema() minisql.Schema { return n.schema }
+
+// ActiveQueries reports how many queries are executing on this node
+// right now (a load signal for admission and the nomadic phase).
+func (n *Node) ActiveQueries() int64 { return atomic.LoadInt64(&n.activeQueries) }
+
+// InterpRunning reports live interpreter goroutines on this node; it
+// returns to zero when the node is idle (leak detector).
+func (n *Node) InterpRunning() int64 { return atomic.LoadInt64(&n.interpRunning) }
+
+// WireCacheStats reports how many data forwards reused cached
+// marshalled bytes versus paid a fresh bat.Marshal.
+func (n *Node) WireCacheStats() (hits, misses int64) {
+	return atomic.LoadInt64(&n.wireHits), atomic.LoadInt64(&n.wireMisses)
+}
+
+// Quiesce blocks until no node is executing a query, or until timeout
+// elapses; it reports whether the ring went idle. Callers that submit
+// queries from several places (e.g. a drained server plus in-process
+// submitters) use this before tearing the ring down.
+func (r *Ring) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		idle := true
+		for _, n := range r.nodes {
+			if n.ActiveQueries() > 0 || n.InterpRunning() > 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }

@@ -188,19 +188,7 @@ func TestBATIDResolution(t *testing.T) {
 
 func TestTPCHQ1OnLiveRing(t *testing.T) {
 	db := tpch.GenDB(0.0005, 11)
-	cols := map[string]*bat.BAT{}
-	for _, name := range db.Columns() {
-		var tbl, col string
-		fmt.Sscanf(name, "%s", &tbl) // name is "table.column"
-		for i := 0; i < len(name); i++ {
-			if name[i] == '.' {
-				tbl, col = name[:i], name[i+1:]
-				break
-			}
-		}
-		b, _ := db.Column(tbl, col)
-		cols[name] = b
-	}
+	cols := db.ColumnMap()
 	r, err := NewRing(3, cols, db.Schema(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -1,9 +1,14 @@
 package mal
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrCancelled is returned by Run when the Context's Cancel channel
+// closes before the plan completes.
+var ErrCancelled = errors.New("mal: run cancelled")
 
 // OpFunc implements one MAL operation. It receives the evaluated
 // arguments and must return exactly as many values as the instruction
@@ -52,6 +57,25 @@ type Context struct {
 	DC       DCRuntime
 	// Workers bounds dataflow parallelism; <=1 means sequential.
 	Workers int
+	// Cancel, when non-nil, aborts the run: once it closes, no further
+	// instructions are dispatched and Run returns ErrCancelled. Blocking
+	// operations (datacyclotron.pin) are expected to watch the same
+	// channel so an abandoned query cannot strand an interpreter
+	// goroutine on a pin that will never be delivered.
+	Cancel <-chan struct{}
+}
+
+// cancelled reports whether the run's cancel channel has closed.
+func (ctx *Context) cancelled() bool {
+	if ctx.Cancel == nil {
+		return false
+	}
+	select {
+	case <-ctx.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Run executes the plan and returns the value of its Result variable
@@ -117,6 +141,9 @@ func execInstr(ctx *Context, in Instr, vals []Value) (err error) {
 func runSequential(ctx *Context, p *Plan) ([]Value, error) {
 	vals := make([]Value, p.NVars)
 	for _, in := range p.Instrs {
+		if ctx.cancelled() {
+			return nil, ErrCancelled
+		}
 		if err := execInstr(ctx, in, vals); err != nil {
 			return nil, err
 		}
@@ -198,6 +225,14 @@ func runParallel(ctx *Context, p *Plan) ([]Value, error) {
 				mu.Lock()
 				failed := firstErr != nil
 				mu.Unlock()
+				if !failed && ctx.cancelled() {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = ErrCancelled
+					}
+					mu.Unlock()
+					failed = true
+				}
 				if !failed {
 					if err := execInstr(ctx, p.Instrs[i], vals); err != nil {
 						mu.Lock()

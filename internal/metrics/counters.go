@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the concurrency-safe counters the query service uses
+// for per-query latency and outcome accounting. Unlike the simulation
+// containers above (single-threaded by construction), these are updated
+// from many connection handlers at once.
+
+// Counter is an atomic cumulative event counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one and returns the new value.
+func (c *Counter) Inc() int64 { return c.v.Add(1) }
+
+// Add adds delta and returns the new value.
+func (c *Counter) Add(delta int64) int64 { return c.v.Add(delta) }
+
+// Get returns the current value.
+func (c *Counter) Get() int64 { return c.v.Load() }
+
+// Gauge is an atomic up/down gauge that also tracks the maximum value
+// it ever reached (e.g. peak in-flight queries).
+type Gauge struct{ v, max atomic.Int64 }
+
+// Inc raises the gauge by one and returns the new value.
+func (g *Gauge) Inc() int64 {
+	n := g.v.Add(1)
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return n
+		}
+	}
+}
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Get returns the current value.
+func (g *Gauge) Get() int64 { return g.v.Load() }
+
+// Max returns the highest value the gauge ever reached.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// SyncHistogram is a Histogram safe for concurrent Observe/read. It
+// keeps the fixed-width bucket semantics (and quantile approximation)
+// of Histogram behind a mutex.
+type SyncHistogram struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// NewSyncHistogram creates a concurrency-safe histogram with the given
+// bucket width.
+func NewSyncHistogram(name string, width float64) *SyncHistogram {
+	return &SyncHistogram{h: NewHistogram(name, width)}
+}
+
+// Observe records v.
+func (s *SyncHistogram) Observe(v float64) {
+	s.mu.Lock()
+	s.h.Observe(v)
+	s.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (s *SyncHistogram) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Count()
+}
+
+// Mean reports the average observation.
+func (s *SyncHistogram) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Mean()
+}
+
+// Max reports the largest observation.
+func (s *SyncHistogram) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Max()
+}
+
+// Quantile returns an approximate q-quantile (q in [0,1]).
+func (s *SyncHistogram) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Quantile(q)
+}
+
+// Snapshot returns an independent copy of the underlying histogram.
+func (s *SyncHistogram) Snapshot() *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := *s.h
+	cp.counts = append([]int(nil), s.h.counts...)
+	return &cp
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+}
+
+func TestGaugeTracksMax(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	hold := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Inc()
+			<-hold
+			g.Dec()
+		}()
+	}
+	// Wait for all increments to land.
+	for g.Get() != 8 {
+		runtime.Gosched()
+	}
+	close(hold)
+	wg.Wait()
+	if g.Get() != 0 {
+		t.Fatalf("gauge = %d after all decrements", g.Get())
+	}
+	if g.Max() != 8 {
+		t.Fatalf("max = %d, want 8", g.Max())
+	}
+}
+
+func TestSyncHistogramQuantiles(t *testing.T) {
+	h := NewSyncHistogram("lat", 0.001)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= 100; i++ {
+				h.Observe(float64(i) * 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 400 {
+		t.Fatalf("count = %d, want 400", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 0.040 || p50 > 0.060 {
+		t.Fatalf("p50 = %f, want ~0.050", p50)
+	}
+	snap := h.Snapshot()
+	h.Observe(10)
+	if snap.Count() != 400 {
+		t.Fatal("snapshot mutated by later Observe")
+	}
+}

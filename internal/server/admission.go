@@ -1,0 +1,65 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Admission errors, mapped onto FrameError codes by the handler.
+var (
+	errRejected = errors.New("server: admission queue full")
+	errDraining = errors.New("server: draining")
+)
+
+// admission is the per-node in-flight query governor: a bounded slot
+// pool plus a bounded wait queue. A query either takes a slot
+// immediately, waits its turn (the Go runtime wakes blocked channel
+// senders in FIFO order), or is rejected outright when the queue is
+// already at capacity — the backpressure that keeps a client flood from
+// melting the ring.
+type admission struct {
+	slots    chan struct{}
+	queueCap int64
+	waiting  atomic.Int64
+}
+
+func newAdmission(inFlight, queueCap int) *admission {
+	return &admission{slots: make(chan struct{}, inFlight), queueCap: int64(queueCap)}
+}
+
+// acquire takes an execution slot or fails: errRejected when the wait
+// queue is full, errDraining once drain closes.
+func (a *admission) acquire(drain <-chan struct{}) error {
+	select {
+	case <-drain:
+		return errDraining
+	default:
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queueCap {
+		a.waiting.Add(-1)
+		return errRejected
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-drain:
+		return errDraining
+	}
+}
+
+// release returns an execution slot.
+func (a *admission) release() { <-a.slots }
+
+// inUse reports slots currently held. Taking a slot and becoming
+// visible here is one channel operation, so shutdown can rely on it
+// (unlike a separately-incremented gauge) to see every admitted query.
+func (a *admission) inUse() int { return len(a.slots) }
+
+// queued reports how many queries are waiting for a slot.
+func (a *admission) queued() int64 { return a.waiting.Load() }

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionSlotPool(t *testing.T) {
+	drain := make(chan struct{})
+	a := newAdmission(2, 1)
+	if err := a.acquire(drain); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(drain); err != nil {
+		t.Fatal(err)
+	}
+	// Both slots taken: one waiter fits the queue...
+	waited := make(chan error, 1)
+	go func() { waited <- a.acquire(drain) }()
+	for a.queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// ...and the next arrival is bounced by queue depth.
+	if err := a.acquire(drain); err != errRejected {
+		t.Fatalf("overflow acquire = %v, want errRejected", err)
+	}
+	a.release()
+	if err := <-waited; err != nil {
+		t.Fatalf("queued acquire = %v", err)
+	}
+	// Draining bounces everyone, including queued waiters.
+	close(drain)
+	if err := a.acquire(drain); err != errDraining {
+		t.Fatalf("draining acquire = %v, want errDraining", err)
+	}
+}
+
+func TestNodeAddr(t *testing.T) {
+	if a, err := nodeAddr("127.0.0.1:0", 3); err != nil || a != "127.0.0.1:0" {
+		t.Fatalf("ephemeral base: %q, %v", a, err)
+	}
+	if a, err := nodeAddr("127.0.0.1:4001", 2); err != nil || a != "127.0.0.1:4003" {
+		t.Fatalf("fixed base: %q, %v", a, err)
+	}
+	if _, err := nodeAddr("garbage", 0); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

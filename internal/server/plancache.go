@@ -1,0 +1,66 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/mal"
+
+	"repro/internal/metrics"
+)
+
+// planCache memoizes SQL text -> compiled + DC-rewritten plan, so hot
+// queries skip minisql.Compile and dcopt.Rewrite entirely. Plans are
+// read-only to the interpreter, so one cached plan serves any number of
+// concurrent executions. Eviction is LRU with a fixed entry cap.
+type planCache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	bySQL  map[string]*list.Element
+	hits   metrics.Counter
+	misses metrics.Counter
+}
+
+type planEntry struct {
+	sql  string
+	plan *mal.Plan
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, ll: list.New(), bySQL: map[string]*list.Element{}}
+}
+
+func (c *planCache) get(sql string) (*mal.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.bySQL[sql]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*planEntry).plan, true
+}
+
+func (c *planCache) put(sql string, p *mal.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.bySQL[sql]; ok {
+		// A concurrent miss compiled the same text; keep the newer plan.
+		el.Value.(*planEntry).plan = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.bySQL[sql] = c.ll.PushFront(&planEntry{sql: sql, plan: p})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.bySQL, last.Value.(*planEntry).sql)
+	}
+}
+
+func (c *planCache) stats() (hits, misses int64) {
+	return c.hits.Get(), c.misses.Get()
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+)
+
+// The wire protocol is deliberately small: length-prefixed binary
+// frames over TCP. Every frame is
+//
+//	uint32 big-endian payload length | 1 byte frame type | payload
+//
+// A session opens with Hello/HelloOK and then alternates Query ->
+// (Result | Error). Result payloads reuse the bat package's
+// serialization: each column travels exactly as it would on the storage
+// ring.
+
+// Frame types.
+const (
+	// FrameHello opens a session (client -> server); payload is Magic.
+	FrameHello byte = 1
+	// FrameHelloOK acknowledges (server -> client); payload is a Hello.
+	FrameHelloOK byte = 2
+	// FrameQuery carries SQL text (client -> server).
+	FrameQuery byte = 3
+	// FrameResult carries a serialized result set (server -> client).
+	FrameResult byte = 4
+	// FrameError carries an error code + message (server -> client).
+	FrameError byte = 5
+)
+
+// Magic is the handshake payload; it versions the protocol.
+const Magic = "DCY1"
+
+// DefaultMaxFrame bounds a single frame (result sets included).
+const DefaultMaxFrame = 64 << 20
+
+// Error codes carried by FrameError.
+const (
+	// CodeBadRequest: the frame sequence or SQL framing was malformed.
+	CodeBadRequest byte = 1
+	// CodeRejected: admission control's wait queue was full.
+	CodeRejected byte = 2
+	// CodeDraining: the server is shutting down and takes no new work.
+	CodeDraining byte = 3
+	// CodeExec: the query compiled or executed with an error.
+	CodeExec byte = 4
+)
+
+// Hello is the server's handshake response.
+type Hello struct {
+	Node        int // ring position of the serving node
+	Ring        int // ring size
+	MaxInFlight int // admission slots at this node
+}
+
+// RemoteError is a protocol-level failure reported by the server. The
+// connection that carried it remains usable.
+type RemoteError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server: %s (code %d)", e.Msg, e.Code)
+}
+
+// Temporary reports whether retrying the same query later may succeed
+// (admission rejection or drain, rather than a broken query).
+func (e *RemoteError) Temporary() bool {
+	return e.Code == CodeRejected || e.Code == CodeDraining
+}
+
+// WriteFrame writes one frame. The header and payload go out in a
+// single Write so small frames stay in one segment.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	buf := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting payloads larger than max.
+func ReadFrame(r io.Reader, max int) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:4]))
+	if n > max {
+		return 0, nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// EncodeError builds a FrameError payload.
+func EncodeError(code byte, msg string) []byte {
+	return append([]byte{code}, msg...)
+}
+
+// DecodeError parses a FrameError payload.
+func DecodeError(payload []byte) *RemoteError {
+	if len(payload) == 0 {
+		return &RemoteError{Code: CodeBadRequest, Msg: "empty error frame"}
+	}
+	return &RemoteError{Code: payload[0], Msg: string(payload[1:])}
+}
+
+// EncodeHello gob-encodes the handshake response.
+func EncodeHello(h Hello) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeHello parses a FrameHelloOK payload.
+func DecodeHello(payload []byte) (Hello, error) {
+	var h Hello
+	err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&h)
+	return h, err
+}
+
+// resultWire is the on-wire form of a result set: column payloads are
+// bat.Marshal output, the same serialization fragments use on the ring.
+type resultWire struct {
+	Names []string
+	Cols  [][]byte
+}
+
+// EncodeResult serializes a result set for a FrameResult payload.
+func EncodeResult(rs *mal.ResultSet) ([]byte, error) {
+	w := resultWire{Names: rs.Names, Cols: make([][]byte, len(rs.Cols))}
+	for i, c := range rs.Cols {
+		raw, err := bat.Marshal(c)
+		if err != nil {
+			return nil, err
+		}
+		w.Cols[i] = raw
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResult parses a FrameResult payload back into a result set.
+func DecodeResult(payload []byte) (*mal.ResultSet, error) {
+	var w resultWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+		return nil, err
+	}
+	rs := &mal.ResultSet{Names: w.Names, Cols: make([]*bat.BAT, len(w.Cols))}
+	for i, raw := range w.Cols {
+		b, err := bat.Unmarshal(raw)
+		if err != nil {
+			return nil, err
+		}
+		rs.Cols[i] = b
+	}
+	return rs, nil
+}

@@ -1,0 +1,391 @@
+// Package server is the network front door of the live Data Cyclotron
+// ring: one TCP listener per node speaking a length-prefixed binary
+// protocol (see proto.go). The paper's §4 architecture lets queries
+// settle on any node; this layer adds what production traffic needs on
+// top of that — per-node admission control (a bounded in-flight slot
+// pool with a FIFO wait queue and queue-depth rejection), a plan cache
+// so hot SQL skips compilation and the DC rewrite, per-query latency
+// and outcome counters, and graceful drain on shutdown.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dcopt"
+	"repro/internal/live"
+	"repro/internal/mal"
+	"repro/internal/metrics"
+	"repro/internal/minisql"
+)
+
+// Config tunes the query service.
+type Config struct {
+	// Addr is the base listen address. Port 0 gives every node an
+	// ephemeral port (Addrs reports what was bound); a concrete port P
+	// serves node i on P+i.
+	Addr string
+	// MaxInFlight bounds concurrently executing queries per node.
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for a slot per node; arrivals
+	// beyond it are rejected immediately.
+	MaxQueue int
+	// PlanCacheSize bounds cached compiled plans per node.
+	PlanCacheSize int
+	// MaxFrame bounds a single protocol frame.
+	MaxFrame int
+	// DrainTimeout bounds how long Close waits for in-flight queries.
+	DrainTimeout time.Duration
+}
+
+// DefaultConfig suits loopback serving.
+func DefaultConfig() Config {
+	return Config{
+		Addr:          "127.0.0.1:0",
+		MaxInFlight:   8,
+		MaxQueue:      64,
+		PlanCacheSize: 128,
+		MaxFrame:      DefaultMaxFrame,
+		DrainTimeout:  10 * time.Second,
+	}
+}
+
+// NodeStats snapshots one node server's counters.
+type NodeStats struct {
+	Accepted int64 // queries that got an execution slot
+	OK       int64 // completed successfully
+	Failed   int64 // compile or execution error
+	Rejected int64 // bounced by the full wait queue
+	Drained  int64 // bounced because the server was draining
+
+	InFlight    int64 // executing right now
+	MaxInFlight int64 // peak concurrent executions observed
+	Queued      int64 // waiting for a slot right now
+
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+
+	// Latency quantiles over completed queries (OK + Failed).
+	Count               int64
+	Mean, P50, P95, P99 time.Duration
+}
+
+func (s NodeStats) String() string {
+	return fmt.Sprintf("accepted=%d ok=%d failed=%d rejected=%d drained=%d inflight=%d/%d(max) plancache=%d/%d p50=%s p95=%s p99=%s",
+		s.Accepted, s.OK, s.Failed, s.Rejected, s.Drained, s.InFlight, s.MaxInFlight,
+		s.PlanCacheHits, s.PlanCacheHits+s.PlanCacheMisses, s.P50, s.P95, s.P99)
+}
+
+// Server serves every node of a live ring.
+type Server struct {
+	cfg   Config
+	ring  *live.Ring
+	nodes []*nodeServer
+	drain chan struct{}
+
+	wg        sync.WaitGroup // accept loops + connection handlers
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// nodeServer is the per-node listener and its serving state.
+type nodeServer struct {
+	srv    *Server
+	node   *live.Node
+	nodeID int
+	schema minisql.Schema
+	ln     net.Listener
+	adm    *admission
+	cache  *planCache
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	accepted metrics.Counter
+	ok       metrics.Counter
+	failed   metrics.Counter
+	rejected metrics.Counter
+	drained  metrics.Counter
+	inFlight metrics.Gauge
+	latency  *metrics.SyncHistogram
+}
+
+// Serve starts one TCP listener per ring node and returns immediately;
+// queries arriving at node i's address execute on node i (and fragments
+// flow to it around the ring as usual).
+func Serve(ring *live.Ring, cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultConfig().MaxInFlight
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.PlanCacheSize <= 0 {
+		cfg.PlanCacheSize = DefaultConfig().PlanCacheSize
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultConfig().DrainTimeout
+	}
+	s := &Server{cfg: cfg, ring: ring, drain: make(chan struct{})}
+	for i := 0; i < ring.Size(); i++ {
+		addr, err := nodeAddr(cfg.Addr, i)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: node %d: %w", i, err)
+		}
+		node := ring.Node(i)
+		ns := &nodeServer{
+			srv:     s,
+			node:    node,
+			nodeID:  i,
+			schema:  node.Schema(),
+			ln:      ln,
+			adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+			cache:   newPlanCache(cfg.PlanCacheSize),
+			conns:   map[net.Conn]struct{}{},
+			latency: metrics.NewSyncHistogram(fmt.Sprintf("node%d.latency", i), 0.0001),
+		}
+		s.nodes = append(s.nodes, ns)
+		s.wg.Add(1)
+		go ns.acceptLoop()
+	}
+	return s, nil
+}
+
+// nodeAddr derives node i's listen address from the base address: an
+// ephemeral base (port 0) is shared as-is, a concrete port P becomes
+// P+i so a multi-node ring can be served on fixed, predictable ports.
+func nodeAddr(base string, i int) (string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", fmt.Errorf("server: bad listen address %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("server: bad listen port %q: %w", portStr, err)
+	}
+	if port == 0 {
+		return base, nil
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+i)), nil
+}
+
+// Addr reports the bound address of node i's listener.
+func (s *Server) Addr(i int) string { return s.nodes[i].ln.Addr().String() }
+
+// Addrs reports every node's bound address, in ring order.
+func (s *Server) Addrs() []string {
+	out := make([]string, len(s.nodes))
+	for i := range s.nodes {
+		out[i] = s.Addr(i)
+	}
+	return out
+}
+
+// Stats snapshots node i's serving counters.
+func (s *Server) Stats(i int) NodeStats {
+	ns := s.nodes[i]
+	hits, misses := ns.cache.stats()
+	st := NodeStats{
+		Accepted:        ns.accepted.Get(),
+		OK:              ns.ok.Get(),
+		Failed:          ns.failed.Get(),
+		Rejected:        ns.rejected.Get(),
+		Drained:         ns.drained.Get(),
+		InFlight:        ns.inFlight.Get(),
+		MaxInFlight:     ns.inFlight.Max(),
+		Queued:          ns.adm.queued(),
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+		Count:           int64(ns.latency.Count()),
+	}
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	st.Mean = sec(ns.latency.Mean())
+	st.P50 = sec(ns.latency.Quantile(0.50))
+	st.P95 = sec(ns.latency.Quantile(0.95))
+	st.P99 = sec(ns.latency.Quantile(0.99))
+	return st
+}
+
+// Close drains and shuts the server down: new queries are refused with
+// CodeDraining at once, in-flight queries get up to DrainTimeout to
+// finish, then all listeners and connections close. It does not close
+// the ring. Safe to call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.drain)
+		for _, ns := range s.nodes {
+			ns.ln.Close()
+		}
+		deadline := time.Now().Add(s.cfg.DrainTimeout)
+		for time.Now().Before(deadline) {
+			busy := false
+			for _, ns := range s.nodes {
+				// Admission slots, not the stats gauge: the slot is held
+				// from the admit operation itself until the response is
+				// flushed, so no just-admitted query can slip past drain.
+				if ns.adm.inUse() > 0 {
+					busy = true
+					break
+				}
+			}
+			if !busy {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		for _, ns := range s.nodes {
+			ns.connMu.Lock()
+			for c := range ns.conns {
+				c.Close()
+			}
+			ns.connMu.Unlock()
+		}
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+func (ns *nodeServer) acceptLoop() {
+	defer ns.srv.wg.Done()
+	for {
+		conn, err := ns.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ns.connMu.Lock()
+		ns.conns[conn] = struct{}{}
+		ns.connMu.Unlock()
+		ns.srv.wg.Add(1)
+		go ns.handle(conn)
+	}
+}
+
+func (ns *nodeServer) dropConn(conn net.Conn) {
+	ns.connMu.Lock()
+	delete(ns.conns, conn)
+	ns.connMu.Unlock()
+	conn.Close()
+}
+
+// handle speaks the protocol on one connection: handshake, then a
+// query/response loop until the client goes away.
+func (ns *nodeServer) handle(conn net.Conn) {
+	defer ns.srv.wg.Done()
+	defer ns.dropConn(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	typ, payload, err := ReadFrame(br, ns.srv.cfg.MaxFrame)
+	if err != nil || typ != FrameHello || string(payload) != Magic {
+		WriteFrame(bw, FrameError, EncodeError(CodeBadRequest, "bad handshake"))
+		bw.Flush()
+		return
+	}
+	hello, err := EncodeHello(Hello{
+		Node:        ns.nodeID,
+		Ring:        ns.srv.ring.Size(),
+		MaxInFlight: ns.srv.cfg.MaxInFlight,
+	})
+	if err != nil {
+		return
+	}
+	if err := WriteFrame(bw, FrameHelloOK, hello); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	for {
+		typ, payload, err := ReadFrame(br, ns.srv.cfg.MaxFrame)
+		if err != nil {
+			return // client hung up (or drain force-closed us)
+		}
+		if typ != FrameQuery {
+			WriteFrame(bw, FrameError, EncodeError(CodeBadRequest,
+				fmt.Sprintf("unexpected frame type %d", typ)))
+			bw.Flush()
+			return
+		}
+		ns.serveQuery(bw, string(payload))
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveQuery admits, executes, and answers one query.
+func (ns *nodeServer) serveQuery(bw *bufio.Writer, sql string) {
+	switch err := ns.adm.acquire(ns.srv.drain); err {
+	case nil:
+	case errRejected:
+		ns.rejected.Inc()
+		WriteFrame(bw, FrameError, EncodeError(CodeRejected, "admission queue full"))
+		return
+	default: // errDraining
+		ns.drained.Inc()
+		WriteFrame(bw, FrameError, EncodeError(CodeDraining, "server draining"))
+		return
+	}
+	ns.accepted.Inc()
+	ns.inFlight.Inc()
+	// The query counts as in flight until its answer is flushed: Close's
+	// drain loop watches this gauge, and a completed query whose result
+	// frame is still buffered must not have its connection torn down.
+	defer func() {
+		bw.Flush()
+		ns.inFlight.Dec()
+		ns.adm.release()
+	}()
+	start := time.Now()
+	rs, err := ns.exec(sql)
+	ns.latency.Observe(time.Since(start).Seconds())
+
+	if err != nil {
+		ns.failed.Inc()
+		WriteFrame(bw, FrameError, EncodeError(CodeExec, err.Error()))
+		return
+	}
+	payload, err := EncodeResult(rs)
+	if err != nil {
+		ns.failed.Inc()
+		WriteFrame(bw, FrameError, EncodeError(CodeExec, err.Error()))
+		return
+	}
+	ns.ok.Inc()
+	WriteFrame(bw, FrameResult, payload)
+}
+
+// exec runs sql on this node, going through the plan cache: a hit skips
+// both minisql.Compile and the DC rewrite.
+func (ns *nodeServer) exec(sql string) (*mal.ResultSet, error) {
+	plan, ok := ns.cache.get(sql)
+	if !ok {
+		compiled, err := minisql.Compile(sql, ns.schema, "sys")
+		if err != nil {
+			return nil, err
+		}
+		plan, _, err = dcopt.Rewrite(compiled)
+		if err != nil {
+			return nil, err
+		}
+		ns.cache.put(sql, plan)
+	}
+	return ns.node.ExecPlan(plan)
+}

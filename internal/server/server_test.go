@@ -1,0 +1,157 @@
+package server_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/dcclient"
+	"repro/internal/live"
+	"repro/internal/minisql"
+	"repro/internal/server"
+)
+
+func testColumns() (map[string]*bat.BAT, minisql.Schema) {
+	cols := map[string]*bat.BAT{
+		"t.id":   bat.MakeInts("t.id", []int64{1, 2, 3, 4}),
+		"t.name": bat.MakeStrs("t.name", []string{"one", "two", "three", "four"}),
+		"c.t_id": bat.MakeInts("c.t_id", []int64{2, 2, 3, 9}),
+		"c.val":  bat.MakeInts("c.val", []int64{100, 200, 300, 400}),
+	}
+	schema := minisql.MapSchema{
+		"t": {"id", "name"},
+		"c": {"t_id", "val"},
+	}
+	return cols, schema
+}
+
+func servedRing(t *testing.T, n int, ringCfg live.Config, srvCfg server.Config) (*live.Ring, *server.Server) {
+	t.Helper()
+	cols, schema := testColumns()
+	r, err := live.NewRing(n, cols, schema, ringCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.Serve(r, srvCfg)
+	if err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		r.Close()
+	})
+	return r, s
+}
+
+func TestServeQueryMatchesInProcess(t *testing.T) {
+	r, s := servedRing(t, 3, live.DefaultConfig(), server.DefaultConfig())
+	const sql = "select name from t where id >= 2 order by name"
+	want, err := r.Node(1).ExecSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := dcclient.Dial(s.Addr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if h := cl.Node(); h.Node != 1 || h.Ring != 3 {
+		t.Fatalf("handshake = %+v, want node 1 of 3", h)
+	}
+	got, err := cl.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows(), want.Rows()) {
+		t.Fatalf("network result differs:\nwant %v\ngot  %v", want.Rows(), got.Rows())
+	}
+}
+
+func TestPlanCacheSkipsRecompilation(t *testing.T) {
+	_, s := servedRing(t, 2, live.DefaultConfig(), server.DefaultConfig())
+	cl, err := dcclient.Dial(s.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const sql = "select sum(val) from c"
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Query(context.Background(), sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats(0)
+	if st.PlanCacheMisses != 1 {
+		t.Fatalf("plan cache misses = %d, want 1", st.PlanCacheMisses)
+	}
+	if st.PlanCacheHits != 2 {
+		t.Fatalf("plan cache hits = %d, want 2", st.PlanCacheHits)
+	}
+	if st.OK != 3 || st.Count != 3 {
+		t.Fatalf("outcome counters: %+v", st)
+	}
+}
+
+func TestBadSQLKeepsConnectionUsable(t *testing.T) {
+	_, s := servedRing(t, 2, live.DefaultConfig(), server.DefaultConfig())
+	cl, err := dcclient.Dial(s.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(context.Background(), "select nosuch from t"); err == nil {
+		t.Fatal("bad SQL succeeded")
+	} else if dcclient.IsTemporary(err) {
+		t.Fatalf("compile error reported as temporary: %v", err)
+	}
+	// The same pooled connection must still answer good queries.
+	if _, err := cl.Query(context.Background(), "select sum(val) from c"); err != nil {
+		t.Fatalf("connection unusable after query error: %v", err)
+	}
+	if st := s.Stats(0); st.Failed != 1 || st.OK != 1 {
+		t.Fatalf("outcomes = %+v, want 1 failed + 1 ok", st)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	_, s := servedRing(t, 2, live.DefaultConfig(), server.DefaultConfig())
+	cl, err := dcclient.Dial(s.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(context.Background(), "select sum(val) from c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After drain every path must fail cleanly: either the pooled
+	// connection was force-closed (I/O error) or it got a draining frame.
+	if _, err := cl.Query(context.Background(), "select sum(val) from c"); err == nil {
+		t.Fatal("query succeeded on a drained server")
+	}
+	if st := s.Stats(0); st.InFlight != 0 {
+		t.Fatalf("in-flight after drain = %d", st.InFlight)
+	}
+}
+
+func TestQueryContextTimeout(t *testing.T) {
+	_, s := servedRing(t, 2, live.DefaultConfig(), server.DefaultConfig())
+	cl, err := dcclient.Dial(s.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.Query(ctx, "select sum(val) from c"); err != context.Canceled {
+		t.Fatalf("cancelled query = %v, want context.Canceled", err)
+	}
+	// The client must recover with a fresh connection afterwards.
+	if _, err := cl.Query(context.Background(), "select sum(val) from c"); err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+}

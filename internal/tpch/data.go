@@ -47,6 +47,16 @@ func (db *DB) Columns() []string {
 	return names
 }
 
+// ColumnMap returns every column keyed "table.column" — the shape
+// live.NewRing expects. The map is a copy; the BATs are shared.
+func (db *DB) ColumnMap() map[string]*bat.BAT {
+	out := make(map[string]*bat.BAT, len(db.columns))
+	for k, b := range db.columns {
+		out[k] = b
+	}
+	return out
+}
+
 // Rows reports the row count of a table.
 func (db *DB) Rows(table string) int {
 	for k, b := range db.columns {
