@@ -6,6 +6,12 @@ import (
 	"fmt"
 )
 
+// This file is the legacy gob serialization. Production wire paths
+// (ring hops, result frames) use the native codec in wire.go
+// (AppendMarshal/UnmarshalView); gob Marshal/Unmarshal stay under their
+// old names as the baseline the equivalence tests and the codec-vs-gob
+// benchmarks compare against.
+
 // Snapshot is the gob-friendly wire form of a BAT, used when fragments
 // travel the live storage ring.
 type Snapshot struct {

@@ -1,0 +1,462 @@
+package bat
+
+// This file is the BAT's native wire format: a versioned, little-endian,
+// columnar layout that replaces gob on every hot data path (ring hops,
+// result frames). The design goals, in order:
+//
+//  1. Decode without copying: fixed-width vectors (oid/int/float) land
+//     in the message 8-byte aligned, so UnmarshalView can alias them
+//     straight out of the receive buffer. Only the string heap is
+//     copied (one blob allocation shared by all its strings).
+//  2. Encode without intermediate buffers: AppendMarshal appends into a
+//     caller-provided (typically pooled, or NIC-registered) buffer and
+//     MarshalSize is exact, so callers can size envelopes and memory
+//     regions without slack.
+//  3. Never trust the bytes: UnmarshalView validates every length and
+//     offset and returns an error instead of panicking on corrupt or
+//     truncated input (see FuzzUnmarshal).
+//
+// Layout (all integers little-endian, every section padded to 8 bytes
+// relative to the start of the message):
+//
+//	message  := hdr name-bytes pad8 column(head) column(tail)
+//	hdr      := magic 'D' 'C' | version u8 | reserved u8 | nameLen u32
+//	column   := kind u8 | flags u8 | reserved[6] | base u64 | n u64 | payload
+//	payload  := dense: (empty)
+//	          | oid/int/float: n * u64            (8-aligned, aliasable)
+//	          | bool: ceil(n/8) packed bits, pad8
+//	          | str: blobLen u64, n * u32 end-offsets, pad8, blob, pad8
+//
+// Versioning rule: the version byte is bumped on any layout change and
+// decoders reject versions they do not know — ring nodes and clients
+// are deployed together, so there is no cross-version negotiation.
+//
+// Zero-copy aliasing contract: the BAT returned by UnmarshalView shares
+// its fixed-width payloads with the input buffer. This is safe because
+// fragments are immutable per version (updates install a fresh *BAT and
+// the wire cache keys on the payload pointer); callers must treat the
+// buffer as frozen once decoded. Appending to a decoded column is still
+// safe: views are handed out at full capacity, so append reallocates.
+//
+// The gob-based Marshal/Unmarshal in serial.go remain as the test-only
+// baseline the equivalence and speedup tests compare against.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Wire format constants.
+const (
+	wireMagic0 = 'D'
+	wireMagic1 = 'C'
+	// WireVersion is the current layout version; UnmarshalView rejects
+	// anything else.
+	WireVersion = 1
+
+	wireHdrSize = 8  // magic(2) + version(1) + reserved(1) + nameLen(4)
+	colHdrSize  = 24 // kind(1) + flags(1) + reserved(6) + base(8) + n(8)
+
+	colFlagDense  = 1 << 0
+	colFlagSorted = 1 << 1
+)
+
+// ErrWireVersion is returned when the version byte is unknown.
+var ErrWireVersion = errors.New("bat: unsupported wire version")
+
+// hostLittle reports whether this machine is little-endian; the
+// zero-copy alias paths require it, everything else falls back to
+// per-element conversion.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// colWireSize reports the exact encoded size of one column.
+func colWireSize(c *Column) int {
+	if c.dense {
+		return colHdrSize
+	}
+	n := c.Len()
+	switch c.kind {
+	case KStr:
+		blob := 0
+		for _, s := range c.strs {
+			blob += len(s)
+		}
+		return colHdrSize + pad8(8+4*n) + pad8(blob)
+	case KBool:
+		return colHdrSize + pad8((n+7)/8)
+	default:
+		return colHdrSize + 8*n
+	}
+}
+
+// MarshalSize reports the exact number of bytes AppendMarshal will
+// append for b. Callers use it to size envelopes, pooled buffers, and
+// RDMA memory regions without slack.
+func MarshalSize(b *BAT) int {
+	return wireHdrSize + pad8(len(b.Name)) + colWireSize(b.h) + colWireSize(b.t)
+}
+
+// AppendMarshal appends the wire form of b to dst and returns the
+// extended slice. It performs no intermediate allocation: with a dst of
+// sufficient capacity (see MarshalSize) the encode is copy-only.
+// Padding is relative to the start of the message (len(dst) at entry),
+// so a message decoded from an 8-aligned buffer aliases its vectors.
+func AppendMarshal(dst []byte, b *BAT) []byte {
+	start := len(dst)
+	var hdr [wireHdrSize]byte
+	hdr[0], hdr[1], hdr[2] = wireMagic0, wireMagic1, WireVersion
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(b.Name)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, b.Name...)
+	dst = appendPad(dst, start)
+	dst = appendColumn(dst, start, b.h)
+	dst = appendColumn(dst, start, b.t)
+	return dst
+}
+
+// appendPad pads dst with zeros to an 8-byte boundary relative to
+// message start.
+func appendPad(dst []byte, start int) []byte {
+	var zeros [8]byte
+	return append(dst, zeros[:pad8(len(dst)-start)-(len(dst)-start)]...)
+}
+
+func appendColumn(dst []byte, start int, c *Column) []byte {
+	var hdr [colHdrSize]byte
+	hdr[0] = byte(c.kind)
+	if c.dense {
+		hdr[1] |= colFlagDense
+	}
+	if c.sorted {
+		hdr[1] |= colFlagSorted
+	}
+	n := c.Len()
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(c.base))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(n))
+	dst = append(dst, hdr[:]...)
+	if c.dense {
+		return dst
+	}
+	switch c.kind {
+	case KOid:
+		dst = appendU64s(dst, oidsToU64(c.oids))
+	case KInt:
+		dst = appendU64s(dst, intsToU64(c.ints))
+	case KFloat:
+		dst = appendFloats(dst, c.floats)
+	case KBool:
+		word := byte(0)
+		for i, v := range c.bools {
+			if v {
+				word |= 1 << (i & 7)
+			}
+			if i&7 == 7 {
+				dst = append(dst, word)
+				word = 0
+			}
+		}
+		if n&7 != 0 {
+			dst = append(dst, word)
+		}
+		dst = appendPad(dst, start)
+	case KStr:
+		blob := 0
+		for _, s := range c.strs {
+			blob += len(s)
+		}
+		// The offset vector is u32; a heap at or past 4 GiB would wrap
+		// silently and be dropped as corrupt by every receiver. Fail
+		// loudly at the sender instead — no sane fragment gets here.
+		if uint64(blob) > math.MaxUint32 {
+			panic(fmt.Sprintf("bat: string heap of %d bytes exceeds the 4 GiB wire format limit", blob))
+		}
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], uint64(blob))
+		dst = append(dst, b8[:]...)
+		end := uint32(0)
+		var b4 [4]byte
+		for _, s := range c.strs {
+			end += uint32(len(s))
+			binary.LittleEndian.PutUint32(b4[:], end)
+			dst = append(dst, b4[:]...)
+		}
+		dst = appendPad(dst, start)
+		for _, s := range c.strs {
+			dst = append(dst, s...)
+		}
+		dst = appendPad(dst, start)
+	}
+	return dst
+}
+
+// appendU64s appends the raw little-endian bytes of v: a single memmove
+// on little-endian hosts, a conversion loop elsewhere.
+func appendU64s(dst []byte, v []uint64) []byte {
+	if len(v) == 0 {
+		return dst
+	}
+	if hostLittle {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), 8*len(v))
+		return append(dst, raw...)
+	}
+	var b8 [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(b8[:], x)
+		dst = append(dst, b8[:]...)
+	}
+	return dst
+}
+
+func appendFloats(dst []byte, v []float64) []byte {
+	if len(v) == 0 {
+		return dst
+	}
+	if hostLittle {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), 8*len(v))
+		return append(dst, raw...)
+	}
+	var b8 [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(x))
+		dst = append(dst, b8[:]...)
+	}
+	return dst
+}
+
+// oidsToU64 and intsToU64 reinterpret element types of identical width;
+// both are O(1).
+func oidsToU64(v []Oid) []uint64 {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(v))), len(v))
+}
+
+func intsToU64(v []int64) []uint64 {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(v))), len(v))
+}
+
+// wireReader is a bounds-checked cursor over an untrusted message.
+type wireReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("bat: unmarshal: "+format, args...)
+	}
+}
+
+// take returns the next n bytes, or nil after recording an error.
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.data)-r.off {
+		r.fail("truncated at offset %d (need %d of %d bytes)", r.off, n, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *wireReader) skipPad() {
+	want := pad8(r.off)
+	r.take(want - r.off)
+}
+
+// UnmarshalView decodes a message produced by AppendMarshal. Fixed-width
+// vectors are zero-copy views over data (see the aliasing contract at
+// the top of this file); the string heap and bool vectors are copied.
+// It never panics on corrupt input.
+func UnmarshalView(data []byte) (*BAT, error) {
+	r := &wireReader{data: data}
+	hdr := r.take(wireHdrSize)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if hdr[0] != wireMagic0 || hdr[1] != wireMagic1 {
+		return nil, fmt.Errorf("bat: unmarshal: bad magic %q", hdr[:2])
+	}
+	if hdr[2] != WireVersion {
+		return nil, fmt.Errorf("%w %d (want %d)", ErrWireVersion, hdr[2], WireVersion)
+	}
+	nameLen := int(binary.LittleEndian.Uint32(hdr[4:]))
+	name := string(r.take(nameLen))
+	r.skipPad()
+	h := readColumn(r)
+	t := readColumn(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if h.Len() != t.Len() {
+		return nil, fmt.Errorf("bat: unmarshal: head/tail length mismatch %d != %d", h.Len(), t.Len())
+	}
+	return &BAT{Name: name, h: h, t: t}, nil
+}
+
+func readColumn(r *wireReader) *Column {
+	hdr := r.take(colHdrSize)
+	if r.err != nil {
+		return &Column{}
+	}
+	kind := Kind(hdr[0])
+	if kind < KOid || kind > KBool {
+		r.fail("bad column kind %d", hdr[0])
+		return &Column{}
+	}
+	flags := hdr[1]
+	base := Oid(binary.LittleEndian.Uint64(hdr[8:]))
+	n64 := binary.LittleEndian.Uint64(hdr[16:])
+	c := &Column{kind: kind, sorted: flags&colFlagSorted != 0}
+	if flags&colFlagDense != 0 {
+		// Dense columns carry no payload, so n is unrelated to the
+		// message size — a 1M-row dense×dense BAT encodes to 64 bytes.
+		// Only guard against counts that would overflow int arithmetic.
+		if kind != KOid {
+			r.fail("dense column of kind %s", kind)
+			return c
+		}
+		if n64 > 1<<56 {
+			r.fail("implausible dense column length %d", n64)
+			return c
+		}
+		c.dense, c.base, c.n = true, base, int(n64)
+		return c
+	}
+	// Materialized columns do pay at least one bit per element, so a
+	// length that cannot fit in the remaining bytes is corrupt; this
+	// bound also keeps n*8 from overflowing int below.
+	if n64 > uint64(len(r.data))*8 {
+		r.fail("implausible column length %d", n64)
+		return &Column{}
+	}
+	n := int(n64)
+	switch kind {
+	case KOid:
+		c.oids = viewOids(r, n)
+	case KInt:
+		c.ints = viewInts(r, n)
+	case KFloat:
+		c.floats = viewFloats(r, n)
+	case KBool:
+		packed := r.take((n + 7) / 8)
+		r.skipPad()
+		if r.err != nil {
+			return c
+		}
+		if n > 0 {
+			c.bools = make([]bool, n)
+			for i := range c.bools {
+				c.bools[i] = packed[i>>3]&(1<<(i&7)) != 0
+			}
+		}
+	case KStr:
+		lenBytes := r.take(8)
+		if r.err != nil {
+			return c
+		}
+		blobLen64 := binary.LittleEndian.Uint64(lenBytes)
+		if blobLen64 > uint64(len(r.data)) {
+			r.fail("implausible string heap size %d", blobLen64)
+			return c
+		}
+		blobLen := int(blobLen64)
+		offBytes := r.take(4 * n)
+		r.skipPad()
+		blob := r.take(blobLen)
+		r.skipPad()
+		if r.err != nil {
+			return c
+		}
+		// One copy for the whole heap; the strings share its backing.
+		heap := string(blob)
+		if n > 0 {
+			c.strs = make([]string, n)
+			prev := uint32(0)
+			for i := range c.strs {
+				end := binary.LittleEndian.Uint32(offBytes[4*i:])
+				if end < prev || end > uint32(blobLen) {
+					r.fail("string offset %d out of order (prev %d, heap %d)", end, prev, blobLen)
+					return c
+				}
+				c.strs[i] = heap[prev:end]
+				prev = end
+			}
+		}
+	}
+	return c
+}
+
+// viewU64Payload returns the n*8-byte payload for a fixed-width vector
+// and whether it may be aliased in place (little-endian host and
+// 8-aligned in memory — guaranteed by the layout when the message
+// starts an allocation, re-checked here so arbitrary subslices stay
+// correct).
+func viewU64Payload(r *wireReader, n int) ([]byte, bool) {
+	raw := r.take(8 * n)
+	if r.err != nil || n == 0 {
+		return nil, false
+	}
+	alias := hostLittle && uintptr(unsafe.Pointer(unsafe.SliceData(raw)))%8 == 0
+	return raw, alias
+}
+
+func viewOids(r *wireReader, n int) []Oid {
+	raw, alias := viewU64Payload(r, n)
+	if raw == nil {
+		return nil
+	}
+	if alias {
+		return unsafe.Slice((*Oid)(unsafe.Pointer(unsafe.SliceData(raw))), n)
+	}
+	out := make([]Oid, n)
+	for i := range out {
+		out[i] = Oid(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+func viewInts(r *wireReader, n int) []int64 {
+	raw, alias := viewU64Payload(r, n)
+	if raw == nil {
+		return nil
+	}
+	if alias {
+		return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(raw))), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+func viewFloats(r *wireReader, n int) []float64 {
+	raw, alias := viewU64Payload(r, n)
+	if raw == nil {
+		return nil
+	}
+	if alias {
+		return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(raw))), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package bat
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The codec-vs-gob benchmark grid: every wire hop pays one Marshal and
+// one Unmarshal, so these two numbers bound the ring's per-hop
+// serialization tax. Run via scripts/bench.sh, which records the
+// results in BENCH_wire.json.
+
+func benchBAT(rows int) *BAT {
+	vals := make([]int64, rows)
+	for i := range vals {
+		vals[i] = int64(i * 7)
+	}
+	return MakeInts("bench", vals)
+}
+
+func benchStrBAT(rows int) *BAT {
+	vals := make([]string, rows)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("value-%d", i)
+	}
+	return MakeStrs("benchstr", vals)
+}
+
+var benchSizes = []int{1_000, 100_000, 1_000_000}
+
+func BenchmarkMarshal(b *testing.B) {
+	for _, rows := range benchSizes {
+		bat := benchBAT(rows)
+		b.Run(fmt.Sprintf("codec/rows=%d", rows), func(b *testing.B) {
+			buf := make([]byte, 0, MarshalSize(bat))
+			b.SetBytes(int64(MarshalSize(bat)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = AppendMarshal(buf[:0], bat)
+			}
+		})
+		b.Run(fmt.Sprintf("gob/rows=%d", rows), func(b *testing.B) {
+			b.SetBytes(int64(MarshalSize(bat)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Marshal(bat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	for _, rows := range benchSizes {
+		bat := benchBAT(rows)
+		codecBytes := AppendMarshal(nil, bat)
+		gobBytes, err := Marshal(bat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("codec/rows=%d", rows), func(b *testing.B) {
+			b.SetBytes(int64(len(codecBytes)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := UnmarshalView(codecBytes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("gob/rows=%d", rows), func(b *testing.B) {
+			b.SetBytes(int64(len(gobBytes)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Unmarshal(gobBytes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMarshalStrings isolates the string-heap path (the only part
+// of decode that copies).
+func BenchmarkMarshalStrings(b *testing.B) {
+	bat := benchStrBAT(100_000)
+	b.Run("codec", func(b *testing.B) {
+		buf := make([]byte, 0, MarshalSize(bat))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendMarshal(buf[:0], bat)
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Marshal(bat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkUnmarshalStrings(b *testing.B) {
+	bat := benchStrBAT(100_000)
+	codecBytes := AppendMarshal(nil, bat)
+	gobBytes, _ := Marshal(bat)
+	b.Run("codec", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := UnmarshalView(codecBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Unmarshal(gobBytes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package bat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// wireCases covers every column kind and property combination the codec
+// must carry: dense, sorted, zero-copy views, empty, and nil vectors.
+func wireCases() []*BAT {
+	longStrs := make([]string, 100)
+	for i := range longStrs {
+		longStrs[i] = strings.Repeat("x", i%17)
+	}
+	sortedInts := MakeInts("sorted", []int64{5, 3, 1, 4}).SortT(false)
+	bools := make([]bool, 13)
+	for i := range bools {
+		bools[i] = i%3 == 0
+	}
+	return []*BAT{
+		MakeInts("ints", []int64{1, -2, 3, 1 << 62}),
+		MakeFloats("floats", []float64{1.5, -2.25, 0, -0.0}),
+		MakeStrs("strs", []string{"a", "", "hello world", "\x00bin\xff"}),
+		New("longstrs", DenseColumn(7, len(longStrs)), StrColumn(longStrs)),
+		MakeOids("oids", []Oid{0, 5, NilOid}),
+		New("bools", DenseColumn(10, len(bools)), BoolColumn(bools)),
+		New("bools8", DenseColumn(0, 8), BoolColumn(make([]bool, 8))),
+		New("densedense", DenseColumn(3, 5), DenseColumn(100, 5)),
+		New("oid-oid", OidColumn([]Oid{9, 2}), OidColumn([]Oid{1, NilOid})),
+		sortedInts,
+		sortedInts.Slice(1, 3), // zero-copy view of a sorted BAT
+		MakeInts("empty", nil),
+		MakeStrs("emptystrs", nil),
+		New("emptybools", DenseColumn(0, 0), BoolColumn(nil)),
+		New("named", DenseColumn(0, 2), IntColumn([]int64{1, 2})),
+	}
+}
+
+func colsEquivalent(t *testing.T, name string, want, got *Column) {
+	t.Helper()
+	if got.Kind() != want.Kind() || got.Len() != want.Len() {
+		t.Fatalf("%s: kind/len mismatch: %v/%d vs %v/%d", name, got.Kind(), got.Len(), want.Kind(), want.Len())
+	}
+	if got.Dense() != want.Dense() || got.Base() != want.Base() {
+		t.Fatalf("%s: density metadata mismatch", name)
+	}
+	if got.Sorted() != want.Sorted() {
+		t.Fatalf("%s: sorted property mismatch: got %v want %v", name, got.Sorted(), want.Sorted())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Value(i) != want.Value(i) {
+			t.Fatalf("%s: row %d: got %v want %v", name, i, got.Value(i), want.Value(i))
+		}
+	}
+}
+
+// TestWireRoundtrip checks AppendMarshal/UnmarshalView round-trips
+// every kind/property combination.
+func TestWireRoundtrip(t *testing.T) {
+	for _, b := range wireCases() {
+		data := AppendMarshal(nil, b)
+		got, err := UnmarshalView(data)
+		if err != nil {
+			t.Fatalf("%s: UnmarshalView: %v", b.Name, err)
+		}
+		if got.Name != b.Name {
+			t.Fatalf("name: got %q want %q", got.Name, b.Name)
+		}
+		colsEquivalent(t, b.Name+".head", b.Head(), got.Head())
+		colsEquivalent(t, b.Name+".tail", b.Tail(), got.Tail())
+	}
+}
+
+// TestWireGobEquivalence decodes the codec's output and the gob
+// baseline's output of the same BAT and checks they describe identical
+// data — the proof that swapping the wire format is behaviour-neutral.
+func TestWireGobEquivalence(t *testing.T) {
+	for _, b := range wireCases() {
+		gobBytes, err := Marshal(b)
+		if err != nil {
+			t.Fatalf("%s: gob Marshal: %v", b.Name, err)
+		}
+		viaGob, err := Unmarshal(gobBytes)
+		if err != nil {
+			t.Fatalf("%s: gob Unmarshal: %v", b.Name, err)
+		}
+		viaCodec, err := UnmarshalView(AppendMarshal(nil, b))
+		if err != nil {
+			t.Fatalf("%s: UnmarshalView: %v", b.Name, err)
+		}
+		if viaCodec.Name != viaGob.Name {
+			t.Fatalf("%s: name diverges", b.Name)
+		}
+		colsEquivalent(t, b.Name+".head", viaGob.Head(), viaCodec.Head())
+		colsEquivalent(t, b.Name+".tail", viaGob.Tail(), viaCodec.Tail())
+	}
+}
+
+// TestMarshalSizeExact checks the size computation is byte-exact for
+// every case — ring envelopes and RDMA regions are sized from it.
+func TestMarshalSizeExact(t *testing.T) {
+	for _, b := range wireCases() {
+		if got, want := len(AppendMarshal(nil, b)), MarshalSize(b); got != want {
+			t.Fatalf("%s: encoded %d bytes, MarshalSize says %d", b.Name, got, want)
+		}
+	}
+}
+
+// TestAppendMarshalOffset encodes at a non-zero, non-aligned offset in
+// dst and checks the message still decodes: padding is relative to the
+// message start, not the buffer start.
+func TestAppendMarshalOffset(t *testing.T) {
+	b := MakeInts("off", []int64{1, 2, 3})
+	prefix := []byte{0xAA, 0xBB, 0xCC} // deliberately misaligns the message
+	data := AppendMarshal(append([]byte(nil), prefix...), b)
+	if !bytes.Equal(data[:3], prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	msg := data[3:]
+	if len(msg) != MarshalSize(b) {
+		t.Fatalf("message is %d bytes, want %d", len(msg), MarshalSize(b))
+	}
+	got, err := UnmarshalView(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colsEquivalent(t, "off.tail", b.Tail(), got.Tail())
+}
+
+// TestWireLargeDense round-trips a dense×dense BAT whose row count far
+// exceeds the message's byte size: dense columns carry no payload, so
+// the decoder's plausibility bound must not apply to them (regression —
+// dense fragments over ~500 rows were once rejected as corrupt).
+func TestWireLargeDense(t *testing.T) {
+	b := New("huge", DenseColumn(5, 1_000_000), DenseColumn(1<<40, 1_000_000))
+	data := AppendMarshal(nil, b)
+	if len(data) > 100 {
+		t.Fatalf("dense×dense encoded to %d bytes, expected a few dozen", len(data))
+	}
+	got, err := UnmarshalView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != b.Len() || got.Head().Base() != 5 || got.Tail().Base() != 1<<40 {
+		t.Fatalf("large dense BAT distorted: %v", got)
+	}
+}
+
+// TestWireVersionRejected flips the version byte and expects rejection.
+func TestWireVersionRejected(t *testing.T) {
+	data := AppendMarshal(nil, MakeInts("v", []int64{1}))
+	data[2] = WireVersion + 1
+	if _, err := UnmarshalView(data); err == nil {
+		t.Fatal("future version accepted")
+	}
+	data[2] = 0
+	if _, err := UnmarshalView(data); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+}
+
+// TestWireCorruptInputs exercises systematic corruption: every
+// truncation length of a valid message, bad magic, and byte flips in
+// the header region must error (or succeed) without panicking.
+func TestWireCorruptInputs(t *testing.T) {
+	for _, b := range wireCases() {
+		data := AppendMarshal(nil, b)
+		for n := 0; n < len(data); n++ {
+			UnmarshalView(data[:n]) // must not panic; error expected but not required at n==len
+		}
+		for i := 0; i < len(data) && i < 64; i++ {
+			cp := append([]byte(nil), data...)
+			cp[i] ^= 0xFF
+			UnmarshalView(cp) // must not panic
+		}
+	}
+	if _, err := UnmarshalView([]byte("definitely not a bat")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := UnmarshalView(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+}
+
+// TestWireViewAppendSafe checks that appending to a decoded (zero-copy)
+// column reallocates instead of growing into the wire buffer.
+func TestWireViewAppendSafe(t *testing.T) {
+	data := AppendMarshal(nil, MakeInts("a", []int64{1, 2, 3}))
+	snapshot := append([]byte(nil), data...)
+	got, err := UnmarshalView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Tail().Append(int64(99))
+	if !bytes.Equal(data, snapshot) {
+		t.Fatal("append to decoded column mutated the wire buffer")
+	}
+}
+
+// FuzzUnmarshal feeds arbitrary bytes to UnmarshalView: it must never
+// panic, only return errors or valid BATs.
+func FuzzUnmarshal(f *testing.F) {
+	for _, b := range wireCases() {
+		f.Add(AppendMarshal(nil, b))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("DC\x01\x00garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := UnmarshalView(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded BAT must be internally consistent
+		// enough to walk without panicking.
+		for i := 0; i < b.Len(); i++ {
+			_ = b.Head().Value(i)
+			_ = b.Tail().Value(i)
+		}
+	})
+}

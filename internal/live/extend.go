@@ -36,8 +36,11 @@ var nextDynamicID int64 = int64(firstDynamicID)
 // subsequently Fetch it by name. The fragment's life in the ring is
 // governed by its level of interest like any base fragment.
 func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
-	if b.Bytes()+(1<<16) > n.dataOut.MaxMessage() {
-		return 0, fmt.Errorf("live: intermediate %q (%d bytes) exceeds ring message limit", name, b.Bytes())
+	// Exact admission check: the codec reports the encoded size to the
+	// byte, so the only overhead to account for is the fixed envelope.
+	if wire := dataHdrSize + bat.MarshalSize(b); wire > n.dataOut.MaxMessage() {
+		return 0, fmt.Errorf("live: intermediate %q (%d wire bytes) exceeds ring message limit %d",
+			name, wire, n.dataOut.MaxMessage())
 	}
 	r := n.ring
 	r.idsMu.Lock()
@@ -120,14 +123,16 @@ func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error
 	if next == nil {
 		return 0, fmt.Errorf("live: update produced nil version")
 	}
-	if next.Bytes()+(1<<16) > owner.dataOut.MaxMessage() {
-		return 0, fmt.Errorf("live: new version of %q exceeds ring message limit", name)
+	if wire := dataHdrSize + bat.MarshalSize(next); wire > owner.dataOut.MaxMessage() {
+		return 0, fmt.Errorf("live: new version of %q (%d wire bytes) exceeds ring message limit %d",
+			name, wire, owner.dataOut.MaxMessage())
 	}
 
 	owner.mu.Lock()
 	owner.store[id] = next
-	// The serialized form of the old version must not be re-sent.
-	delete(owner.wireCache, id)
+	// The serialized form of the old version must not be re-sent; its
+	// pooled buffer is recycled once in-flight sends drain.
+	owner.dropWireEntry(id)
 	if owner.versions == nil {
 		owner.versions = map[core.BATID]int{}
 	}

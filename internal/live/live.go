@@ -7,8 +7,6 @@
 package live
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,29 +19,8 @@ import (
 	"repro/internal/mal"
 	"repro/internal/minisql"
 	"repro/internal/rdma"
+	"repro/internal/wirebuf"
 )
-
-// wireMsg frames ring traffic for the transport.
-type wireMsg struct {
-	IsData  bool
-	Req     core.RequestMsg
-	Hdr     core.BATMsg
-	Payload []byte // marshalled BAT, data messages only
-}
-
-func encodeMsg(m wireMsg) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func decodeMsg(data []byte) (wireMsg, error) {
-	var m wireMsg
-	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m)
-	return m, err
-}
 
 // Transport selects how ring neighbours are connected.
 type Transport int
@@ -145,10 +122,49 @@ type Node struct {
 	interpRunning int64
 }
 
-// wireEntry caches one fragment's serialized form.
+// wireEntry caches one fragment's serialized form. Entries are
+// refcounted: the cache map holds one reference and every in-flight
+// send holds another, so a pooled encode buffer is recycled exactly
+// when the last user lets go — an update can invalidate an entry while
+// its bytes are still being copied into the NIC region without the
+// buffer being reused underneath the send.
 type wireEntry struct {
-	src *bat.BAT // payload the bytes were marshalled from
-	raw []byte
+	src    *bat.BAT // payload the bytes were marshalled from
+	raw    []byte
+	pooled bool         // raw came from wirebuf and may be recycled
+	refs   atomic.Int32 // cache reference + in-flight sends
+}
+
+func newWireEntry(src *bat.BAT, raw []byte, pooled bool) *wireEntry {
+	e := &wireEntry{src: src, raw: raw, pooled: pooled}
+	e.refs.Store(1)
+	return e
+}
+
+func (e *wireEntry) acquire() { e.refs.Add(1) }
+
+func (e *wireEntry) release() {
+	if e.refs.Add(-1) == 0 && e.pooled {
+		wirebuf.Put(e.raw)
+	}
+}
+
+// setWireEntry installs a cache entry, releasing any entry it replaces.
+// Called with n.mu held.
+func (n *Node) setWireEntry(id core.BATID, e *wireEntry) {
+	if old, ok := n.wireCache[id]; ok {
+		old.release()
+	}
+	n.wireCache[id] = e
+}
+
+// dropWireEntry removes and releases a cache entry. Called with n.mu
+// held.
+func (n *Node) dropWireEntry(id core.BATID) {
+	if old, ok := n.wireCache[id]; ok {
+		delete(n.wireCache, id)
+		old.release()
+	}
 }
 
 type cachedBAT struct {
@@ -170,11 +186,16 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 	}
 	r := &Ring{ids: map[string]core.BATID{}}
 	names := make([]string, 0, len(columns))
-	maxBytes := 1 << 16
+	// The ring message limit (and thus every RDMA memory region) is
+	// computed exactly from the codec: the largest fragment's encoded
+	// size — doubled as growth headroom for updated versions — plus the
+	// fixed envelope header. No serialization slack needed: MarshalSize
+	// is byte-exact.
+	maxPayload := 1 << 16
 	for name, b := range columns {
 		names = append(names, name)
-		if s := b.Bytes() * 2; s > maxBytes {
-			maxBytes = s
+		if s := bat.MarshalSize(b) * 2; s > maxPayload {
+			maxPayload = s
 		}
 	}
 	sort.Strings(names)
@@ -182,7 +203,7 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 	for i, name := range names {
 		r.ids[name] = core.BATID(i)
 	}
-	maxBytes += 1 << 16 // header + gob slack
+	maxBytes := dataHdrSize + maxPayload
 
 	// Nodes and transports.
 	for i := 0; i < n; i++ {
@@ -295,27 +316,31 @@ func (n *Node) dataLoop(wg *sync.WaitGroup) {
 		if err != nil {
 			return
 		}
-		m, err := decodeMsg(data)
-		if err != nil || !m.IsData {
+		hdr, rawPayload, err := decodeDataMsg(data)
+		if err != nil {
 			continue
 		}
 		var payload *bat.BAT
-		if len(m.Payload) > 0 {
-			payload, err = bat.Unmarshal(m.Payload)
+		if len(rawPayload) > 0 {
+			// Zero-copy decode: the BAT's fixed-width columns alias
+			// rawPayload (and thus the receive buffer), which is fresh
+			// per message and immutable from here on.
+			payload, err = bat.UnmarshalView(rawPayload)
 			if err != nil {
 				continue
 			}
 		}
 		n.mu.Lock()
 		if payload != nil {
-			n.transit[m.Hdr.BAT] = payload
+			n.transit[hdr.BAT] = payload
 			// Seed the wire cache with the bytes just received: if OnBAT
 			// forwards this fragment, SendData reuses them verbatim
 			// instead of re-marshalling the payload it just decoded.
-			n.wireCache[m.Hdr.BAT] = &wireEntry{src: payload, raw: m.Payload}
+			// Not pooled: the decoded BAT aliases these bytes.
+			n.setWireEntry(hdr.BAT, newWireEntry(payload, rawPayload, false))
 		}
-		n.rt.OnBAT(m.Hdr)
-		delete(n.transit, m.Hdr.BAT)
+		n.rt.OnBAT(hdr)
+		delete(n.transit, hdr.BAT)
 		if payload != nil {
 			// The seed has served its purpose (the forward, if any,
 			// happened inside OnBAT). On a non-owner, keeping it would
@@ -323,9 +348,9 @@ func (n *Node) dataLoop(wg *sync.WaitGroup) {
 			// fragment that ever flowed past — the next arrival reseeds
 			// anyway. Persistent entries are kept only for fragments in
 			// the local store, where repeat sends amortize the marshal.
-			if _, owned := n.store[m.Hdr.BAT]; !owned {
-				if ent, ok := n.wireCache[m.Hdr.BAT]; ok && ent.src == payload {
-					delete(n.wireCache, m.Hdr.BAT)
+			if _, owned := n.store[hdr.BAT]; !owned {
+				if ent, ok := n.wireCache[hdr.BAT]; ok && ent.src == payload {
+					n.dropWireEntry(hdr.BAT)
 				}
 			}
 		}
@@ -340,12 +365,12 @@ func (n *Node) reqLoop(wg *sync.WaitGroup) {
 		if err != nil {
 			return
 		}
-		m, err := decodeMsg(data)
-		if err != nil || m.IsData {
+		req, err := decodeReqMsg(data)
+		if err != nil {
 			continue
 		}
 		n.mu.Lock()
-		n.rt.OnRequest(m.Req)
+		n.rt.OnRequest(req)
 		n.mu.Unlock()
 	}
 }
@@ -379,50 +404,49 @@ func (e *liveEnv) SendData(m core.BATMsg) {
 	// Fragments are immutable per version: reuse the marshalled bytes as
 	// long as the cached entry still points at this exact payload. An
 	// update installs a new *bat.BAT, so the pointer comparison doubles
-	// as version validation.
-	var raw []byte
-	if ent, ok := n.wireCache[m.BAT]; ok && ent.src == payload {
-		raw = ent.raw
+	// as version validation. Fresh marshals encode into pooled buffers;
+	// the refcount returns them to the pool once the entry is
+	// invalidated and no send is in flight.
+	ent, ok := n.wireCache[m.BAT]
+	if ok && ent.src == payload {
 		atomic.AddInt64(&n.wireHits, 1)
 	} else {
-		var err error
-		raw, err = bat.Marshal(payload)
-		if err != nil {
-			return
-		}
-		n.wireCache[m.BAT] = &wireEntry{src: payload, raw: raw}
+		ent = newWireEntry(payload, bat.AppendMarshal(wirebuf.Get(), payload), true)
+		n.setWireEntry(m.BAT, ent)
 		atomic.AddInt64(&n.wireMisses, 1)
 	}
-	msg := wireMsg{IsData: true, Hdr: m, Payload: raw}
-	data, err := encodeMsg(msg)
-	if err != nil {
-		return
-	}
+	ent.acquire()
 	atomic.AddInt64(&n.outBytes, int64(m.Size))
 	go func() {
+		defer ent.release()
 		defer atomic.AddInt64(&n.outBytes, -int64(m.Size))
 		select {
 		case <-n.closed:
 			return
 		default:
 		}
-		n.dataOut.Send(data)
+		// Assemble the envelope directly in the registered send region:
+		// fixed header, then the cached codec bytes — one copy, zero
+		// allocations.
+		n.dataOut.SendEncoded(dataHdrSize+len(ent.raw), func(dst []byte) int {
+			encodeDataHdr(dst, m, len(ent.raw))
+			return dataHdrSize + copy(dst[dataHdrSize:], ent.raw)
+		})
 	}()
 }
 
 func (e *liveEnv) SendRequest(m core.RequestMsg) bool {
 	n := e.node()
-	data, err := encodeMsg(wireMsg{Req: m})
-	if err != nil {
-		return false
-	}
 	go func() {
 		select {
 		case <-n.closed:
 			return
 		default:
 		}
-		n.reqOut.Send(data)
+		n.reqOut.SendEncoded(reqMsgSize, func(dst []byte) int {
+			encodeReqMsg(dst, m)
+			return reqMsgSize
+		})
 	}()
 	return true
 }
@@ -499,7 +523,7 @@ func (e *liveEnv) OnLoad(b core.BATID, size int) {}
 // the hot set there is no forward to amortize them over. Called with
 // n.mu held.
 func (e *liveEnv) OnUnload(b core.BATID, size int) {
-	delete(e.node().wireCache, b)
+	e.node().dropWireEntry(b)
 }
 
 // ---------------------------------------------------------------------
@@ -759,8 +783,9 @@ func (n *Node) ActiveQueries() int64 { return atomic.LoadInt64(&n.activeQueries)
 // returns to zero when the node is idle (leak detector).
 func (n *Node) InterpRunning() int64 { return atomic.LoadInt64(&n.interpRunning) }
 
-// WireCacheStats reports how many data forwards reused cached
-// marshalled bytes versus paid a fresh bat.Marshal.
+// WireCacheStats reports how many data forwards reused cached codec
+// bytes versus paid a fresh bat.AppendMarshal. Buffer-pool reuse
+// counters live alongside in wirebuf.Stats.
 func (n *Node) WireCacheStats() (hits, misses int64) {
 	return atomic.LoadInt64(&n.wireHits), atomic.LoadInt64(&n.wireMisses)
 }

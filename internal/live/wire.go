@@ -1,0 +1,136 @@
+package live
+
+// This file is the ring's message envelope: a flat, fixed-size binary
+// header in front of each BAT payload or request, replacing the old gob
+// wireMsg. The header size is exact and constant, so ring message
+// limits and RDMA memory regions are sized precisely (the old
+// "maxBytes += 1<<16 // gob slack" fudge is gone) — and it is 64 bytes,
+// matching core.BATHeaderSize, so the simulator's wire accounting and
+// the live ring now agree byte-for-byte.
+//
+// Data envelope (little-endian, payload 8-aligned for bat's zero-copy
+// decode):
+//
+//	[0] 'D'  [1] 'R'  [2] version  [3] kind (1=data)
+//	[4:8]   u32 payload length
+//	[8:16]  Owner    [16:24] BAT     [24:32] Size
+//	[32:40] LOI (float64 bits)
+//	[40:48] Copies   [48:56] Hops    [56:64] Cycles
+//	[64:]   payload (bat.AppendMarshal bytes)
+//
+// Request envelope:
+//
+//	[0] 'D'  [1] 'R'  [2] version  [3] kind (2=request)
+//	[4:8]   reserved
+//	[8:16]  Origin   [16:24] BAT
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+const (
+	envMagic0  = 'D'
+	envMagic1  = 'R'
+	envVersion = 1
+
+	envKindData = 1
+	envKindReq  = 2
+
+	// dataHdrSize is the exact envelope overhead of a data message.
+	dataHdrSize = 64
+	// reqMsgSize is the exact size of a request message.
+	reqMsgSize = 24
+)
+
+var errEnvelope = errors.New("live: bad ring envelope")
+
+func putEnvHeader(dst []byte, kind byte) {
+	dst[0], dst[1], dst[2], dst[3] = envMagic0, envMagic1, envVersion, kind
+}
+
+func checkEnvHeader(data []byte, kind byte, minLen int) error {
+	if len(data) < minLen {
+		return fmt.Errorf("%w: %d bytes, need %d", errEnvelope, len(data), minLen)
+	}
+	if data[0] != envMagic0 || data[1] != envMagic1 {
+		return fmt.Errorf("%w: bad magic %q", errEnvelope, data[:2])
+	}
+	if data[2] != envVersion {
+		return fmt.Errorf("%w: version %d (want %d)", errEnvelope, data[2], envVersion)
+	}
+	if data[3] != kind {
+		return fmt.Errorf("%w: kind %d (want %d)", errEnvelope, data[3], kind)
+	}
+	return nil
+}
+
+// encodeDataHdr writes the envelope for m into dst[:dataHdrSize].
+func encodeDataHdr(dst []byte, m core.BATMsg, payloadLen int) {
+	// The length field is u32; wrapping would make the neighbour drop
+	// the fragment as corrupt with no error anywhere. Fail at the
+	// sender instead.
+	if uint64(payloadLen) > math.MaxUint32 {
+		panic(fmt.Sprintf("live: %d-byte payload exceeds the 4 GiB envelope limit", payloadLen))
+	}
+	putEnvHeader(dst, envKindData)
+	le := binary.LittleEndian
+	le.PutUint32(dst[4:], uint32(payloadLen))
+	le.PutUint64(dst[8:], uint64(m.Owner))
+	le.PutUint64(dst[16:], uint64(m.BAT))
+	le.PutUint64(dst[24:], uint64(m.Size))
+	le.PutUint64(dst[32:], math.Float64bits(m.LOI))
+	le.PutUint64(dst[40:], uint64(m.Copies))
+	le.PutUint64(dst[48:], uint64(m.Hops))
+	le.PutUint64(dst[56:], uint64(m.Cycles))
+}
+
+// decodeDataMsg parses a data envelope, returning the header and the
+// payload as a view over data (zero-copy; the payload stays aliased to
+// the receive buffer, which bat.UnmarshalView relies on).
+func decodeDataMsg(data []byte) (core.BATMsg, []byte, error) {
+	if err := checkEnvHeader(data, envKindData, dataHdrSize); err != nil {
+		return core.BATMsg{}, nil, err
+	}
+	le := binary.LittleEndian
+	payloadLen := int(le.Uint32(data[4:]))
+	if payloadLen != len(data)-dataHdrSize {
+		return core.BATMsg{}, nil, fmt.Errorf("%w: payload length %d, have %d bytes",
+			errEnvelope, payloadLen, len(data)-dataHdrSize)
+	}
+	m := core.BATMsg{
+		Owner:  core.NodeID(le.Uint64(data[8:])),
+		BAT:    core.BATID(le.Uint64(data[16:])),
+		Size:   int(le.Uint64(data[24:])),
+		LOI:    math.Float64frombits(le.Uint64(data[32:])),
+		Copies: int(le.Uint64(data[40:])),
+		Hops:   int(le.Uint64(data[48:])),
+		Cycles: int(le.Uint64(data[56:])),
+	}
+	return m, data[dataHdrSize:], nil
+}
+
+// encodeReqMsg writes the envelope for m into dst[:reqMsgSize].
+func encodeReqMsg(dst []byte, m core.RequestMsg) {
+	putEnvHeader(dst, envKindReq)
+	le := binary.LittleEndian
+	le.PutUint32(dst[4:], 0)
+	le.PutUint64(dst[8:], uint64(m.Origin))
+	le.PutUint64(dst[16:], uint64(m.BAT))
+}
+
+// decodeReqMsg parses a request envelope.
+func decodeReqMsg(data []byte) (core.RequestMsg, error) {
+	if err := checkEnvHeader(data, envKindReq, reqMsgSize); err != nil {
+		return core.RequestMsg{}, err
+	}
+	le := binary.LittleEndian
+	return core.RequestMsg{
+		Origin: core.NodeID(le.Uint64(data[8:])),
+		BAT:    core.BATID(le.Uint64(data[16:])),
+	}, nil
+}

@@ -1,0 +1,99 @@
+package live
+
+import (
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+)
+
+func TestEnvelopeDataRoundtrip(t *testing.T) {
+	payload := bat.AppendMarshal(nil, bat.MakeInts("x", []int64{1, 2, 3}))
+	m := core.BATMsg{Owner: 3, BAT: 42, Size: 100, LOI: 0.75, Copies: 2, Hops: 9, Cycles: 4}
+	buf := make([]byte, dataHdrSize+len(payload))
+	encodeDataHdr(buf, m, len(payload))
+	copy(buf[dataHdrSize:], payload)
+
+	got, gotPayload, err := decodeDataMsg(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("header roundtrip: got %+v want %+v", got, m)
+	}
+	b, err := bat.UnmarshalView(gotPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 || b.Tail().Int(2) != 3 {
+		t.Fatal("payload corrupted through the envelope")
+	}
+}
+
+func TestEnvelopeReqRoundtrip(t *testing.T) {
+	m := core.RequestMsg{Origin: 7, BAT: 12345}
+	var buf [reqMsgSize]byte
+	encodeReqMsg(buf[:], m)
+	got, err := decodeReqMsg(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("got %+v want %+v", got, m)
+	}
+}
+
+func TestEnvelopeRejectsCorruption(t *testing.T) {
+	m := core.BATMsg{BAT: 1, Size: 10}
+	buf := make([]byte, dataHdrSize)
+	encodeDataHdr(buf, m, 0)
+
+	for _, mut := range []struct {
+		name string
+		data []byte
+	}{
+		{"short", buf[:10]},
+		{"empty", nil},
+		{"bad magic", append([]byte{'X', 'X'}, buf[2:]...)},
+		{"bad version", append([]byte{'D', 'R', 99}, buf[3:]...)},
+		{"wrong kind", append([]byte{'D', 'R', envVersion, envKindReq}, buf[4:]...)},
+		{"length mismatch", append(append([]byte(nil), buf...), 0xFF)},
+	} {
+		if _, _, err := decodeDataMsg(mut.data); err == nil {
+			t.Fatalf("%s: accepted", mut.name)
+		}
+	}
+	if _, err := decodeReqMsg(buf); err == nil {
+		t.Fatal("request decoder accepted a data envelope")
+	}
+}
+
+// TestExactMessageSizing drives the exact-sizing contract end to end: a
+// published intermediate at precisely the ring limit is accepted, one
+// byte over is refused — no slack fudge in either direction.
+func TestExactMessageSizing(t *testing.T) {
+	r := newTestRing(t, 2)
+	defer r.Close()
+	n := r.Node(0)
+
+	limit := n.dataOut.MaxMessage()
+	// Binary-search the largest int column that fits the limit exactly.
+	fits := func(rows int) bool {
+		return dataHdrSize+bat.MarshalSize(bat.MakeInts("probe", make([]int64, rows))) <= limit
+	}
+	lo, hi := 0, limit/8+2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if _, err := n.Publish("fit.exact", bat.MakeInts("fit", make([]int64, lo))); err != nil {
+		t.Fatalf("fragment at the limit rejected: %v", err)
+	}
+	if _, err := n.Publish("fit.over", bat.MakeInts("over", make([]int64, lo+1))); err == nil {
+		t.Fatal("fragment over the limit accepted")
+	}
+}

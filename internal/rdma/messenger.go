@@ -54,13 +54,31 @@ func (m *Messenger) MaxMessage() int { return m.maxMsg }
 // Send transmits one message, blocking until the NIC (emulated) has
 // taken it. Concurrent senders serialize on the send buffer.
 func (m *Messenger) Send(data []byte) error {
-	if len(data) > m.maxMsg {
+	return m.SendEncoded(len(data), func(dst []byte) int {
+		return copy(dst, data)
+	})
+}
+
+// SendEncoded transmits one message of at most size bytes, letting the
+// caller encode it directly into the registered send region — no
+// intermediate buffer, no per-send allocation, and the region's
+// registration cost stays amortized over every message (§2.3). encode
+// receives a size-byte window of the region and returns how many bytes
+// it actually wrote. Concurrent senders serialize on the send buffer.
+func (m *Messenger) SendEncoded(size int, encode func(dst []byte) int) error {
+	if size > m.maxMsg {
 		return ErrTooLarge
+	}
+	if size < 0 {
+		return fmt.Errorf("rdma: negative message size %d", size)
 	}
 	m.sendMu.Lock()
 	defer m.sendMu.Unlock()
-	copy(m.sendBuf.Bytes(), data)
-	if err := m.qp.PostSend(m.sendBuf, len(data)); err != nil {
+	n := encode(m.sendBuf.Bytes()[:size])
+	if n < 0 || n > size {
+		return fmt.Errorf("rdma: encoder wrote %d bytes into a %d-byte window", n, size)
+	}
+	if err := m.qp.PostSend(m.sendBuf, n); err != nil {
 		return err
 	}
 	select {

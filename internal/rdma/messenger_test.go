@@ -131,3 +131,51 @@ func TestNewMessengerBadSize(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// TestMessengerSendEncoded checks the encode-into-registered-region
+// path: the encoder writes directly into the send buffer and the exact
+// written length travels.
+func TestMessengerSendEncoded(t *testing.T) {
+	qa, qb := NewPair(MessengerDepth)
+	a, err := NewMessenger(qa, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMessenger(qb, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		data, _ := b.Recv()
+		done <- data
+	}()
+	// Reserve a generous window, write less: the short length must win.
+	err = a.SendEncoded(100, func(dst []byte) int {
+		if len(dst) != 100 {
+			t.Errorf("window is %d bytes, want 100", len(dst))
+		}
+		return copy(dst, "header|payload")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-done:
+		if !bytes.Equal(data, []byte("header|payload")) {
+			t.Fatalf("recv = %q", data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv timeout")
+	}
+
+	if err := a.SendEncoded(2048, func(dst []byte) int { return 0 }); err != ErrTooLarge {
+		t.Fatalf("oversize SendEncoded: err = %v, want ErrTooLarge", err)
+	}
+	if err := a.SendEncoded(8, func(dst []byte) int { return 9 }); err == nil {
+		t.Fatal("encoder overrun not rejected")
+	}
+}

@@ -1,9 +1,7 @@
 package server
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"io"
 
@@ -17,9 +15,10 @@ import (
 //	uint32 big-endian payload length | 1 byte frame type | payload
 //
 // A session opens with Hello/HelloOK and then alternates Query ->
-// (Result | Error). Result payloads reuse the bat package's
-// serialization: each column travels exactly as it would on the storage
-// ring.
+// (Result | Error). Result payloads use the bat package's native codec
+// (wire.go): each column travels exactly as it would on the storage
+// ring, and clients decode numeric columns zero-copy out of the frame
+// buffer. No gob anywhere on this path.
 
 // Frame types.
 const (
@@ -35,8 +34,9 @@ const (
 	FrameError byte = 5
 )
 
-// Magic is the handshake payload; it versions the protocol.
-const Magic = "DCY1"
+// Magic is the handshake payload; it versions the protocol. DCY2
+// replaced the gob hello/result payloads with the native binary codec.
+const Magic = "DCY2"
 
 // DefaultMaxFrame bounds a single frame (result sets included).
 const DefaultMaxFrame = 64 << 20
@@ -77,14 +77,20 @@ func (e *RemoteError) Temporary() bool {
 	return e.Code == CodeRejected || e.Code == CodeDraining
 }
 
-// WriteFrame writes one frame. The header and payload go out in a
-// single Write so small frames stay in one segment.
+// WriteFrame writes one frame: header then payload, two writes with no
+// intermediate buffer. Callers pass a *bufio.Writer, which coalesces
+// small frames into one segment.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
-	buf := make([]byte, 5+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
-	buf[4] = typ
-	copy(buf[5:], payload)
-	_, err := w.Write(buf)
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
 	return err
 }
 
@@ -118,59 +124,127 @@ func DecodeError(payload []byte) *RemoteError {
 	return &RemoteError{Code: payload[0], Msg: string(payload[1:])}
 }
 
-// EncodeHello gob-encodes the handshake response.
+// helloSize is the fixed binary size of a Hello payload.
+const helloSize = 24
+
+// EncodeHello encodes the handshake response as three little-endian
+// 64-bit fields: node, ring size, admission slots.
 func EncodeHello(h Hello) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	buf := make([]byte, helloSize)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], uint64(h.Node))
+	le.PutUint64(buf[8:], uint64(h.Ring))
+	le.PutUint64(buf[16:], uint64(h.MaxInFlight))
+	return buf, nil
 }
 
 // DecodeHello parses a FrameHelloOK payload.
 func DecodeHello(payload []byte) (Hello, error) {
-	var h Hello
-	err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&h)
-	return h, err
+	if len(payload) != helloSize {
+		return Hello{}, fmt.Errorf("server: hello payload of %d bytes, want %d", len(payload), helloSize)
+	}
+	le := binary.LittleEndian
+	return Hello{
+		Node:        int(le.Uint64(payload[0:])),
+		Ring:        int(le.Uint64(payload[8:])),
+		MaxInFlight: int(le.Uint64(payload[16:])),
+	}, nil
 }
 
-// resultWire is the on-wire form of a result set: column payloads are
-// bat.Marshal output, the same serialization fragments use on the ring.
-type resultWire struct {
-	Names []string
-	Cols  [][]byte
+// A FrameResult payload is the native codec applied column-at-a-time:
+//
+//	u32 ncols | per column: u32 nameLen, name bytes | pad to 8
+//	per column: u64 blobLen (8-aligned) | bat wire bytes | pad to 8
+//
+// Column blobs start 8-aligned relative to the payload, so a client
+// decoding the frame buffer gets zero-copy numeric columns.
+
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// AppendResult appends the wire form of rs to dst (typically a pooled
+// buffer, see wirebuf) and returns the extended slice.
+func AppendResult(dst []byte, rs *mal.ResultSet) ([]byte, error) {
+	if len(rs.Names) != len(rs.Cols) {
+		return nil, fmt.Errorf("server: result has %d names for %d columns", len(rs.Names), len(rs.Cols))
+	}
+	start := len(dst)
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], uint32(len(rs.Cols)))
+	dst = append(dst, b4[:]...)
+	for _, name := range rs.Names {
+		binary.BigEndian.PutUint32(b4[:], uint32(len(name)))
+		dst = append(dst, b4[:]...)
+		dst = append(dst, name...)
+	}
+	var zeros [8]byte
+	dst = append(dst, zeros[:pad8(len(dst)-start)-(len(dst)-start)]...)
+	for _, c := range rs.Cols {
+		// Reserve the length word and backfill it after the append: the
+		// encode itself yields the byte count, so the column (and its
+		// string heap in particular) is walked exactly once.
+		lenOff := len(dst)
+		dst = append(dst, zeros[:8]...)
+		dst = bat.AppendMarshal(dst, c)
+		binary.LittleEndian.PutUint64(dst[lenOff:], uint64(len(dst)-lenOff-8))
+		dst = append(dst, zeros[:pad8(len(dst)-start)-(len(dst)-start)]...)
+	}
+	return dst, nil
 }
 
 // EncodeResult serializes a result set for a FrameResult payload.
 func EncodeResult(rs *mal.ResultSet) ([]byte, error) {
-	w := resultWire{Names: rs.Names, Cols: make([][]byte, len(rs.Cols))}
-	for i, c := range rs.Cols {
-		raw, err := bat.Marshal(c)
-		if err != nil {
-			return nil, err
-		}
-		w.Cols[i] = raw
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return AppendResult(nil, rs)
 }
 
 // DecodeResult parses a FrameResult payload back into a result set.
+// Numeric result columns are zero-copy views over payload, which must
+// not be modified afterwards (each frame read allocates a fresh buffer,
+// so this holds by construction in the client).
 func DecodeResult(payload []byte) (*mal.ResultSet, error) {
-	var w resultWire
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
-		return nil, err
+	bad := func(what string) (*mal.ResultSet, error) {
+		return nil, fmt.Errorf("server: corrupt result frame: %s", what)
 	}
-	rs := &mal.ResultSet{Names: w.Names, Cols: make([]*bat.BAT, len(w.Cols))}
-	for i, raw := range w.Cols {
-		b, err := bat.Unmarshal(raw)
+	if len(payload) < 4 {
+		return bad("truncated header")
+	}
+	ncols := int(binary.BigEndian.Uint32(payload))
+	// Each column needs at least its 4-byte name length; bounding before
+	// the allocations below keeps a corrupt count from amplifying into
+	// gigabyte-sized slice makes.
+	if ncols < 0 || ncols > (len(payload)-4)/4 {
+		return bad("implausible column count")
+	}
+	off := 4
+	rs := &mal.ResultSet{Names: make([]string, ncols), Cols: make([]*bat.BAT, ncols)}
+	for i := 0; i < ncols; i++ {
+		if off+4 > len(payload) {
+			return bad("truncated column name")
+		}
+		nameLen := int(binary.BigEndian.Uint32(payload[off:]))
+		off += 4
+		if nameLen < 0 || nameLen > len(payload)-off {
+			return bad("column name out of bounds")
+		}
+		rs.Names[i] = string(payload[off : off+nameLen])
+		off += nameLen
+	}
+	off = pad8(off)
+	for i := 0; i < ncols; i++ {
+		if off+8 > len(payload) {
+			return bad("truncated column length")
+		}
+		blobLen64 := binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+		if blobLen64 > uint64(len(payload)-off) {
+			return bad("column blob out of bounds")
+		}
+		blobLen := int(blobLen64)
+		b, err := bat.UnmarshalView(payload[off : off+blobLen])
 		if err != nil {
 			return nil, err
 		}
 		rs.Cols[i] = b
+		off = pad8(off + blobLen)
 	}
 	return rs, nil
 }

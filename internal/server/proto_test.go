@@ -1,0 +1,97 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/mal"
+)
+
+func TestHelloRoundtrip(t *testing.T) {
+	h := Hello{Node: 2, Ring: 5, MaxInFlight: 8}
+	payload, err := EncodeHello(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v want %+v", got, h)
+	}
+	if _, err := DecodeHello(payload[:10]); err == nil {
+		t.Fatal("truncated hello accepted")
+	}
+}
+
+func TestResultRoundtrip(t *testing.T) {
+	rs := &mal.ResultSet{
+		Names: []string{"id", "name", "score", "flag"},
+		Cols: []*bat.BAT{
+			bat.MakeInts("id", []int64{1, 2, 3}),
+			bat.MakeStrs("name", []string{"a", "", "ccc"}),
+			bat.MakeFloats("score", []float64{0.5, -1, 2.25}),
+			bat.New("flag", bat.DenseColumn(0, 3), bat.BoolColumn([]bool{true, false, true})),
+		},
+	}
+	payload, err := EncodeResult(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cols) != len(rs.Cols) {
+		t.Fatalf("got %d columns, want %d", len(got.Cols), len(rs.Cols))
+	}
+	for i, name := range rs.Names {
+		if got.Names[i] != name {
+			t.Fatalf("column %d name %q, want %q", i, got.Names[i], name)
+		}
+		want, g := rs.Cols[i], got.Cols[i]
+		if g.Len() != want.Len() {
+			t.Fatalf("column %q: %d rows, want %d", name, g.Len(), want.Len())
+		}
+		for r := 0; r < want.Len(); r++ {
+			if g.Tail().Value(r) != want.Tail().Value(r) {
+				t.Fatalf("column %q row %d: %v != %v", name, r, g.Tail().Value(r), want.Tail().Value(r))
+			}
+		}
+	}
+}
+
+func TestResultRoundtripEmpty(t *testing.T) {
+	for _, rs := range []*mal.ResultSet{
+		{},
+		{Names: []string{"none"}, Cols: []*bat.BAT{bat.MakeInts("none", nil)}},
+	} {
+		payload, err := EncodeResult(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeResult(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Cols) != len(rs.Cols) || got.NumRows() != rs.NumRows() {
+			t.Fatalf("empty result distorted: %+v", got)
+		}
+	}
+}
+
+func TestDecodeResultCorrupt(t *testing.T) {
+	rs := &mal.ResultSet{Names: []string{"x"}, Cols: []*bat.BAT{bat.MakeInts("x", []int64{1, 2})}}
+	payload, err := EncodeResult(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation must error (or decode) without panicking.
+	for n := 0; n < len(payload); n++ {
+		DecodeResult(payload[:n])
+	}
+	if _, err := DecodeResult([]byte("\xff\xff\xff\xff nonsense")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/mal"
 	"repro/internal/metrics"
 	"repro/internal/minisql"
+	"repro/internal/wirebuf"
 )
 
 // Config tunes the query service.
@@ -362,14 +363,20 @@ func (ns *nodeServer) serveQuery(bw *bufio.Writer, sql string) {
 		WriteFrame(bw, FrameError, EncodeError(CodeExec, err.Error()))
 		return
 	}
-	payload, err := EncodeResult(rs)
+	// Encode into a pooled buffer: WriteFrame has fully consumed the
+	// bytes (copied into the bufio buffer or the socket) by the time it
+	// returns, so the buffer can be recycled immediately.
+	buf := wirebuf.Get()
+	payload, err := AppendResult(buf, rs)
 	if err != nil {
+		wirebuf.Put(buf)
 		ns.failed.Inc()
 		WriteFrame(bw, FrameError, EncodeError(CodeExec, err.Error()))
 		return
 	}
 	ns.ok.Inc()
 	WriteFrame(bw, FrameResult, payload)
+	wirebuf.Put(payload)
 }
 
 // exec runs sql on this node, going through the plan cache: a hit skips

@@ -1,0 +1,36 @@
+package wirebuf
+
+import "testing"
+
+func TestGetPutReuse(t *testing.T) {
+	before := Stats()
+	b := Get()
+	if len(b) != 0 {
+		t.Fatalf("Get returned %d-length buffer", len(b))
+	}
+	b = append(b, make([]byte, 4096)...)
+	Put(b)
+	got := Get()
+	if cap(got) < 4096 {
+		// The pool may race with other tests' GC, but single-threaded
+		// Get-after-Put should hand the buffer straight back.
+		t.Fatalf("recycled buffer has cap %d, want >= 4096", cap(got))
+	}
+	after := Stats()
+	if after.Puts <= before.Puts {
+		t.Fatal("Put not counted")
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("reuse not counted as a hit")
+	}
+}
+
+func TestPutDropsEmptyAndGiant(t *testing.T) {
+	before := Stats()
+	Put(nil)
+	Put(make([]byte, 0))
+	Put(make([]byte, maxPooled+1))
+	if got := Stats(); got.Puts != before.Puts {
+		t.Fatalf("unpoolable buffers were counted: %+v vs %+v", got, before)
+	}
+}
