@@ -15,11 +15,21 @@ import (
 // end: TPC-H data partitioned over a 4-node live ring, every node
 // served over TCP, and pooled clients firing the Q6-style selective
 // aggregate concurrently through the full protocol path (admission,
-// plan cache, execution, result serialization).
+// plan cache, execution, result serialization). The sub-benchmarks
+// compare whole-column circulation against horizontal fragmentation
+// (lineitem splits into several independently circulating fragments,
+// pinned out of order and scanned per fragment).
 func BenchmarkServerThroughput(b *testing.B) {
+	b.Run("unfragmented", func(b *testing.B) { benchServerThroughput(b, 0) })
+	b.Run("frag512", func(b *testing.B) { benchServerThroughput(b, 512) })
+}
+
+func benchServerThroughput(b *testing.B, fragmentRows int) {
 	db := tpch.GenDB(0.0005, 1)
 	columns := db.ColumnMap()
-	ring, err := live.NewRing(4, columns, db.Schema(), live.DefaultConfig())
+	cfg := live.DefaultConfig()
+	cfg.FragmentRows = fragmentRows
+	ring, err := live.NewRing(4, columns, db.Schema(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -66,4 +76,5 @@ func BenchmarkServerThroughput(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(float64(ring.MaxHopBytes()), "maxhop-bytes")
 }

@@ -275,10 +275,7 @@ func BenchmarkBATQueryPipeline(b *testing.B) {
 	qtyCol := bat.MakeFloats("l_qty", qty)
 	lo := &bat.Bound{Value: int64(19940101), Inclusive: true}
 	hi := &bat.Bound{Value: int64(19950101), Inclusive: false}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sel := dateCol.Select(lo, hi)     // qualifying rows [origPos | date]
+	rest := func(sel *bat.BAT) {
 		pos := sel.MarkT(0).Reverse()     // [newPos | origPos]
 		k := pos.Join(keyCol)             // fetch keys   [newPos | key]
 		v := pos.Join(qtyCol)             // fetch values [newPos | qty]
@@ -288,6 +285,31 @@ func BenchmarkBATQueryPipeline(b *testing.B) {
 			b.Fatal("bad group count")
 		}
 	}
+	b.Run("whole-column", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rest(dateCol.Select(lo, hi)) // qualifying rows [origPos | date]
+		}
+	})
+	// The live ring's fragmented scan path: the select runs per 64K-row
+	// fragment (as fragments would arrive from the ring) and the pieces
+	// concatenate in fragment order before the downstream chain.
+	b.Run("per-fragment", func(b *testing.B) {
+		const fragRows = 64 << 10
+		var frags []*bat.BAT
+		for from := 0; from < n; from += fragRows {
+			frags = append(frags, dateCol.Slice(from, from+fragRows))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		parts := make([]*bat.BAT, len(frags))
+		for i := 0; i < b.N; i++ {
+			for j, f := range frags {
+				parts[j] = f.Select(lo, hi)
+			}
+			rest(bat.Concat(parts))
+		}
+	})
 }
 
 // BenchmarkSimulatedSecondThroughput reports how fast the event kernel

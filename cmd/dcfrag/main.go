@@ -1,0 +1,115 @@
+// Command dcfrag runs the fragment-granularity sweep on the live TPC-H
+// ring and records the trade-off curve (p50/p99 query latency and
+// ring-hop bytes vs fragment rows) to a JSON snapshot, BENCH_frag.json
+// by default. scripts/bench.sh invokes it; CI runs it with -short.
+//
+// The run is gated: with fragmentation at 64K rows on a ≥8-fragment
+// column, the largest ring message must shrink by at least 8× compared
+// to the unfragmented rotation, or the command exits non-zero — a
+// fragmentation regression can never produce a quiet green run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	rows := flag.Int("rows", 1<<20, "lineitem rows (the swept column)")
+	nodes := flag.Int("nodes", 3, "ring size")
+	queries := flag.Int("queries", 24, "queries per fragment setting")
+	frags := flag.String("frags", "0,262144,65536,16384", "comma-separated FragmentRows settings (0 = off)")
+	out := flag.String("out", "BENCH_frag.json", "output JSON path")
+	short := flag.Bool("short", false, "CI smoke: small data, few queries, no latency soak")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Parse()
+
+	if *short {
+		*rows = 1 << 17
+		*queries = 6
+		*frags = "0,8192,4096" // 16- and 32-way splits: well past the 8× gate
+	}
+	var fragRows []int
+	for _, s := range strings.Split(*frags, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal("bad -frags entry %q: %v", s, err)
+		}
+		fragRows = append(fragRows, v)
+	}
+
+	fmt.Printf("== fragment sweep: %d rows, %d nodes, %d queries, frags %v ==\n",
+		*rows, *nodes, *queries, fragRows)
+	res, err := experiments.FragmentSweep(*rows, *nodes, *queries, fragRows, *seed)
+	if err != nil {
+		fatal("sweep: %v", err)
+	}
+	fmt.Print(res)
+
+	if err := gate(res); err != nil {
+		fatal("gate: %v", err)
+	}
+
+	snapshot := struct {
+		Date  string `json:"date"`
+		Short bool   `json:"short"`
+		Suite string `json:"suite"`
+		*experiments.FragResult
+	}{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Short:      *short,
+		Suite:      "fragment-granularity-sweep",
+		FragResult: res,
+	}
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+	fmt.Printf("== wrote %s ==\n", *out)
+}
+
+// gate enforces the fragmentation invariants on the recorded runs: the
+// unfragmented baseline (FragmentRows 0, when present) must dwarf every
+// fragmented setting's max hop by at least the fragment ratio floor,
+// and a fragmented run over a splittable column must actually have
+// split it.
+func gate(res *experiments.FragResult) error {
+	var base *experiments.FragRun
+	for i := range res.Runs {
+		if res.Runs[i].FragmentRows == 0 {
+			base = &res.Runs[i]
+		}
+	}
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		if run.FragmentRows == 0 {
+			continue
+		}
+		wantFrags := (res.LineitemRows + run.FragmentRows - 1) / run.FragmentRows
+		if run.Fragments != wantFrags {
+			return fmt.Errorf("FragmentRows=%d: %d fragments, want %d",
+				run.FragmentRows, run.Fragments, wantFrags)
+		}
+		if base != nil && wantFrags >= 8 && run.MaxHopBytes*8 > base.MaxHopBytes {
+			return fmt.Errorf("FragmentRows=%d: max hop %d vs unfragmented %d — want ≥8× reduction",
+				run.FragmentRows, run.MaxHopBytes, base.MaxHopBytes)
+		}
+	}
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dcfrag: "+format+"\n", args...)
+	os.Exit(1)
+}

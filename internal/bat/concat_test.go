@@ -1,0 +1,262 @@
+package bat
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randColumn builds a random materialized column of the given kind.
+// sorted asks for genuinely sorted data plus the flag.
+func randColumn(rng *rand.Rand, kind Kind, n int, sorted bool) *Column {
+	c := &Column{kind: kind}
+	switch kind {
+	case KOid:
+		v := make([]Oid, n)
+		for i := range v {
+			v[i] = Oid(rng.Intn(1000))
+		}
+		if sorted {
+			for i := 1; i < n; i++ {
+				if v[i] < v[i-1] {
+					v[i] = v[i-1]
+				}
+			}
+		}
+		c.oids = v
+	case KInt:
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = int64(rng.Intn(2000) - 1000)
+		}
+		if sorted {
+			for i := 1; i < n; i++ {
+				if v[i] < v[i-1] {
+					v[i] = v[i-1]
+				}
+			}
+		}
+		c.ints = v
+	case KFloat:
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 100
+		}
+		if sorted {
+			for i := 1; i < n; i++ {
+				if v[i] < v[i-1] {
+					v[i] = v[i-1]
+				}
+			}
+		}
+		c.floats = v
+	case KStr:
+		v := make([]string, n)
+		for i := range v {
+			v[i] = string(rune('a' + rng.Intn(26)))
+			if rng.Intn(4) == 0 {
+				v[i] += "xyz"
+			}
+		}
+		if sorted {
+			for i := 1; i < n; i++ {
+				if v[i] < v[i-1] {
+					v[i] = v[i-1]
+				}
+			}
+		}
+		c.strs = v
+	case KBool:
+		v := make([]bool, n)
+		for i := range v {
+			v[i] = rng.Intn(2) == 0
+		}
+		if sorted {
+			for i := 1; i < n; i++ {
+				if v[i-1] && !v[i] {
+					v[i] = true
+				}
+			}
+		}
+		c.bools = v
+	}
+	c.sorted = sorted
+	return c
+}
+
+// randBAT builds a random BAT: dense or materialized OID head, any tail
+// kind, optionally sorted tail.
+func randBAT(rng *rand.Rand, n int) *BAT {
+	var h *Column
+	if rng.Intn(2) == 0 {
+		h = DenseColumn(Oid(rng.Intn(100)), n)
+	} else {
+		h = randColumn(rng, KOid, n, false)
+	}
+	kinds := []Kind{KOid, KInt, KFloat, KStr, KBool}
+	t := randColumn(rng, kinds[rng.Intn(len(kinds))], n, rng.Intn(2) == 0)
+	return New("prop", h, t)
+}
+
+// randSplit cuts [0,n) at random boundaries, allowing empty and
+// single-row fragments.
+func randSplit(rng *rand.Rand, b *BAT) []*BAT {
+	n := b.Len()
+	cuts := []int{0}
+	for k := rng.Intn(6); k > 0; k-- {
+		cuts = append(cuts, rng.Intn(n+1))
+	}
+	cuts = append(cuts, n)
+	// insertion-sort the few cut points
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	var frags []*BAT
+	for i := 1; i < len(cuts); i++ {
+		frags = append(frags, b.Slice(cuts[i-1], cuts[i]))
+	}
+	return frags
+}
+
+func colsEqual(t *testing.T, what string, a, c *Column) {
+	t.Helper()
+	if a.Kind() != c.Kind() {
+		t.Fatalf("%s: kind %s != %s", what, a.Kind(), c.Kind())
+	}
+	if a.Len() != c.Len() {
+		t.Fatalf("%s: len %d != %d", what, a.Len(), c.Len())
+	}
+	if a.Dense() != c.Dense() {
+		t.Fatalf("%s: dense %v != %v", what, a.Dense(), c.Dense())
+	}
+	if a.Dense() && a.Base() != c.Base() {
+		t.Fatalf("%s: base %d != %d", what, a.Base(), c.Base())
+	}
+	if a.Sorted() != c.Sorted() {
+		t.Fatalf("%s: sorted %v != %v", what, a.Sorted(), c.Sorted())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.equalAt(i, c, i) {
+			t.Fatalf("%s: row %d: %v != %v", what, i, a.Value(i), c.Value(i))
+		}
+	}
+}
+
+// TestConcatRoundtripProperty is the fragment/concat round-trip law:
+// for any BAT and any fragmentation, Concat(fragments) preserves
+// values, sorted/dense properties, and the wire encoding
+// (Marshal(Concat(frags)) ≡ Marshal(column)).
+func TestConcatRoundtripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(40) // includes 0- and 1-row columns
+		b := randBAT(rng, n)
+		frags := randSplit(rng, b)
+		got := Concat(frags)
+		colsEqual(t, "head", b.Head(), got.Head())
+		colsEqual(t, "tail", b.Tail(), got.Tail())
+		if got.Name != b.Name {
+			t.Fatalf("name %q != %q", got.Name, b.Name)
+		}
+		wantWire := AppendMarshal(nil, b)
+		gotWire := AppendMarshal(nil, got)
+		if !bytes.Equal(wantWire, gotWire) {
+			t.Fatalf("trial %d (%s, %d frags): wire encoding differs after concat",
+				trial, b, len(frags))
+		}
+	}
+}
+
+// TestConcatDenseFusion: adjacent dense fragments fuse back into one
+// dense column, bit-identical to the original descriptor.
+func TestConcatDenseFusion(t *testing.T) {
+	b := New("d", DenseColumn(7, 100), DenseColumn(1000, 100))
+	var frags []*BAT
+	for _, sp := range [][2]int{{0, 10}, {10, 10}, {10, 64}, {64, 100}} {
+		frags = append(frags, b.Slice(sp[0], sp[1]))
+	}
+	got := Concat(frags)
+	if !got.Head().Dense() || got.Head().Base() != 7 || got.Head().Len() != 100 {
+		t.Fatalf("head not fused dense: %v base=%d n=%d", got.Head().Dense(), got.Head().Base(), got.Head().Len())
+	}
+	if !got.Tail().Dense() || got.Tail().Base() != 1000 {
+		t.Fatalf("tail not fused dense")
+	}
+}
+
+// TestConcatNonAdjacentDenseMaterializes: dense pieces with a gap (as
+// per-fragment selects produce when a fragment matched nothing) cannot
+// fuse but must still concatenate correctly.
+func TestConcatNonAdjacentDenseMaterializes(t *testing.T) {
+	a := New("g", DenseColumn(0, 3), IntColumn([]int64{1, 2, 3}))
+	c := New("g", DenseColumn(10, 2), IntColumn([]int64{4, 5}))
+	got := Concat([]*BAT{a, c})
+	if got.Head().Dense() {
+		t.Fatal("gap head fused dense")
+	}
+	want := []Oid{0, 1, 2, 10, 11}
+	for i, w := range want {
+		if got.Head().Oid(i) != w {
+			t.Fatalf("head[%d] = %d, want %d", i, got.Head().Oid(i), w)
+		}
+	}
+	if !got.Head().Sorted() {
+		t.Fatal("ordered boundary lost sortedness")
+	}
+}
+
+// TestConcatSortedBoundary: sortedness survives only ordered
+// boundaries, and an unsorted input never gains the flag.
+func TestConcatSortedBoundary(t *testing.T) {
+	mk := func(vals ...int64) *BAT {
+		b := MakeInts("s", vals)
+		b.Tail().SetSorted(true)
+		return b
+	}
+	if !Concat([]*BAT{mk(1, 2), mk(2, 3)}).Tail().Sorted() {
+		t.Fatal("ordered boundary should keep sorted")
+	}
+	if Concat([]*BAT{mk(1, 5), mk(2, 3)}).Tail().Sorted() {
+		t.Fatal("disordered boundary kept sorted flag")
+	}
+	// Empty middle fragment does not break the boundary chain.
+	if !Concat([]*BAT{mk(1, 2), mk(), mk(2, 3)}).Tail().Sorted() {
+		t.Fatal("empty fragment broke sortedness")
+	}
+	unsorted := MakeInts("u", []int64{1, 2, 3})
+	if Concat([]*BAT{unsorted.Slice(0, 2), unsorted.Slice(2, 3)}).Tail().Sorted() {
+		t.Fatal("concat invented a sorted flag the source never had")
+	}
+}
+
+// TestConcatSingleAndEmpty covers the degenerate shapes.
+func TestConcatSingleAndEmpty(t *testing.T) {
+	b := MakeInts("one", []int64{1, 2, 3})
+	got := Concat([]*BAT{b})
+	if got.Len() != 3 || got.Tail().Int(2) != 3 {
+		t.Fatalf("single concat = %s", got.Dump(5))
+	}
+	empty := MakeInts("none", nil)
+	if got := Concat([]*BAT{empty, empty}); got.Len() != 0 {
+		t.Fatalf("empty concat has %d rows", got.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Concat(nil) did not panic")
+		}
+	}()
+	Concat(nil)
+}
+
+// TestConcatKindMismatchPanics keeps shape errors loud, like the other
+// kernel operators.
+func TestConcatKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	Concat([]*BAT{MakeInts("a", []int64{1}), MakeStrs("b", []string{"x"})})
+}

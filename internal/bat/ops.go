@@ -793,41 +793,11 @@ func (b *BAT) Diff(r *BAT) *BAT {
 	return b.takeRows(headFilterIdx(b, r, false))
 }
 
-// concatCol concatenates two columns of the same kind into a fresh one
-// with a single exact-size allocation. Adjacent dense columns fuse back
-// into one dense column; sortedness survives when the boundary values
-// are ordered.
+// concatCol concatenates two columns of the same kind: the binary case
+// of concatCols (concat.go), which owns the dense-fusion and
+// sorted-boundary property rules.
 func concatCol(a, c *Column) *Column {
-	if a.dense && c.dense && c.base == a.base+Oid(a.n) {
-		return &Column{kind: KOid, dense: true, base: a.base, n: a.n + c.n, sorted: true}
-	}
-	out := &Column{kind: a.kind}
-	switch a.kind {
-	case KOid:
-		v := make([]Oid, 0, a.Len()+c.Len())
-		v = append(v, a.oidValues()...)
-		out.oids = append(v, c.oidValues()...)
-	case KInt:
-		v := make([]int64, 0, len(a.ints)+len(c.ints))
-		v = append(v, a.ints...)
-		out.ints = append(v, c.ints...)
-	case KFloat:
-		v := make([]float64, 0, len(a.floats)+len(c.floats))
-		v = append(v, a.floats...)
-		out.floats = append(v, c.floats...)
-	case KStr:
-		v := make([]string, 0, len(a.strs)+len(c.strs))
-		v = append(v, a.strs...)
-		out.strs = append(v, c.strs...)
-	case KBool:
-		v := make([]bool, 0, len(a.bools)+len(c.bools))
-		v = append(v, a.bools...)
-		out.bools = append(v, c.bools...)
-	}
-	if a.Sorted() && c.Sorted() && (a.Len() == 0 || c.Len() == 0 || boundaryOrdered(a, c)) {
-		out.sorted = true
-	}
-	return out
+	return concatCols([]*Column{a, c})
 }
 
 // boundaryOrdered reports last(a) <= first(c); kinds match.

@@ -312,6 +312,12 @@ func (rt *Runtime) tick(period time.Duration) (stop func()) {
 				return
 			}
 			rt.LoadAll()
+			// Evaluate the watermark rule on every tick, not only on
+			// load/arrival events: an idle node whose queue load has
+			// drained below LowWater must still step its LOIT back down
+			// (§5.2), otherwise it stays pinned at a high threshold until
+			// the next load happens to run the adaptation.
+			rt.adaptLOIT()
 			arm()
 		})
 	}

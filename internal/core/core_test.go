@@ -477,6 +477,43 @@ func TestLoadAllTicker(t *testing.T) {
 	_ = countBefore // ticker stops rescheduling; fire drains silently
 }
 
+// TestQuietNodeStepsLOITDown is the regression test for the idle-node
+// adaptation gap: adaptLOIT used to be evaluated only from load and
+// arrival events, so a node whose queue load fell below LowWater while
+// it had nothing pending never stepped its threshold back down until
+// the next load arrived. The periodic tick must evaluate the watermark
+// rule too.
+func TestQuietNodeStepsLOITDown(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LOITLevels = []float64{0.1, 0.6, 1.1}
+	cfg.StartLevel = 2
+	cfg.AdaptiveLOIT = true
+	cfg.LoadAllPeriod = 100 * time.Millisecond
+	cfg.ResendTimeout = 0
+	// Quiet node: queue load well below the low watermark, nothing
+	// pending, no queries arriving.
+	env := &mockEnv{queueUsed: 10, queueCap: 1000}
+	rt := newTestRT(env, cfg)
+	rt.Start()
+	defer rt.Stop()
+	if rt.LOITLevel() != 2 {
+		t.Fatalf("start level = %d", rt.LOITLevel())
+	}
+	env.fire(150 * time.Millisecond)
+	if rt.LOITLevel() != 1 {
+		t.Fatalf("after one tick: level = %d, want 1 (stepped down)", rt.LOITLevel())
+	}
+	env.fire(300 * time.Millisecond)
+	if rt.LOITLevel() != 0 {
+		t.Fatalf("after two ticks: level = %d, want 0", rt.LOITLevel())
+	}
+	// Ticks keep firing at the floor without underflow.
+	env.fire(500 * time.Millisecond)
+	if rt.LOITLevel() != 0 {
+		t.Fatalf("level underflowed: %d", rt.LOITLevel())
+	}
+}
+
 func TestRePinDelivered(t *testing.T) {
 	env := &mockEnv{queueCap: 1000}
 	rt := newTestRT(env, staticCfg(0.5))

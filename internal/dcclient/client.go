@@ -52,8 +52,29 @@ type Client struct {
 // conn is one established, handshaken connection.
 type conn struct {
 	c  net.Conn
+	cr *countingReader
 	br *bufio.Reader
 	bw *bufio.Writer
+	// reused marks a connection that came back from the idle pool: it
+	// may have gone stale (server restart) since it was last used, so a
+	// transport failure before any response byte is retried once on a
+	// fresh connection.
+	reused bool
+}
+
+// countingReader counts the bytes read off the socket, so the retry
+// logic can tell "the connection died before the server said anything"
+// from "a response was underway". A conn is owned by one query at a
+// time, so no synchronization is needed.
+type countingReader struct {
+	r net.Conn
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
 }
 
 // Dial connects to a node server and performs the handshake.
@@ -97,36 +118,82 @@ func (cl *Client) Addr() string { return cl.addr }
 // Query executes sql on the connected node, honouring ctx's deadline
 // and cancellation for the whole round trip (including dialing a fresh
 // connection when the pool is empty).
+//
+// A pooled connection whose server restarted since it was last used
+// fails on its first use; when that failure happens before a single
+// response byte arrived (the idempotent point — TCP gives no ack
+// visibility, so "nothing heard back" is the observable stand-in for
+// "request not accepted", sound for this read-only query protocol),
+// the query is retried exactly once on a freshly dialed connection
+// instead of surfacing a transport error to the caller. Deadline
+// expiries and errors on fresh connections are never retried.
 func (cl *Client) Query(ctx context.Context, sql string) (*mal.ResultSet, error) {
 	cn, err := cl.get(ctx)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := cn.roundTrip(ctx, cl.cfg.MaxFrame, sql)
-	if err != nil {
-		var re *server.RemoteError
-		if errors.As(err, &re) {
-			// The server answered; the connection is still in protocol.
-			cl.put(cn)
-			return nil, err
-		}
-		cn.c.Close()
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		// The only socket deadline is the one mapped from ctx, so a
-		// timeout is the context's deadline even when the socket clock
-		// fired a moment before the context's own timer.
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			if _, ok := ctx.Deadline(); ok {
-				return nil, context.DeadlineExceeded
-			}
-		}
-		return nil, err
+	wasReused := cn.reused
+	rs, err, retryable := cl.run(ctx, cn, sql)
+	if err == nil || !wasReused || !retryable {
+		return rs, err
 	}
-	cl.put(cn)
-	return rs, nil
+	fresh, derr := cl.freshConn(ctx)
+	if derr != nil {
+		return nil, err // the original failure stands
+	}
+	rs, err, _ = cl.run(ctx, fresh, sql)
+	return rs, err
+}
+
+// run performs one round trip on cn, settling the connection (pooled on
+// protocol-level outcomes, closed on transport errors) and mapping
+// context errors. retryable reports a transport failure that happened
+// before any response byte and not through a deadline.
+func (cl *Client) run(ctx context.Context, cn *conn, sql string) (rs *mal.ResultSet, err error, retryable bool) {
+	before := cn.cr.n
+	rs, err = cn.roundTrip(ctx, cl.cfg.MaxFrame, sql)
+	if err == nil {
+		cl.put(cn)
+		return rs, nil, false
+	}
+	var re *server.RemoteError
+	if errors.As(err, &re) {
+		// The server answered; the connection is still in protocol.
+		cl.put(cn)
+		return nil, err, false
+	}
+	cn.c.Close()
+	if ctx.Err() != nil {
+		return nil, ctx.Err(), false
+	}
+	// The only socket deadline is the one mapped from ctx, so a
+	// timeout is the context's deadline even when the socket clock
+	// fired a moment before the context's own timer.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if _, ok := ctx.Deadline(); ok {
+			return nil, context.DeadlineExceeded, false
+		}
+		return nil, err, false
+	}
+	return nil, err, cn.cr.n == before
+}
+
+// freshConn always dials a new connection (never the pool), bounding
+// the dial like get does when ctx carries no deadline.
+func (cl *Client) freshConn(ctx context.Context) (*conn, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cl.mu.Unlock()
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cl.cfg.DialTimeout)
+		defer cancel()
+	}
+	return cl.dial(ctx)
 }
 
 // Close releases all pooled connections.
@@ -171,6 +238,7 @@ func (cl *Client) put(cn *conn) {
 		cn.c.Close()
 		return
 	}
+	cn.reused = true
 	cl.idle = append(cl.idle, cn)
 	cl.mu.Unlock()
 }
@@ -182,7 +250,8 @@ func (cl *Client) dial(ctx context.Context) (*conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dcclient: dial %s: %w", cl.addr, err)
 	}
-	cn := &conn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+	cr := &countingReader{r: c}
+	cn := &conn{c: c, cr: cr, br: bufio.NewReader(cr), bw: bufio.NewWriter(c)}
 	if d, ok := ctx.Deadline(); ok {
 		c.SetDeadline(d)
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
@@ -55,6 +56,98 @@ func TestConnectionReuse(t *testing.T) {
 	cl.mu.Unlock()
 	if idle != 1 {
 		t.Fatalf("pool holds %d connections after sequential queries, want 1", idle)
+	}
+}
+
+// TestRetryAfterServerRestart kills the server under a pooled
+// connection and restarts it on the same address: the next query's
+// first write (or read) fails before any response byte, which is the
+// idempotent point — the client must retry once on a freshly dialed
+// connection instead of surfacing a transport error.
+func TestRetryAfterServerRestart(t *testing.T) {
+	cols := map[string]*bat.BAT{
+		"t.id":  bat.MakeInts("t.id", []int64{1, 2, 3}),
+		"t.val": bat.MakeInts("t.val", []int64{10, 20, 30}),
+	}
+	schema := minisql.MapSchema{"t": {"id", "val"}}
+	r, err := live.NewRing(2, cols, schema, live.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	s1, err := server.Serve(r, server.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s1.Addr(0)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const sql = "select sum(val) from t"
+	rs, err := cl.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rs.Rows()
+
+	// Kill: the pooled connection goes stale.
+	s1.Close()
+	// Restart on the exact same address.
+	cfg := server.DefaultConfig()
+	cfg.Addr = addr
+	var s2 *server.Server
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s2, err = server.Serve(r, cfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restart on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Cleanup(func() { s2.Close() })
+
+	// The pooled connection fails its first use; the retry must make
+	// this invisible to the caller — every query keeps succeeding.
+	for i := 0; i < 3; i++ {
+		rs, err := cl.Query(context.Background(), sql)
+		if err != nil {
+			t.Fatalf("query %d after restart: %v", i, err)
+		}
+		if !reflect.DeepEqual(rs.Rows(), want) {
+			t.Fatalf("query %d after restart: rows %v, want %v", i, rs.Rows(), want)
+		}
+	}
+}
+
+// TestNoRetryOnFreshConnection: a never-pooled connection that hits a
+// dead server must surface the error (retrying a fresh dial would just
+// double the failure, and nothing was stale to excuse it).
+func TestNoRetryOnFreshConnection(t *testing.T) {
+	s := servedRing(t)
+	addr := s.Addr(0)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Empty the pool so the next query dials fresh, then kill the server
+	// for good.
+	cl.mu.Lock()
+	for _, cn := range cl.idle {
+		cn.c.Close()
+	}
+	cl.idle = nil
+	cl.mu.Unlock()
+	s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := cl.Query(ctx, "select sum(val) from t"); err == nil {
+		t.Fatal("query against a dead server succeeded")
 	}
 }
 

@@ -21,6 +21,20 @@ type Stats struct {
 	Requests int // sql.bind calls rewritten
 	Pins     int
 	Unpins   int
+	// Fused counts pin+scan+unpin chains collapsed into one
+	// datacyclotron.pinselect* instruction (each also implies a pin and
+	// an unpin executed inside the fused operator).
+	Fused int
+}
+
+// fusedScanOp maps a scan instruction onto its fused pin-form. A scan
+// whose column argument is a pinned fragment stream can run per
+// fragment as fragments arrive, instead of waiting for the whole
+// column to be merged first.
+var fusedScanOp = map[string]string{
+	"algebra.select":   "pinselect",
+	"algebra.selectEq": "pinselecteq",
+	"algebra.selectNe": "pinselectne",
 }
 
 // Rewrite returns the Data Cyclotron form of p, leaving p untouched.
@@ -65,6 +79,32 @@ func Rewrite(p *mal.Plan) (*mal.Plan, Stats, error) {
 			st.Requests++
 			continue
 		}
+		// Fusion: a scan that is both the first and the last use of a
+		// bound column collapses into one datacyclotron.pinselect*
+		// instruction. The fused operator pins the column's fragments as
+		// they arrive (any order), scans each on a bounded pool, unpins
+		// it, and merges the per-fragment results in fragment order —
+		// Table 2's pin/op/unpin chain, minus the wait for the whole
+		// column.
+		if fused, ok := fusedScanOp[in.Name()]; ok && len(in.Ret) == 1 && len(in.Args) > 0 &&
+			!in.Args[0].IsLit() && isBind[in.Args[0].Var] && !pinned[in.Args[0].Var] &&
+			lastUse[in.Args[0].Var] == i && fusibleArgs(in.Args[1:], isBind) {
+			x := in.Args[0].Var
+			h, ok := handle[x]
+			if !ok {
+				return nil, st, fmt.Errorf("dcopt: X%d used before its bind", x)
+			}
+			args := append([]mal.Arg{mal.V(h)}, in.Args[1:]...)
+			out.Instrs = append(out.Instrs, mal.Instr{
+				Module: "datacyclotron", Op: fused,
+				Ret:  in.Ret,
+				Args: args,
+			})
+			pinned[x] = true
+			delete(lastUse, x)
+			st.Fused++
+			continue
+		}
 		// Inject pins for first uses among this instruction's arguments.
 		for _, a := range in.Args {
 			if a.IsLit() || !isBind[a.Var] || pinned[a.Var] {
@@ -99,6 +139,19 @@ func Rewrite(p *mal.Plan) (*mal.Plan, Stats, error) {
 		}
 	}
 	return &out, st, nil
+}
+
+// fusibleArgs reports whether a scan's non-column arguments keep the
+// fusion valid: literals and non-bind variables pass through; another
+// bound column as a scan parameter would need its own pin and defeats
+// the per-fragment form.
+func fusibleArgs(args []mal.Arg, isBind map[mal.VarID]bool) bool {
+	for _, a := range args {
+		if !a.IsLit() && isBind[a.Var] {
+			return false
+		}
+	}
+	return true
 }
 
 // RequestedColumns lists the (schema, table, column) triples the

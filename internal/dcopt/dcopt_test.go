@@ -212,6 +212,142 @@ func TestRequestedColumns(t *testing.T) {
 	}
 }
 
+// TestFusedScanRewrite: a select that is both first and last use of a
+// bound column collapses into datacyclotron.pinselect, with no
+// stand-alone pin/unpin left for that column.
+func TestFusedScanRewrite(t *testing.T) {
+	p := compile(t, "select name from t where id >= 2")
+	dc, st, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fused != 1 {
+		t.Fatalf("fused = %d, want 1 (stats %+v)", st.Fused, st)
+	}
+	text := dc.String()
+	if !strings.Contains(text, "datacyclotron.pinselect") {
+		t.Fatalf("plan missing fused scan:\n%s", text)
+	}
+	// t.id is consumed entirely by the fused scan; t.name still needs a
+	// plain pin (it feeds a join), so exactly one pin/unpin pair remains.
+	if st.Pins != 1 || st.Unpins != 1 {
+		t.Fatalf("pins/unpins = %d/%d, want 1/1:\n%s", st.Pins, st.Unpins, text)
+	}
+	if st.Requests != 2 {
+		t.Fatalf("requests = %d, want 2", st.Requests)
+	}
+}
+
+// fragDC is a FragmentedDC fake that splits every column into fragments
+// and reports them to PinMap callbacks in REVERSE order, proving the
+// merge is order-preserving regardless of arrival order.
+type fragDC struct {
+	memDC
+	fragRows int
+	pinMaps  int
+}
+
+func (d *fragDC) PinMap(h mal.Value, fn func(mal.Value) (mal.Value, error)) ([]mal.Value, error) {
+	d.mu.Lock()
+	d.pinMaps++
+	b, ok := d.cat[h.(string)]
+	d.mu.Unlock()
+	if !ok {
+		return nil, errors.New("BAT does not exist")
+	}
+	var frags []*bat.BAT
+	for from := 0; from < b.Len(); from += d.fragRows {
+		to := from + d.fragRows
+		if to > b.Len() {
+			to = b.Len()
+		}
+		frags = append(frags, b.Slice(from, to))
+	}
+	if len(frags) == 0 {
+		frags = []*bat.BAT{b}
+	}
+	out := make([]mal.Value, len(frags))
+	for i := len(frags) - 1; i >= 0; i-- { // adverse arrival order
+		v, err := fn(frags[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// TestFusedScanPerFragment runs a fused plan against the fragmented
+// fake: results must equal the unfragmented bind-form execution even
+// though fragments were scanned last-to-first.
+func TestFusedScanPerFragment(t *testing.T) {
+	catalog := map[string]*bat.BAT{
+		"t.id":   bat.MakeInts("t.id", []int64{1, 2, 3, 4, 5, 6, 7}),
+		"t.name": bat.MakeStrs("t.name", []string{"a", "b", "c", "d", "e", "f", "g"}),
+		"c.t_id": bat.MakeInts("c.t_id", []int64{2, 2, 3, 9}),
+		"c.val":  bat.MakeInts("c.val", []int64{10, 20, 30, 40}),
+	}
+	for _, src := range []string{
+		"select name from t where id >= 3",
+		"select val from c where t_id = 2",
+	} {
+		p := compile(t, src)
+		want, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), Catalog: bindCatalog(catalog)}, p)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		dc, st, err := Rewrite(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Fused == 0 {
+			t.Fatalf("%s: nothing fused", src)
+		}
+		rt := &fragDC{memDC: memDC{cat: catalog}, fragRows: 3}
+		got, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), DC: rt}, dc)
+		if err != nil {
+			t.Fatalf("%s (fragmented): %v", src, err)
+		}
+		if !reflect.DeepEqual(want.(*mal.ResultSet).Rows(), got.(*mal.ResultSet).Rows()) {
+			t.Fatalf("%s: per-fragment result differs:\nwant %v\ngot  %v",
+				src, want.(*mal.ResultSet).Rows(), got.(*mal.ResultSet).Rows())
+		}
+		if rt.pinMaps != st.Fused {
+			t.Fatalf("%s: %d PinMap calls for %d fused scans", src, rt.pinMaps, st.Fused)
+		}
+	}
+}
+
+// TestNoFusionWhenColumnReused: a column consumed by the select AND a
+// later instruction keeps the plain pin/unpin form — fusing it would
+// leave the later use without a pinned value.
+func TestNoFusionWhenColumnReused(t *testing.T) {
+	p := compile(t, "select id from t where id >= 2")
+	dc, st, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id appears in both the predicate and the projection, so its select
+	// is not the last use: the rewrite must keep the plain pin.
+	if st.Fused != 0 {
+		t.Fatalf("fused a reused column (stats %+v):\n%s", st, dc)
+	}
+	if !strings.Contains(dc.String(), "datacyclotron.pin") {
+		t.Fatalf("reused column lost its pin:\n%s", dc)
+	}
+	rt := &fragDC{memDC: memDC{cat: map[string]*bat.BAT{
+		"t.id":   bat.MakeInts("t.id", []int64{1, 2, 3, 4}),
+		"t.name": bat.MakeStrs("t.name", []string{"a", "b", "c", "d"}),
+	}}, fragRows: 2}
+	got, err := mal.Run(&mal.Context{Registry: mal.NewRegistry(), DC: rt}, dc)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, dc)
+	}
+	if got.(*mal.ResultSet).NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", got.(*mal.ResultSet).NumRows())
+	}
+}
+
 func TestRewritePlanWithoutBinds(t *testing.T) {
 	b := mal.NewBuilder("nobind")
 	x := b.Emit("sql", "scalarResult", mal.L("v"), mal.L(int64(1)))

@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// TestFragmentSweepSmoke runs a miniature sweep end to end: every
+// setting must execute its queries, record sane quantiles, and report
+// the expected fragment counts and shrinking message limits.
+func TestFragmentSweepSmoke(t *testing.T) {
+	res, err := FragmentSweep(60_000, 3, 4, []int{0, 8192}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	off, frag := res.Runs[0], res.Runs[1]
+	if off.Fragments != 1 {
+		t.Fatalf("unfragmented run has %d fragments", off.Fragments)
+	}
+	if want := (res.LineitemRows + 8191) / 8192; frag.Fragments != want {
+		t.Fatalf("fragments = %d, want %d", frag.Fragments, want)
+	}
+	if frag.RegionBytes >= off.RegionBytes {
+		t.Fatalf("region did not shrink: %d vs %d", frag.RegionBytes, off.RegionBytes)
+	}
+	if frag.MaxHopBytes >= off.MaxHopBytes {
+		t.Fatalf("max hop did not shrink: %d vs %d", frag.MaxHopBytes, off.MaxHopBytes)
+	}
+	for _, run := range res.Runs {
+		if run.P50Micros <= 0 || run.P99Micros < run.P50Micros {
+			t.Fatalf("bad quantiles: %+v", run)
+		}
+		if run.Queries != 4 {
+			t.Fatalf("queries = %d", run.Queries)
+		}
+	}
+	if res.String() == "" {
+		t.Fatal("empty report")
+	}
+}

@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -16,13 +17,15 @@ import (
 //     first-class fragments with their own LOI-governed life;
 //   - updates (§6.4): multi-version columns — a new version replaces
 //     the owner's copy while readers of the old version continue
-//     undisturbed (BAT immutability gives MVCC for free);
+//     undisturbed (BAT immutability gives MVCC for free); fragmented
+//     columns re-divide the new version over the existing fragments,
+//     each replaced at its own owner;
 //   - the nomadic phase (§6.1): Submit picks the cheapest node by
 //     bidding before settling a query.
 //
 // Substitution note: the paper coordinates concurrent updaters by
 // tagging the flowing BAT "updating"; this implementation serializes
-// updates through a per-fragment lock at the owner, which provides the
+// updates through a per-column lock at the ring, which provides the
 // same mutual exclusion with the machinery available in-process.
 
 // firstDynamicID separates static catalog ids from published
@@ -35,6 +38,8 @@ var nextDynamicID int64 = int64(firstDynamicID)
 // owned by this node (§6.2). It returns the fragment id; any node can
 // subsequently Fetch it by name. The fragment's life in the ring is
 // governed by its level of interest like any base fragment.
+// Intermediates are not split: they are already query-sized, and the
+// exact admission check keeps oversized ones out of the ring.
 func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 	// Exact admission check: the codec reports the encoded size to the
 	// byte, so the only overhead to account for is the fixed envelope.
@@ -44,12 +49,12 @@ func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 	}
 	r := n.ring
 	r.idsMu.Lock()
-	if _, exists := r.ids[name]; exists {
+	if _, exists := r.cols[name]; exists {
 		r.idsMu.Unlock()
 		return 0, fmt.Errorf("live: fragment %q already published", name)
 	}
 	id := core.BATID(atomic.AddInt64(&nextDynamicID, 1))
-	r.ids[name] = id
+	r.cols[name] = &colFrags{ids: []core.BATID{id}}
 	r.names = append(r.names, name)
 	r.idsMu.Unlock()
 
@@ -60,15 +65,15 @@ func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 	return id, nil
 }
 
-// Fetch retrieves a fragment by name through the normal Data Cyclotron
-// path: request, wait for it to flow past, pin, and unpin. The returned
-// BAT shares the pinned payload zero-copy: fragments are immutable
-// (updates install a fresh version, see UpdateColumn), so no defensive
-// deep copy is needed and the GC keeps the payload alive past eviction.
+// Fetch retrieves a column by name through the normal Data Cyclotron
+// path: request every fragment, wait for them to flow past (any
+// order), pin, merge, and unpin. A single-fragment column shares the
+// pinned payload zero-copy: fragments are immutable (updates install a
+// fresh version, see UpdateColumn), so no defensive deep copy is
+// needed and the GC keeps the payload alive past eviction. A
+// multi-fragment column returns the bat.Concat merge.
 func (n *Node) Fetch(name string) (*bat.BAT, error) {
-	n.ring.idsMu.RLock()
-	id, ok := n.ring.ids[name]
-	n.ring.idsMu.RUnlock()
+	ids, ok := n.ring.Fragments(name)
 	if !ok {
 		return nil, fmt.Errorf("live: unknown fragment %q", name)
 	}
@@ -76,13 +81,18 @@ func (n *Node) Fetch(name string) (*bat.BAT, error) {
 	dc := &queryDC{n: n, q: q}
 	defer func() {
 		n.mu.Lock()
-		n.rt.CancelQuery(q, []core.BATID{id})
+		n.rt.CancelQuery(q, ids)
 		n.mu.Unlock()
 	}()
 	n.mu.Lock()
-	n.rt.Request(q, id)
+	for _, id := range ids {
+		n.rt.Request(q, id)
+	}
 	n.mu.Unlock()
-	v, err := dc.Pin(id)
+	if len(ids) > 1 {
+		return dc.pinMerged(&fragHandle{name: name, ids: ids})
+	}
+	v, err := dc.Pin(ids[0])
 	if err != nil {
 		return nil, err
 	}
@@ -95,70 +105,128 @@ func (n *Node) Fetch(name string) (*bat.BAT, error) {
 	return b.Slice(0, b.Len()), nil
 }
 
-// UpdateColumn applies fn to the latest version of the named column at
-// its owner, atomically installing the result as the new version
-// (§6.4). Concurrent updates of the same column serialize; readers
-// holding the previous version continue on it. It returns the new
-// version number (base data is version 0).
+// UpdateColumn applies fn to the latest version of the named column,
+// atomically installing the result as the new version (§6.4).
+// Concurrent updates of the same column serialize; readers holding the
+// previous version continue on it. For a fragmented column the current
+// fragments are merged for fn, and the new version is re-divided over
+// the same fragment count — fragment identity is stable, so in-flight
+// requests keep their meaning — with each new fragment installed at
+// its own owner. It returns the new version number (base data is
+// version 0).
 func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error) {
-	r.idsMu.RLock()
-	id, ok := r.ids[name]
-	r.idsMu.RUnlock()
+	ids, ok := r.Fragments(name)
 	if !ok {
 		return 0, fmt.Errorf("live: unknown column %q", name)
 	}
-	owner := r.ownerOf(id)
-	if owner == nil {
-		return 0, fmt.Errorf("live: no owner for %q", name)
-	}
-	lock := owner.updateLock(id)
+	lock := r.columnLock(name)
 	lock.Lock()
 	defer lock.Unlock()
 
-	owner.mu.Lock()
-	cur := owner.store[id]
-	owner.mu.Unlock()
+	frags := make([]*bat.BAT, len(ids))
+	owners := make([]*Node, len(ids))
+	for i, id := range ids {
+		owner := r.ownerOf(id)
+		if owner == nil {
+			return 0, fmt.Errorf("live: no owner for fragment %d of %q", i, name)
+		}
+		owner.mu.Lock()
+		frags[i] = owner.store[id]
+		owner.mu.Unlock()
+		owners[i] = owner
+	}
+	cur := frags[0]
+	if len(frags) > 1 {
+		cur = bat.Concat(frags)
+	}
 
 	next := fn(cur)
 	if next == nil {
 		return 0, fmt.Errorf("live: update produced nil version")
 	}
-	if wire := dataHdrSize + bat.MarshalSize(next); wire > owner.dataOut.MaxMessage() {
-		return 0, fmt.Errorf("live: new version of %q (%d wire bytes) exceeds ring message limit %d",
-			name, wire, owner.dataOut.MaxMessage())
+	spans := splitEven(next.Len(), len(ids))
+	newFrags := make([]*bat.BAT, len(ids))
+	for i, sp := range spans {
+		nf := next
+		if len(ids) > 1 {
+			nf = next.Slice(sp[0], sp[1])
+		}
+		if wire := dataHdrSize + bat.MarshalSize(nf); wire > owners[i].dataOut.MaxMessage() {
+			return 0, fmt.Errorf("live: new version of %q fragment %d (%d wire bytes) exceeds ring message limit %d",
+				name, i, wire, owners[i].dataOut.MaxMessage())
+		}
+		newFrags[i] = nf
 	}
 
-	owner.mu.Lock()
-	owner.store[id] = next
-	// The serialized form of the old version must not be re-sent; its
-	// pooled buffer is recycled once in-flight sends drain.
-	owner.dropWireEntry(id)
-	if owner.versions == nil {
-		owner.versions = map[core.BATID]int{}
+	// Install every new fragment with all owner locks held at once
+	// (acquired in node order — every other code path takes at most one
+	// node lock, so the ordered multi-lock cannot deadlock): the owners'
+	// stores never expose a mix of old and new fragments. A query whose
+	// pins *straddle* the update may still combine adjacent versions of
+	// different fragments it picked up before and after the install —
+	// versioning is per fragment, the granularity at which data lives in
+	// the ring (each fragment individually is always a consistent
+	// version, and readers holding old payloads continue on them).
+	lockOrder := make([]*Node, 0, len(owners))
+	for _, owner := range owners {
+		dup := false
+		for _, seen := range lockOrder {
+			if seen == owner {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lockOrder = append(lockOrder, owner)
+		}
 	}
-	owner.versions[id]++
-	v := owner.versions[id]
-	// Keep the catalog size honest for admission decisions.
-	owner.rt.AdoptOwned(id, next.Bytes(), owner.rt.Loaded(id))
-	owner.mu.Unlock()
-	return v, nil
+	sort.Slice(lockOrder, func(i, j int) bool { return lockOrder[i].id < lockOrder[j].id })
+	for _, owner := range lockOrder {
+		owner.mu.Lock()
+	}
+	version := 0
+	for i, id := range ids {
+		owner := owners[i]
+		owner.store[id] = newFrags[i]
+		// The serialized form of the old version must not be re-sent; its
+		// pooled buffer is recycled once in-flight sends drain.
+		owner.dropWireEntry(id)
+		if owner.versions == nil {
+			owner.versions = map[core.BATID]int{}
+		}
+		owner.versions[id]++
+		if v := owner.versions[id]; v > version {
+			version = v
+		}
+		// Keep the catalog size honest for admission decisions.
+		owner.rt.AdoptOwned(id, newFrags[i].Bytes(), owner.rt.Loaded(id))
+	}
+	for _, owner := range lockOrder {
+		owner.mu.Unlock()
+	}
+	return version, nil
 }
 
-// Version reports the current version of a column at its owner.
+// Version reports the current version of a column (the highest version
+// among its fragments; updates bump every fragment together).
 func (r *Ring) Version(name string) (int, error) {
-	r.idsMu.RLock()
-	id, ok := r.ids[name]
-	r.idsMu.RUnlock()
+	ids, ok := r.Fragments(name)
 	if !ok {
 		return 0, fmt.Errorf("live: unknown column %q", name)
 	}
-	owner := r.ownerOf(id)
-	if owner == nil {
-		return 0, fmt.Errorf("live: no owner for %q", name)
+	version := 0
+	for _, id := range ids {
+		owner := r.ownerOf(id)
+		if owner == nil {
+			return 0, fmt.Errorf("live: no owner for %q", name)
+		}
+		owner.mu.Lock()
+		if v := owner.versions[id]; v > version {
+			version = v
+		}
+		owner.mu.Unlock()
 	}
-	owner.mu.Lock()
-	defer owner.mu.Unlock()
-	return owner.versions[id], nil
+	return version, nil
 }
 
 // ownerOf finds the node whose data loader owns id.
@@ -174,17 +242,14 @@ func (r *Ring) ownerOf(id core.BATID) *Node {
 	return nil
 }
 
-// updateLock returns the per-fragment update mutex, creating it lazily.
-func (n *Node) updateLock(id core.BATID) *sync.Mutex {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.updateMu == nil {
-		n.updateMu = map[core.BATID]*sync.Mutex{}
-	}
-	l := n.updateMu[id]
+// columnLock returns the per-column update mutex, creating it lazily.
+func (r *Ring) columnLock(name string) *sync.Mutex {
+	r.updMuMu.Lock()
+	defer r.updMuMu.Unlock()
+	l := r.updMu[name]
 	if l == nil {
 		l = &sync.Mutex{}
-		n.updateMu[id] = l
+		r.updMu[name] = l
 	}
 	return l
 }

@@ -1,0 +1,267 @@
+package live
+
+// Horizontal fragmentation: every registered column is split into
+// bounded-size fragments that circulate, are requested, and are
+// admitted/evicted independently — the fragment granularity the paper
+// sweeps in §5. The unit of circulation (and of RDMA region sizing) is
+// the largest *fragment*, not the largest column, so a 1M-row column
+// rotates as a train of small messages instead of one giant one, and a
+// pin can start working as soon as the first fragment flows past.
+//
+// The catalog maps a column name to its ordered fragment ids. Fragment
+// heads are Slice views of the logical column, so their dense OID bases
+// carry the global row offsets: per-fragment scan results concatenate
+// (bat.Concat) back into exactly the whole-column result, whatever
+// order the fragments arrived in.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/mal"
+)
+
+// colFrags is one column's catalog entry: its fragment ids in fragment
+// order.
+type colFrags struct {
+	ids []core.BATID
+}
+
+// fragHandle is the request handle for a multi-fragment column: what
+// datacyclotron.request returns and pin/pinselect consume.
+type fragHandle struct {
+	name string
+	ids  []core.BATID
+}
+
+// fragmentRowsFor resolves the effective per-fragment row bound for one
+// column: FragmentRows, tightened by FragmentBytes through the column's
+// average encoded bytes per row. 0 means "do not split".
+func fragmentRowsFor(b *bat.BAT, cfg Config) int {
+	rows := cfg.FragmentRows
+	if n := b.Len(); cfg.FragmentBytes > 0 && n > 0 {
+		perRow := (bat.MarshalSize(b) + n - 1) / n
+		byBytes := cfg.FragmentBytes / perRow
+		if byBytes < 1 {
+			byBytes = 1
+		}
+		if rows == 0 || byBytes < rows {
+			rows = byBytes
+		}
+	}
+	return rows
+}
+
+// fragmentSpans cuts [0, n) into row ranges of at most rows each
+// (one span covering everything when rows <= 0).
+func fragmentSpans(n, rows int) [][2]int {
+	if rows <= 0 || n <= rows {
+		return [][2]int{{0, n}}
+	}
+	spans := make([][2]int, 0, (n+rows-1)/rows)
+	for from := 0; from < n; from += rows {
+		to := from + rows
+		if to > n {
+			to = n
+		}
+		spans = append(spans, [2]int{from, to})
+	}
+	return spans
+}
+
+// splitEven cuts n rows into exactly k contiguous spans of near-equal
+// size (fragment identity is stable across updates, so a new column
+// version re-divides over the existing fragment count).
+func splitEven(n, k int) [][2]int {
+	spans := make([][2]int, k)
+	for i := 0; i < k; i++ {
+		spans[i] = [2]int{i * n / k, (i + 1) * n / k}
+	}
+	return spans
+}
+
+// Fragments lists the fragment ids of a column, in fragment order.
+func (r *Ring) Fragments(name string) ([]core.BATID, bool) {
+	r.idsMu.RLock()
+	defer r.idsMu.RUnlock()
+	cf, ok := r.cols[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]core.BATID(nil), cf.ids...), true
+}
+
+// MaxMessage reports the ring's data message limit — what every RDMA
+// memory region is sized to. With fragmentation on, it is keyed to the
+// largest fragment rather than the largest column.
+func (r *Ring) MaxMessage() int { return r.nodes[0].dataOut.MaxMessage() }
+
+// MaxHopBytes reports the largest single data message any node has put
+// on the ring so far.
+func (r *Ring) MaxHopBytes() int64 {
+	var max int64
+	for _, n := range r.nodes {
+		if v := atomic.LoadInt64(&n.maxHopBytes); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// HopBytes reports the total data bytes sent over all ring hops.
+func (r *Ring) HopBytes() int64 {
+	var total int64
+	for _, n := range r.nodes {
+		total += atomic.LoadInt64(&n.hopBytes)
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------
+// out-of-order fragment pinning
+// ---------------------------------------------------------------------
+
+// PinMap implements mal.FragmentedDC: it pins the fragments behind
+// handle as they arrive — in whatever order the ring delivers them —
+// applies fn to each pinned fragment on a bounded worker pool, unpins
+// the fragment as soon as its work is done, and returns the results in
+// fragment order (the order-preserving merge point).
+func (d *queryDC) PinMap(handle mal.Value, fn func(mal.Value) (mal.Value, error)) ([]mal.Value, error) {
+	switch h := handle.(type) {
+	case core.BATID:
+		v, err := d.Pin(h)
+		if err != nil {
+			return nil, err
+		}
+		out, err := fn(v)
+		if err != nil {
+			d.Unpin(v)
+			return nil, err
+		}
+		if err := d.Unpin(v); err != nil {
+			return nil, err
+		}
+		return []mal.Value{out}, nil
+	case *fragHandle:
+		return d.pinParts(h.ids, fn)
+	}
+	return nil, fmt.Errorf("live: bad pin handle %T", handle)
+}
+
+// pinParts registers a blocked pin per fragment and collects them as
+// deliveries land. One lightweight goroutine per fragment waits on its
+// delivery channel (arrival order is the ring's business, not ours);
+// the per-fragment work is throttled by a semaphore of FragWorkers
+// tokens. Each fragment is unpinned right after its work completes —
+// the merged result owns its own memory (or immutable views), so no pin
+// needs to outlive the merge. The first failure aborts the remaining
+// waits and unwinds their pins.
+func (d *queryDC) pinParts(ids []core.BATID, fn func(mal.Value) (mal.Value, error)) ([]mal.Value, error) {
+	n := d.n
+	workers := n.cfg.FragWorkers
+	if workers <= 0 {
+		workers = n.cfg.Workers
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+
+	chans := make([]chan *bat.BAT, len(ids))
+	n.mu.Lock()
+	for i, id := range ids {
+		ch := make(chan *bat.BAT, 1)
+		chans[i] = ch
+		n.waiters[waitKey{d.q, id}] = ch
+		n.rt.Pin(d.q, id)
+	}
+	n.mu.Unlock()
+
+	results := make([]mal.Value, len(ids))
+	sem := make(chan struct{}, workers)
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abortOnce.Do(func() { close(abort) })
+	}
+
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, ch := ids[i], chans[i]
+			var b *bat.BAT
+			select {
+			case b = <-ch:
+			case <-d.cancel: // nil for uncancellable callers
+				d.abandonPin(id, ch)
+				fail(mal.ErrCancelled)
+				return
+			case <-n.closed:
+				d.abandonPin(id, ch)
+				fail(fmt.Errorf("live: ring closed"))
+				return
+			case <-abort:
+				d.abandonPin(id, ch)
+				return
+			}
+			if b == nil {
+				fail(fmt.Errorf("live: BAT %d does not exist", id))
+				return
+			}
+			sem <- struct{}{}
+			v, err := fn(b)
+			<-sem
+			n.mu.Lock()
+			n.rt.Unpin(d.q, id)
+			n.unrefCached(id)
+			n.mu.Unlock()
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// pinMerged pins every fragment of h (out of order) and concatenates
+// the payloads in fragment order. The fragments are unpinned during the
+// merge; the caller's later unpin of the merged value is a no-op,
+// tracked through d.merged.
+func (d *queryDC) pinMerged(h *fragHandle) (*bat.BAT, error) {
+	parts, err := d.pinParts(h.ids, func(v mal.Value) (mal.Value, error) { return v, nil })
+	if err != nil {
+		return nil, err
+	}
+	frags := make([]*bat.BAT, len(parts))
+	for i, p := range parts {
+		frags[i] = p.(*bat.BAT)
+	}
+	merged := bat.Concat(frags)
+	d.mu.Lock()
+	if d.merged == nil {
+		d.merged = map[*bat.BAT]bool{}
+	}
+	d.merged[merged] = true
+	d.mu.Unlock()
+	return merged, nil
+}

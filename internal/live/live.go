@@ -44,14 +44,31 @@ type Config struct {
 	Workers int
 	// Transport picks the neighbour interconnect.
 	Transport Transport
+	// FragmentRows bounds the rows per circulated fragment: a longer
+	// column is split into independently circulating fragments, each
+	// with its own BATID and level of interest (the granularity axis of
+	// §5). 0 disables row-based splitting (one column = one fragment,
+	// the pre-fragmentation behavior).
+	FragmentRows int
+	// FragmentBytes additionally bounds the approximate encoded size of
+	// a fragment; it tightens FragmentRows through the column's average
+	// bytes per row. 0 disables the byte bound.
+	FragmentBytes int
+	// FragWorkers bounds how many fragments of one pin a query
+	// processes concurrently as they arrive (defaults to Workers).
+	FragWorkers int
+	// placeFragment overrides the round-robin fragment placement
+	// (test hook: shuffled placements exercise adverse arrival orders).
+	placeFragment func(frag, nodes int) int
 }
 
 // DefaultConfig suits in-process rings.
 func DefaultConfig() Config {
 	cfg := Config{
-		Core:     core.DefaultConfig(),
-		QueueCap: 256 << 20,
-		Workers:  4,
+		Core:         core.DefaultConfig(),
+		QueueCap:     256 << 20,
+		Workers:      4,
+		FragmentRows: 64 << 10,
 	}
 	// Live rings are small; short timers keep latencies low.
 	cfg.Core.LoadAllPeriod = 20 * time.Millisecond
@@ -60,15 +77,21 @@ func DefaultConfig() Config {
 }
 
 // Ring is a live Data Cyclotron: n nodes connected through rdma queue
-// pairs, with the database columns partitioned over the nodes.
+// pairs, with the database columns fragmented and partitioned over the
+// nodes.
 type Ring struct {
 	nodes []*Node
-	// name -> BAT id, global catalog agreed by all nodes. Guarded by
-	// idsMu because Publish extends it at runtime (§6.2).
+	cfg   Config
+	// name -> ordered fragment ids, global catalog agreed by all nodes.
+	// Guarded by idsMu because Publish extends it at runtime (§6.2).
 	idsMu sync.RWMutex
-	ids   map[string]core.BATID
+	cols  map[string]*colFrags
 	names []string
-	wg    sync.WaitGroup
+	// updMu serializes whole-column updates (a column's fragments may
+	// live at several owners, so the §6.4 update lock is column-level).
+	updMuMu sync.Mutex
+	updMu   map[string]*sync.Mutex
+	wg      sync.WaitGroup
 }
 
 // Node is one live ring participant.
@@ -104,8 +127,13 @@ type Node struct {
 
 	// §6 extension state.
 	versions      map[core.BATID]int
-	updateMu      map[core.BATID]*sync.Mutex
 	activeQueries int64
+
+	// Ring-hop accounting (atomic): total data bytes sent and the
+	// largest single data message — the fragmentation experiments read
+	// these to plot hop cost against fragment size.
+	hopBytes    int64
+	maxHopBytes int64
 
 	// wireCache holds the marshalled bytes of each fragment version so
 	// forwarding an unchanged fragment does not pay bat.Marshal again.
@@ -172,36 +200,69 @@ type cachedBAT struct {
 	refs int
 }
 
+// unrefCached drops one reference on a cached payload, evicting the
+// entry when the last reference goes. Called with n.mu held.
+func (n *Node) unrefCached(id core.BATID) {
+	if c, ok := n.cached[id]; ok {
+		c.refs--
+		if c.refs <= 0 {
+			delete(n.cached, id)
+		}
+	}
+}
+
 type waitKey struct {
 	q core.QueryID
 	b core.BATID
 }
 
 // NewRing builds an in-process live ring of n nodes over the given
-// database columns. Columns are assigned to nodes round-robin in
-// name order (the random upfront partitioning of §4 made deterministic).
+// database columns. Each column is split into bounded-size fragments
+// (Config.FragmentRows / FragmentBytes) and the fragments are assigned
+// to nodes round-robin in (name, fragment) order — the random upfront
+// partitioning of §4 made deterministic, at fragment granularity.
 func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Config) (*Ring, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("live: ring needs at least 2 nodes")
 	}
-	r := &Ring{ids: map[string]core.BATID{}}
+	r := &Ring{cfg: cfg, cols: map[string]*colFrags{}, updMu: map[string]*sync.Mutex{}}
 	names := make([]string, 0, len(columns))
-	// The ring message limit (and thus every RDMA memory region) is
-	// computed exactly from the codec: the largest fragment's encoded
-	// size — doubled as growth headroom for updated versions — plus the
-	// fixed envelope header. No serialization slack needed: MarshalSize
-	// is byte-exact.
-	maxPayload := 1 << 16
-	for name, b := range columns {
+	for name := range columns {
 		names = append(names, name)
-		if s := bat.MarshalSize(b) * 2; s > maxPayload {
-			maxPayload = s
-		}
 	}
 	sort.Strings(names)
 	r.names = names
-	for i, name := range names {
-		r.ids[name] = core.BATID(i)
+	// Fragment every column and compute the ring message limit (and
+	// thus every RDMA memory region) exactly from the codec: the
+	// largest *fragment's* encoded size — doubled as growth headroom
+	// for updated versions — plus the fixed envelope header. No
+	// serialization slack needed: MarshalSize is byte-exact, and the
+	// regions shrink with the fragment bound instead of tracking the
+	// largest column.
+	type fragEntry struct {
+		id core.BATID
+		b  *bat.BAT
+	}
+	var frags []fragEntry
+	maxPayload := 1 << 16
+	next := core.BATID(0)
+	for _, name := range names {
+		b := columns[name]
+		spans := fragmentSpans(b.Len(), fragmentRowsFor(b, cfg))
+		cf := &colFrags{}
+		for _, sp := range spans {
+			fb := b
+			if len(spans) > 1 {
+				fb = b.Slice(sp[0], sp[1])
+			}
+			if s := bat.MarshalSize(fb) * 2; s > maxPayload {
+				maxPayload = s
+			}
+			cf.ids = append(cf.ids, next)
+			frags = append(frags, fragEntry{next, fb})
+			next++
+		}
+		r.cols[name] = cf
 	}
 	maxBytes := dataHdrSize + maxPayload
 
@@ -258,12 +319,17 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		r.nodes[pred].reqIn = rB
 	}
 
-	// Partition ownership round-robin.
-	for i, name := range names {
-		owner := r.nodes[i%n]
-		id := r.ids[name]
-		owner.store[id] = columns[name]
-		owner.rt.AddOwned(id, columns[name].Bytes())
+	// Partition ownership round-robin over fragments, so one column's
+	// fragments spread across the ring and a multi-fragment pin drains
+	// several owners in parallel.
+	place := cfg.placeFragment
+	if place == nil {
+		place = func(frag, nodes int) int { return frag % nodes }
+	}
+	for i, fe := range frags {
+		owner := r.nodes[place(i, n)%n]
+		owner.store[fe.id] = fe.b
+		owner.rt.AddOwned(fe.id, fe.b.Bytes())
 	}
 
 	// Start receive loops and runtime tickers.
@@ -297,12 +363,17 @@ func (r *Ring) Close() {
 	r.wg.Wait()
 }
 
-// BATID resolves a column name ("table.column").
+// BATID resolves a column name ("table.column") to its first fragment
+// id (the only fragment for unfragmented columns). Use Fragments for
+// the full per-fragment id list.
 func (r *Ring) BATID(name string) (core.BATID, bool) {
 	r.idsMu.RLock()
 	defer r.idsMu.RUnlock()
-	id, ok := r.ids[name]
-	return id, ok
+	cf, ok := r.cols[name]
+	if !ok {
+		return 0, false
+	}
+	return cf.ids[0], true
 }
 
 // ---------------------------------------------------------------------
@@ -425,6 +496,14 @@ func (e *liveEnv) SendData(m core.BATMsg) {
 			return
 		default:
 		}
+		wire := int64(dataHdrSize + len(ent.raw))
+		atomic.AddInt64(&n.hopBytes, wire)
+		for {
+			cur := atomic.LoadInt64(&n.maxHopBytes)
+			if wire <= cur || atomic.CompareAndSwapInt64(&n.maxHopBytes, cur, wire) {
+				break
+			}
+		}
 		// Assemble the envelope directly in the registered send region:
 		// fixed header, then the cached codec bytes — one copy, zero
 		// allocations.
@@ -474,9 +553,25 @@ func (e *liveEnv) After(d time.Duration, fn func()) core.TimerHandle {
 }
 
 // Deliver resolves the payload and wakes the blocked pin. Called with
-// n.mu held.
+// n.mu held. The waiter lookup gates the refcount: a delivery whose pin
+// was abandoned (query cancelled between abandonPin and CancelQuery)
+// must not count a cached-payload reference nobody will ever release.
 func (e *liveEnv) Deliver(q core.QueryID, b core.BATID) {
 	n := e.node()
+	key := waitKey{q, b}
+	ch, ok := n.waiters[key]
+	if !ok {
+		// Pin abandoned; no one left to hand the payload to. The only
+		// path that can reach a missing waiter is an asynchronous ring
+		// arrival (synchronous deliveries run in the same critical
+		// section that registers the waiter), and that path counted one
+		// runtime cache ref (batPropagation's cacheRef) just before
+		// delivering — release it, or the stale rt.cache entry would
+		// short-circuit every later pin of this BAT into a nil delivery.
+		n.rt.Unpin(q, b)
+		return
+	}
+	delete(n.waiters, key)
 	var payload *bat.BAT
 	if p, ok := n.transit[b]; ok {
 		payload = p
@@ -493,11 +588,7 @@ func (e *liveEnv) Deliver(q core.QueryID, b core.BATID) {
 		payload = c.b
 		c.refs++
 	}
-	key := waitKey{q, b}
-	if ch, ok := n.waiters[key]; ok {
-		delete(n.waiters, key)
-		ch <- payload // buffered
-	}
+	ch <- payload // buffered
 }
 
 func (e *liveEnv) QueryError(q core.QueryID, b core.BATID, reason string) {
@@ -544,26 +635,42 @@ type queryDC struct {
 	// the DcOptimizer emits unpin(X) on the pinned variable (Table 2),
 	// so unpin receives the *bat.BAT, not the request handle.
 	pinned map[*bat.BAT]core.BATID
+	// merged tracks multi-fragment pin results: their fragments were
+	// unpinned at merge time, so the plan's unpin is a no-op on them.
+	merged map[*bat.BAT]bool
 }
 
-// Request implements mal.DCRuntime.
+// Request implements mal.DCRuntime. A fragmented column becomes a
+// multi-fragment request: interest in every fragment is registered up
+// front so all of them start flowing, and the returned handle names the
+// whole set.
 func (d *queryDC) Request(schema, table, column string) (mal.Value, error) {
 	name := table + "." + column
-	id, ok := d.n.ring.BATID(name)
+	ids, ok := d.n.ring.Fragments(name)
 	if !ok {
 		return nil, fmt.Errorf("live: unknown column %s", name)
 	}
 	d.mu.Lock()
-	d.bats = append(d.bats, id)
+	d.bats = append(d.bats, ids...)
 	d.mu.Unlock()
 	d.n.mu.Lock()
-	d.n.rt.Request(d.q, id)
+	for _, id := range ids {
+		d.n.rt.Request(d.q, id)
+	}
 	d.n.mu.Unlock()
-	return id, nil
+	if len(ids) == 1 {
+		return ids[0], nil
+	}
+	return &fragHandle{name: name, ids: ids}, nil
 }
 
 // Pin implements mal.DCRuntime: it blocks until the BAT flows past.
+// A multi-fragment handle pins every fragment as it arrives (any
+// order) and returns the order-preserving merge.
 func (d *queryDC) Pin(handle mal.Value) (mal.Value, error) {
+	if h, ok := handle.(*fragHandle); ok {
+		return d.pinMerged(h)
+	}
 	id, ok := handle.(core.BATID)
 	if !ok {
 		return nil, fmt.Errorf("live: bad pin handle %T", handle)
@@ -597,11 +704,12 @@ func (d *queryDC) Pin(handle mal.Value) (mal.Value, error) {
 
 // abandonPin unwinds a pin the caller gave up on. A concurrent Deliver
 // (which runs under n.mu) may already have removed the waiter entry,
-// bumped the payload's refcount, and sent into ch — in which case the
-// cancel branch of Pin's select raced the delivery and must consume the
-// payload and drop that ref, or the cachedBAT leaks for the ring's
-// lifetime. Otherwise the waiter entry is still registered and removing
-// it keeps a later Deliver from counting a ref nobody will release.
+// bumped the payload's refcounts, and sent into ch — in which case the
+// cancel branch of the select raced the delivery and must consume the
+// payload and drop those refs, or the cachedBAT leaks for the ring's
+// lifetime. Otherwise the waiter entry is still registered; removing it
+// turns any later Deliver for this pin into a no-op (Deliver only
+// counts references when it finds a waiter to hand the payload to).
 func (d *queryDC) abandonPin(id core.BATID, ch chan *bat.BAT) {
 	n := d.n
 	n.mu.Lock()
@@ -609,12 +717,11 @@ func (d *queryDC) abandonPin(id core.BATID, ch chan *bat.BAT) {
 	select {
 	case b := <-ch:
 		if b != nil {
-			if c, ok := n.cached[id]; ok {
-				c.refs--
-				if c.refs <= 0 {
-					delete(n.cached, id)
-				}
-			}
+			// The delivery won the race: drop the refs it counted, at
+			// both the live layer and the runtime (what the query's own
+			// unpin would have released).
+			n.rt.Unpin(d.q, id)
+			n.unrefCached(id)
 		}
 	default:
 	}
@@ -630,6 +737,13 @@ func (d *queryDC) Unpin(handle mal.Value) error {
 		id = h
 	case *bat.BAT:
 		d.mu.Lock()
+		if d.merged[h] {
+			// A merged multi-fragment value: its fragments were already
+			// unpinned when their work finished.
+			delete(d.merged, h)
+			d.mu.Unlock()
+			return nil
+		}
 		mapped, ok := d.pinned[h]
 		if ok {
 			delete(d.pinned, h)
@@ -645,12 +759,7 @@ func (d *queryDC) Unpin(handle mal.Value) error {
 	n := d.n
 	n.mu.Lock()
 	n.rt.Unpin(d.q, id)
-	if c, ok := n.cached[id]; ok {
-		c.refs--
-		if c.refs <= 0 {
-			delete(n.cached, id)
-		}
-	}
+	n.unrefCached(id)
 	n.mu.Unlock()
 	return nil
 }
@@ -730,14 +839,6 @@ func (n *Node) ExecPlan(plan *mal.Plan) (*mal.ResultSet, error) {
 // instruction. Called with n.mu held, after the interpreter goroutine
 // has stopped.
 func (n *Node) releaseQuery(q core.QueryID, dc *queryDC) {
-	unref := func(id core.BATID) {
-		if c, ok := n.cached[id]; ok {
-			c.refs--
-			if c.refs <= 0 {
-				delete(n.cached, id)
-			}
-		}
-	}
 	for key, ch := range n.waiters {
 		if key.q != q {
 			continue
@@ -746,14 +847,18 @@ func (n *Node) releaseQuery(q core.QueryID, dc *queryDC) {
 		select {
 		case b := <-ch:
 			if b != nil {
-				unref(key.b)
+				// The delivery counted refs at both layers; release both,
+				// as the query's own unpin would have.
+				n.rt.Unpin(q, key.b)
+				n.unrefCached(key.b)
 			}
 		default:
 		}
 	}
 	dc.mu.Lock()
 	for _, id := range dc.pinned {
-		unref(id)
+		n.rt.Unpin(q, id)
+		n.unrefCached(id)
 	}
 	dc.pinned = nil
 	dc.mu.Unlock()

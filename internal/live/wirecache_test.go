@@ -88,7 +88,7 @@ func TestExecPlanErrorDoesNotLeakInterpreter(t *testing.T) {
 	n := r.Node(0)
 
 	r.idsMu.Lock()
-	r.ids["ghost.col"] = core.BATID(777)
+	r.cols["ghost.col"] = &colFrags{ids: []core.BATID{777}}
 	r.idsMu.Unlock()
 
 	for i := 0; i < 5; i++ {

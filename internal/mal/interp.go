@@ -50,6 +50,19 @@ type DCRuntime interface {
 	Unpin(handle Value) error
 }
 
+// FragmentedDC is the optional extension of DCRuntime implemented by
+// layers that deliver one request as several independently circulating
+// fragments (horizontal fragmentation, §5's granularity axis). PinMap
+// pins the fragments behind handle as they arrive — in any order —
+// applies fn to each pinned fragment on a bounded worker pool, unpins
+// the fragment once fn returns, and hands back the per-fragment results
+// in fragment order (the order-preserving merge point). For a
+// single-fragment handle it degenerates to pin/fn/unpin.
+type FragmentedDC interface {
+	DCRuntime
+	PinMap(handle Value, fn func(frag Value) (Value, error)) ([]Value, error)
+}
+
 // Context carries the execution environment for one plan run.
 type Context struct {
 	Registry *Registry

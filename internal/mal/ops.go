@@ -99,6 +99,32 @@ func registerStandard(r *Registry) {
 		return nil, ctx.DC.Unpin(args[0])
 	})
 
+	// --- fused per-fragment scans (pin ∘ select ∘ unpin) ---
+	// The DcOptimizer fuses a pin whose only consumer is a scan into one
+	// instruction, so a fragmented runtime can run the scan on each
+	// fragment as it arrives (any order, bounded pool) and merge the
+	// per-fragment results in fragment order. Fragment heads carry
+	// global OIDs (a Slice view shifts the dense base), so the merged
+	// scan output is identical to scanning the whole column.
+	r.Register("datacyclotron", "pinselect", func(ctx *Context, args []Value) ([]Value, error) {
+		var lo, hi *bat.Bound
+		if args[1] != nil {
+			lo = &bat.Bound{Value: args[1], Inclusive: args[3].(bool)}
+		}
+		if args[2] != nil {
+			hi = &bat.Bound{Value: args[2], Inclusive: args[4].(bool)}
+		}
+		return pinScan(ctx, args[0], func(b *bat.BAT) *bat.BAT { return b.Select(lo, hi) })
+	})
+	r.Register("datacyclotron", "pinselecteq", func(ctx *Context, args []Value) ([]Value, error) {
+		v := args[1]
+		return pinScan(ctx, args[0], func(b *bat.BAT) *bat.BAT { return b.SelectEq(v) })
+	})
+	r.Register("datacyclotron", "pinselectne", func(ctx *Context, args []Value) ([]Value, error) {
+		v := args[1]
+		return pinScan(ctx, args[0], func(b *bat.BAT) *bat.BAT { return b.SelectNe(v) })
+	})
+
 	// --- bat module ---
 	r.Register("bat", "reverse", unary(func(b *bat.BAT) Value { return b.Reverse() }))
 	r.Register("bat", "mirror", unary(func(b *bat.BAT) Value { return b.Mirror() }))
@@ -333,6 +359,44 @@ func registerStandard(r *Registry) {
 		}
 		return one(&ResultSet{Names: []string{name}, Cols: []*bat.BAT{col}}), nil
 	})
+}
+
+// pinScan runs one fused pin+scan: per fragment (out of order, bounded
+// pool) on a FragmentedDC, or pin/scan/unpin on a plain DCRuntime.
+func pinScan(ctx *Context, handle Value, scan func(*bat.BAT) *bat.BAT) ([]Value, error) {
+	if ctx.DC == nil {
+		return nil, fmt.Errorf("no DC runtime attached")
+	}
+	if fdc, ok := ctx.DC.(FragmentedDC); ok {
+		parts, err := fdc.PinMap(handle, func(frag Value) (Value, error) {
+			b, ok := frag.(*bat.BAT)
+			if !ok {
+				return nil, fmt.Errorf("pinned fragment is %T, want *bat.BAT", frag)
+			}
+			return scan(b), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		frags := make([]*bat.BAT, len(parts))
+		for i, p := range parts {
+			frags[i] = p.(*bat.BAT)
+		}
+		return one(bat.Concat(frags)), nil
+	}
+	v, err := ctx.DC.Pin(handle)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(*bat.BAT)
+	if !ok {
+		return nil, fmt.Errorf("pinned value is %T, want *bat.BAT", v)
+	}
+	out := scan(b)
+	if err := ctx.DC.Unpin(v); err != nil {
+		return nil, err
+	}
+	return one(out), nil
 }
 
 func unary(f func(*bat.BAT) Value) OpFunc {

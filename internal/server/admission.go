@@ -28,16 +28,17 @@ func newAdmission(inFlight, queueCap int) *admission {
 }
 
 // acquire takes an execution slot or fails: errRejected when the wait
-// queue is full, errDraining once drain closes.
+// queue is full, errDraining once drain closes. Taking a slot and
+// observing drain happen in one select (plus a post-win drain check),
+// so a query racing the drain close cannot be admitted after Quiesce
+// began: any acquire that starts after drain closes fails, and one that
+// wins a slot concurrently with the close gives the slot back.
 func (a *admission) acquire(drain <-chan struct{}) error {
 	select {
 	case <-drain:
 		return errDraining
-	default:
-	}
-	select {
 	case a.slots <- struct{}{}:
-		return nil
+		return a.checkDrain(drain)
 	default:
 	}
 	if a.waiting.Add(1) > a.queueCap {
@@ -47,9 +48,23 @@ func (a *admission) acquire(drain <-chan struct{}) error {
 	defer a.waiting.Add(-1)
 	select {
 	case a.slots <- struct{}{}:
-		return nil
+		return a.checkDrain(drain)
 	case <-drain:
 		return errDraining
+	}
+}
+
+// checkDrain re-examines drain after a slot was won: a select with both
+// cases ready picks randomly, so winning the slot does not prove the
+// server was still open. If drain closed, the slot goes back and the
+// query is refused.
+func (a *admission) checkDrain(drain <-chan struct{}) error {
+	select {
+	case <-drain:
+		<-a.slots
+		return errDraining
+	default:
+		return nil
 	}
 }
 

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -32,6 +34,70 @@ func TestAdmissionSlotPool(t *testing.T) {
 	close(drain)
 	if err := a.acquire(drain); err != errDraining {
 		t.Fatalf("draining acquire = %v, want errDraining", err)
+	}
+}
+
+// TestNoAdmissionAfterDrain is the regression test for the
+// drain/acquire race: the old fast path checked drain in a separate
+// select before taking a slot, so an acquire racing the drain close
+// could still be admitted after Quiesce began. With slots free and the
+// queue empty, no acquire that starts after drain closed may succeed.
+func TestNoAdmissionAfterDrain(t *testing.T) {
+	drain := make(chan struct{})
+	a := newAdmission(4, 4)
+	close(drain)
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := a.acquire(drain); err == nil {
+					admitted.Add(1)
+					a.release()
+				} else if err != errDraining {
+					t.Errorf("acquire = %v, want errDraining", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := admitted.Load(); n != 0 {
+		t.Fatalf("%d queries admitted after drain closed", n)
+	}
+	if a.inUse() != 0 {
+		t.Fatalf("slots leaked: %d in use", a.inUse())
+	}
+}
+
+// TestDrainRacingAcquire closes drain while acquires are in flight:
+// whatever each call returns, no slot may leak and every success must
+// have happened before the close was observed.
+func TestDrainRacingAcquire(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		drain := make(chan struct{})
+		a := newAdmission(2, 2)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := a.acquire(drain); err == nil {
+					a.release()
+				}
+			}()
+		}
+		close(drain)
+		wg.Wait()
+		if a.inUse() != 0 {
+			t.Fatalf("round %d: %d slots leaked", round, a.inUse())
+		}
+		// Once the close is settled, nothing is admitted anymore.
+		if err := a.acquire(drain); err != errDraining {
+			t.Fatalf("round %d: post-drain acquire = %v", round, err)
+		}
 	}
 }
 

@@ -13,6 +13,10 @@ import (
 // queries skip minisql.Compile and dcopt.Rewrite entirely. Plans are
 // read-only to the interpreter, so one cached plan serves any number of
 // concurrent executions. Eviction is LRU with a fixed entry cap.
+//
+// max <= 0 means the cache is disabled: get and put are no-ops that
+// touch no state and count no stats (a disabled cache is not "always
+// missing" — it is simply absent, and every query compiles).
 type planCache struct {
 	mu     sync.Mutex
 	max    int
@@ -32,6 +36,9 @@ func newPlanCache(max int) *planCache {
 }
 
 func (c *planCache) get(sql string) (*mal.Plan, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.bySQL[sql]
@@ -45,6 +52,11 @@ func (c *planCache) get(sql string) (*mal.Plan, bool) {
 }
 
 func (c *planCache) put(sql string, p *mal.Plan) {
+	if c.max <= 0 {
+		// Disabled: inserting would only feed the eviction loop below,
+		// which would immediately drain the new entry again.
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.bySQL[sql]; ok {

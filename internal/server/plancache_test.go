@@ -1,0 +1,69 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/mal"
+)
+
+func dummyPlan(name string) *mal.Plan { return &mal.Plan{Name: name} }
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := newPlanCache(2)
+	c.put("a", dummyPlan("a"))
+	c.put("b", dummyPlan("b"))
+	if p, ok := c.get("a"); !ok || p.Name != "a" {
+		t.Fatal("a missing")
+	}
+	// a is now MRU; inserting c evicts b.
+	c.put("c", dummyPlan("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	hits, misses := c.stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 2 hits 1 miss", hits, misses)
+	}
+}
+
+// TestPlanCacheDisabled is the regression test for max <= 0: put used
+// to insert the entry and then immediately evict it (the eviction loop
+// drained everything, the new plan included) while get still counted
+// misses. Disabled means no state and no stats.
+func TestPlanCacheDisabled(t *testing.T) {
+	for _, max := range []int{0, -1} {
+		c := newPlanCache(max)
+		c.put("a", dummyPlan("a"))
+		if _, ok := c.get("a"); ok {
+			t.Fatalf("max=%d: disabled cache returned a plan", max)
+		}
+		if c.ll.Len() != 0 || len(c.bySQL) != 0 {
+			t.Fatalf("max=%d: disabled cache holds state: ll=%d map=%d", max, c.ll.Len(), len(c.bySQL))
+		}
+		hits, misses := c.stats()
+		if hits != 0 || misses != 0 {
+			t.Fatalf("max=%d: disabled cache counted stats %d/%d", max, hits, misses)
+		}
+	}
+}
+
+// TestPlanCacheSizeOne: the smallest enabled cache must actually hold
+// its newest entry (the original bug made any insert self-evicting at
+// small caps when max <= 0; size 1 is the boundary that stays enabled).
+func TestPlanCacheSizeOne(t *testing.T) {
+	c := newPlanCache(1)
+	c.put("a", dummyPlan("a"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("size-1 cache evicted its only entry")
+	}
+	c.put("b", dummyPlan("b"))
+	if _, ok := c.get("b"); !ok {
+		t.Fatal("size-1 cache lost the newest entry")
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("size-1 cache kept two entries")
+	}
+}

@@ -35,7 +35,9 @@ type Config struct {
 	// MaxQueue bounds queries waiting for a slot per node; arrivals
 	// beyond it are rejected immediately.
 	MaxQueue int
-	// PlanCacheSize bounds cached compiled plans per node.
+	// PlanCacheSize bounds cached compiled plans per node. 0 picks the
+	// default; a negative value disables the cache (every query
+	// compiles, no hit/miss stats are counted).
 	PlanCacheSize int
 	// MaxFrame bounds a single protocol frame.
 	MaxFrame int
@@ -128,7 +130,7 @@ func Serve(ring *live.Ring, cfg Config) (*Server, error) {
 	if cfg.MaxQueue < 0 {
 		cfg.MaxQueue = 0
 	}
-	if cfg.PlanCacheSize <= 0 {
+	if cfg.PlanCacheSize == 0 {
 		cfg.PlanCacheSize = DefaultConfig().PlanCacheSize
 	}
 	if cfg.MaxFrame <= 0 {

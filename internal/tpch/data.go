@@ -197,6 +197,13 @@ func GenDB(sf float64, seed int64) *DB {
 	return db
 }
 
+// SFForLineitemRows maps a target lineitem row count onto the scale
+// factor that produces it (lineitem is 6M rows at SF 1). The
+// fragmentation experiments size their swept column with this.
+func SFForLineitemRows(rows int) float64 {
+	return float64(rows) / 6_000_000
+}
+
 func scaled(rowsSF1 int, sf float64) int {
 	n := int(float64(rowsSF1) * sf)
 	if n < 10 {

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# bench.sh — run the wire-codec benchmark suite and record the results.
+# bench.sh — run the wire-codec benchmark suite and the fragment
+# granularity sweep, recording the results.
 #
 # Usage:
-#   scripts/bench.sh          full run: 1s per benchmark, writes BENCH_wire.json
-#   scripts/bench.sh -short   CI smoke: one iteration per benchmark, still
-#                             gates on codec/gob equivalence
+#   scripts/bench.sh          full run: 1s per benchmark, writes
+#                             BENCH_wire.json and BENCH_frag.json
+#   scripts/bench.sh -short   CI smoke: one iteration per benchmark and a
+#                             small sweep, still gating on codec/gob
+#                             equivalence and the fragmentation invariants
 #
-# The script fails if the codec-vs-gob equivalence tests fail, so a wire
-# format regression can never produce a "fast but wrong" green run.
-# BENCH_wire.json is a snapshot of the latest run (overwritten each
-# time); committing it alongside perf-relevant changes makes git
-# history the repo's perf trajectory.
+# The script fails if the codec-vs-gob equivalence tests fail (a wire
+# format regression can never produce a "fast but wrong" green run) or
+# if the fragment sweep misses its hop-shrink gate. The JSON files are
+# snapshots of the latest run (overwritten each time); committing them
+# alongside perf-relevant changes makes git history the repo's perf
+# trajectory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -66,3 +70,10 @@ END {
 }' "$TMP" > "$OUT"
 
 echo "== wrote $OUT =="
+
+echo "== fragment granularity sweep =="
+if [ "$SHORT" -eq 1 ]; then
+  go run ./cmd/dcfrag -short -out BENCH_frag.json
+else
+  go run ./cmd/dcfrag -out BENCH_frag.json
+fi
