@@ -1,0 +1,129 @@
+// Command dccache runs the hot-set cache repeat-query sweep on the
+// live TPC-H ring and records the cached-versus-uncached latency curve
+// to a JSON snapshot, BENCH_cache.json by default. scripts/bench.sh
+// invokes it; CI runs it with -short.
+//
+// The run is gated: with the cache enabled, the repeat workload must
+// actually hit it (hit rate > 0), and the p99 pin latency of a
+// fully-hot repeated pin must be at least 5× lower than with the cache
+// off — a cache regression can never produce a quiet green run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/live"
+)
+
+func main() {
+	rows := flag.Int("rows", 1<<20, "lineitem rows")
+	nodes := flag.Int("nodes", 3, "ring size")
+	repeats := flag.Int("repeats", 160, "repeat pins/queries per cache setting")
+	think := flag.Duration("think", 8*time.Millisecond, "pause between repeats (intermittent re-read pattern)")
+	budgets := flag.String("budgets", "0,67108864", "comma-separated CacheBytes settings (0 = off)")
+	mode := flag.String("mode", "loi", "eviction policy for enabled runs: loi or lru")
+	out := flag.String("out", "BENCH_cache.json", "output JSON path")
+	short := flag.Bool("short", false, "CI smoke: small data, few repeats")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Parse()
+
+	if *short {
+		*rows = 1 << 17
+		*repeats = 25
+		*think = 2 * time.Millisecond
+	}
+	var cacheBytes []int
+	for _, s := range strings.Split(*budgets, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal("bad -budgets entry %q: %v", s, err)
+		}
+		cacheBytes = append(cacheBytes, v)
+	}
+	var cacheMode live.CacheMode
+	switch *mode {
+	case "loi":
+		cacheMode = live.CacheLOI
+	case "lru":
+		cacheMode = live.CacheLRU
+	default:
+		fatal("bad -mode %q (want loi or lru)", *mode)
+	}
+
+	fmt.Printf("== cache sweep: %d rows, %d nodes, %d repeats, think %s, budgets %v, mode %s ==\n",
+		*rows, *nodes, *repeats, *think, cacheBytes, cacheMode)
+	res, err := experiments.CacheSweep(*rows, *nodes, *repeats, *think, cacheBytes, cacheMode, *seed)
+	if err != nil {
+		fatal("sweep: %v", err)
+	}
+	fmt.Print(res)
+
+	if err := gate(res); err != nil {
+		fatal("gate: %v", err)
+	}
+
+	snapshot := struct {
+		Date  string `json:"date"`
+		Short bool   `json:"short"`
+		Suite string `json:"suite"`
+		*experiments.CacheResult
+	}{
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		Short:       *short,
+		Suite:       "hot-set-cache-repeat-sweep",
+		CacheResult: res,
+	}
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+	fmt.Printf("== wrote %s ==\n", *out)
+}
+
+// gate enforces the cache invariants on the recorded runs: the repeat
+// workload must hit an enabled cache, a fully-hot repeated pin must be
+// at least 5× faster at the 99th percentile than pure circulation, and
+// with the set fully hot the cache must have stopped ring circulation
+// during the repeat phase (node-local reads, not faster ring waits).
+func gate(res *experiments.CacheResult) error {
+	var off *experiments.CacheRun
+	for i := range res.Runs {
+		if res.Runs[i].CacheBytes == 0 {
+			off = &res.Runs[i]
+		}
+	}
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		if run.CacheBytes == 0 {
+			continue
+		}
+		if run.Hits == 0 {
+			return fmt.Errorf("CacheBytes=%d: repeat workload never hit the cache", run.CacheBytes)
+		}
+		if off != nil && run.PinP99Micros*5 > off.PinP99Micros {
+			return fmt.Errorf("CacheBytes=%d: pin p99 %dµs vs cache-off %dµs — want ≥5× reduction",
+				run.CacheBytes, run.PinP99Micros, off.PinP99Micros)
+		}
+		if off != nil && off.RepeatHopBytes > 0 && run.RepeatHopBytes >= off.RepeatHopBytes {
+			return fmt.Errorf("CacheBytes=%d: repeat-phase ring traffic %dB did not drop below cache-off %dB",
+				run.CacheBytes, run.RepeatHopBytes, off.RepeatHopBytes)
+		}
+	}
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dccache: "+format+"\n", args...)
+	os.Exit(1)
+}

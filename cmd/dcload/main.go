@@ -97,12 +97,64 @@ func main() {
 			fmt.Printf("node %d: %s\n", i, srv.Stats(i))
 		}
 	}
+	reportCache(targets, ring, res.ok)
 	for _, e := range res.errors {
 		fmt.Fprintln(os.Stderr, "dcload:", e)
 	}
 	if res.failed > 0 || res.incorrect > 0 || res.ok == 0 {
 		os.Exit(1)
 	}
+}
+
+// reportCache prints the hot-set cache outcome of the run: how many
+// pins were node-local reads versus ring waits, and the time spent
+// blocked on circulation. A self-served ring is read directly;
+// external targets are asked over the wire (stats frame).
+func reportCache(targets []string, ring *dc.LiveRing, completed int64) {
+	var hits, misses, coalesced, ringWaits int64
+	var ringWait time.Duration
+	if ring != nil {
+		cs := ring.CacheStats()
+		hits, misses, coalesced = cs.Hits, cs.Misses, cs.Coalesced
+		ringWaits, ringWait = cs.RingWaits, time.Duration(cs.RingWaitNanos)
+	} else {
+		for _, addr := range targets {
+			cl, err := dcclient.Dial(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcload: cache stats: skipping %s: %v\n", addr, err)
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			st, err := cl.Stats(ctx)
+			cancel()
+			cl.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcload: cache stats: skipping %s: %v\n", addr, err)
+				continue
+			}
+			hits += st.CacheHits
+			misses += st.CacheMisses
+			coalesced += st.CacheCoalesced
+			ringWaits += st.RingWaits
+			ringWait += st.RingWait
+		}
+	}
+	total := hits + misses
+	if total == 0 && ringWaits == 0 {
+		return
+	}
+	rate := 0.0
+	if total > 0 {
+		rate = 100 * float64(hits) / float64(total)
+	}
+	fmt.Printf("\nhot-set cache: hits=%d misses=%d (hit rate %.1f%%) coalesced=%d\n",
+		hits, misses, rate, coalesced)
+	perQuery := time.Duration(0)
+	if completed > 0 {
+		perQuery = ringWait / time.Duration(completed)
+	}
+	fmt.Printf("ring wait: %d blocked pins, %s total (%s per completed query)\n",
+		ringWaits, ringWait, perQuery)
 }
 
 func startRing(nodes int, sf float64, seed int64, transport string, inflight, queue int) (*dc.LiveRing, *dc.QueryServer, error) {

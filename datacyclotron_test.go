@@ -43,6 +43,17 @@ func TestFacadeLiveRingSQL(t *testing.T) {
 	if rs.NumRows() != 2 || rs.Row(0)[0] != "b" {
 		t.Fatalf("rows = %v", rs.Rows())
 	}
+	// The hot-set cache surface: repeat queries hit, stats aggregate.
+	if _, err := ring.Node(1).ExecSQL("select name from t where id >= 2 order by name"); err != nil {
+		t.Fatal(err)
+	}
+	var cs LiveCacheStats = ring.CacheStats()
+	if cs.Hits == 0 {
+		t.Fatal("repeated query never hit the hot-set cache")
+	}
+	if mode := CacheMode(CacheLOI); mode.String() != "loi" || CacheMode(CacheLRU).String() != "lru" {
+		t.Fatal("cache mode names wrong")
+	}
 }
 
 func TestFacadeCompileAndRewrite(t *testing.T) {

@@ -260,3 +260,76 @@ func TestConcatKindMismatchPanics(t *testing.T) {
 	}()
 	Concat([]*BAT{MakeInts("a", []int64{1}), MakeStrs("b", []string{"x"})})
 }
+
+// TestConcatSingleZeroCopyAlias: a single-fragment Concat is a
+// zero-copy alias of the fragment — the returned BAT shares the
+// fragment's column storage outright (no payload copy, no index
+// indirection) and preserves every property.
+func TestConcatSingleZeroCopyAlias(t *testing.T) {
+	vals := []int64{3, 1, 4, 1, 5}
+	b := MakeInts("frag", vals)
+	got := Concat([]*BAT{b})
+	if got == b {
+		t.Fatal("Concat returned the fragment itself, not a view")
+	}
+	if got.Head() != b.Head() || got.Tail() != b.Tail() {
+		t.Fatal("single-fragment Concat did not alias the fragment's columns")
+	}
+	if &got.Tail().ints[0] != &b.Tail().ints[0] {
+		t.Fatal("tail payload was copied")
+	}
+	if !got.Head().Dense() || got.Head().Base() != b.Head().Base() {
+		t.Fatal("dense head property lost")
+	}
+	if got.Len() != b.Len() || got.Name != b.Name {
+		t.Fatal("shape or name lost")
+	}
+
+	sorted := MakeInts("s", []int64{1, 2, 2, 9})
+	sorted.Tail().sorted = true
+	if !Concat([]*BAT{sorted}).Tail().Sorted() {
+		t.Fatal("sorted flag lost through single-fragment Concat")
+	}
+}
+
+// TestConcatSingleAllocs pins the allocation contract: a
+// single-fragment Concat allocates exactly the one view struct —
+// nothing proportional to the data.
+func TestConcatSingleAllocs(t *testing.T) {
+	b := MakeInts("frag", make([]int64, 1<<16))
+	frags := []*BAT{b}
+	allocs := testing.AllocsPerRun(100, func() {
+		if Concat(frags).Len() != 1<<16 {
+			t.Fatal("bad concat")
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("single-fragment Concat allocates %.0f objects, want ≤1 (zero-copy view)", allocs)
+	}
+}
+
+// BenchmarkConcatSingle documents the zero-copy fast path next to the
+// materializing multi-fragment gather.
+func BenchmarkConcatSingle(b *testing.B) {
+	frag := MakeInts("frag", make([]int64, 1<<20))
+	frags := []*BAT{frag}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Concat(frags).Len() != 1<<20 {
+			b.Fatal("bad concat")
+		}
+	}
+}
+
+// BenchmarkConcatPair is the two-fragment baseline the single-fragment
+// alias path is measured against (one exact-size gather allocation).
+func BenchmarkConcatPair(b *testing.B) {
+	col := MakeInts("col", make([]int64, 1<<20))
+	frags := []*BAT{col.Slice(0, 1<<19), col.Slice(1<<19, 1<<20)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Concat(frags).Len() != 1<<20 {
+			b.Fatal("bad concat")
+		}
+	}
+}

@@ -118,6 +118,14 @@ type Config struct {
 	// ResendTimeout is the rotational-delay timeout that detects lost
 	// requests (§4.2.3). Zero disables resending.
 	ResendTimeout time.Duration
+	// LocalPinsSkipLoad keeps a purely local request at the owner from
+	// admitting the BAT into the storage ring: the owner serves its own
+	// pins from local storage either way, so circulation only benefits
+	// other nodes — and their ring requests still trigger the load.
+	// The live ring enables this together with its hot-set cache, so a
+	// fully-hot local workload causes zero circulation. Off by default
+	// (the paper's behavior, and what the simulator reproduces).
+	LocalPinsSkipLoad bool
 }
 
 // DefaultConfig mirrors the paper's experimental settings.
@@ -180,6 +188,7 @@ type Stats struct {
 	Deliveries        uint64
 	PendingPostponed  uint64 // load postponed because the ring was full
 	LOITSteps         uint64
+	CacheInterest     uint64 // pins served node-locally, folded into LOI
 }
 
 // Runtime is the Data Cyclotron layer of one node.
@@ -194,6 +203,13 @@ type Runtime struct {
 
 	cache       map[BATID]*cacheEntry
 	pendingFIFO []BATID // owned BATs awaiting ring admission, oldest first
+
+	// localHits accumulates pins served from a node-local hot-set cache
+	// since the BAT last flowed past this node. The LOI accounting of
+	// §4.4 counts copies per hop; a cache hit is the same interest
+	// without the delivery, so the pending count is folded into Copies
+	// the next time the BAT passes (or into the owner's LOI directly).
+	localHits map[BATID]int
 
 	loitLevel int
 	loadTimer func() // cancels the loadAll ticker (set by Start)
@@ -218,6 +234,7 @@ func New(id NodeID, env Env, cfg Config) *Runtime {
 		s2:        make(map[BATID]*request),
 		s3:        make(map[BATID]map[QueryID]bool),
 		cache:     make(map[BATID]*cacheEntry),
+		localHits: make(map[BATID]int),
 		loitLevel: cfg.StartLevel,
 	}
 }
@@ -334,7 +351,7 @@ func (rt *Runtime) tick(period time.Duration) (stop func()) {
 func (rt *Runtime) Request(q QueryID, b BATID) {
 	if o, owned := rt.s1[b]; owned {
 		// Owner: load into the hot set (or locally serve) if needed.
-		if !o.loaded {
+		if !o.loaded && !rt.cfg.LocalPinsSkipLoad {
 			rt.tryLoad(o)
 		}
 		// Local queries of the owner are served from local storage;
@@ -404,6 +421,25 @@ func (rt *Runtime) Unpin(q QueryID, b BATID) {
 			delete(rt.s3, b)
 		}
 	}
+}
+
+// NoteLocalHit records that a pin of b was served from a node-local
+// hot-set cache, bypassing ring delivery. The interest still counts:
+// it is folded into the BAT's copy count the next time b flows past,
+// so the owner's LOI reflects cached readers too and a hot fragment is
+// not evicted merely because every node already holds it locally.
+func (rt *Runtime) NoteLocalHit(b BATID) {
+	rt.localHits[b]++
+	rt.stats.CacheInterest++
+}
+
+// takeLocalHits drains the pending local-hit count for b.
+func (rt *Runtime) takeLocalHits(b BATID) int {
+	n := rt.localHits[b]
+	if n > 0 {
+		delete(rt.localHits, b)
+	}
+	return n
 }
 
 // CancelQuery removes all of q's bookkeeping (used when a query is
@@ -490,6 +526,7 @@ func (rt *Runtime) OnBAT(m BATMsg) {
 // batPropagation implements Fig. 4.
 func (rt *Runtime) batPropagation(m BATMsg) {
 	m.Hops++
+	m.Copies += rt.takeLocalHits(m.BAT)
 	if rq := rt.s2[m.BAT]; rq != nil {
 		rq.sent = true // the BAT's presence proves the request got through
 	}
@@ -518,6 +555,7 @@ func (rt *Runtime) hotSetManagement(m BATMsg) {
 		return
 	}
 	m.Cycles++
+	m.Copies += rt.takeLocalHits(m.BAT)
 	cavg := 0.0
 	if m.Hops > 0 {
 		cavg = float64(m.Copies) / float64(m.Hops)

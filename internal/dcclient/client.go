@@ -9,6 +9,7 @@ package dcclient
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -177,6 +178,90 @@ func (cl *Client) run(ctx context.Context, cn *conn, sql string) (rs *mal.Result
 		return nil, err, false
 	}
 	return nil, err, cn.cr.n == before
+}
+
+// Stats fetches the serving node's counters (queries, admission,
+// plan-cache, hot-set cache, ring wait). Stats reads bypass server
+// admission, so they work even when the node is saturated. Like Query,
+// a pooled connection that died before any response byte (server
+// restarted since last use) is retried exactly once on a fresh
+// connection; stats reads are idempotent by nature.
+func (cl *Client) Stats(ctx context.Context) (server.NodeStats, error) {
+	var st server.NodeStats
+	cn, err := cl.get(ctx)
+	if err != nil {
+		return st, err
+	}
+	wasReused := cn.reused
+	st, err, retryable := cl.runStats(ctx, cn)
+	if err == nil || !wasReused || !retryable {
+		return st, err
+	}
+	fresh, derr := cl.freshConn(ctx)
+	if derr != nil {
+		return st, err // the original failure stands
+	}
+	st, err, _ = cl.runStats(ctx, fresh)
+	return st, err
+}
+
+// runStats performs one stats round trip on cn, settling the connection
+// the same way run does for queries. retryable reports a transport
+// failure before any response byte and not through a deadline.
+func (cl *Client) runStats(ctx context.Context, cn *conn) (st server.NodeStats, err error, retryable bool) {
+	before := cn.cr.n
+	st, err = cn.statsTrip(ctx, cl.cfg.MaxFrame)
+	if err == nil {
+		cl.put(cn)
+		return st, nil, false
+	}
+	var re *server.RemoteError
+	if errors.As(err, &re) {
+		cl.put(cn) // the server answered; the connection is in protocol
+		return st, err, false
+	}
+	cn.c.Close()
+	if ctx.Err() != nil {
+		return st, ctx.Err(), false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if _, ok := ctx.Deadline(); ok {
+			return st, context.DeadlineExceeded, false
+		}
+		return st, err, false
+	}
+	return st, err, cn.cr.n == before
+}
+
+// statsTrip sends one FrameStats and reads its answer.
+func (cn *conn) statsTrip(ctx context.Context, maxFrame int) (server.NodeStats, error) {
+	var st server.NodeStats
+	if d, ok := ctx.Deadline(); ok {
+		cn.c.SetDeadline(d)
+	} else {
+		cn.c.SetDeadline(time.Time{})
+	}
+	if err := server.WriteFrame(cn.bw, server.FrameStats, nil); err != nil {
+		return st, err
+	}
+	if err := cn.bw.Flush(); err != nil {
+		return st, err
+	}
+	typ, payload, err := server.ReadFrame(cn.br, maxFrame)
+	if err != nil {
+		return st, err
+	}
+	switch typ {
+	case server.FrameStatsOK:
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return st, fmt.Errorf("dcclient: corrupt stats frame: %w", err)
+		}
+		return st, nil
+	case server.FrameError:
+		return st, server.DecodeError(payload)
+	}
+	return st, fmt.Errorf("dcclient: unexpected frame type %d", typ)
 }
 
 // freshConn always dials a new connection (never the pool), bounding

@@ -224,3 +224,42 @@ func TestMidQueryCancel(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestStatsFrame fetches the serving node's counters over the wire and
+// checks the query the same session just ran is visible in them,
+// including the hot-set cache accounting.
+func TestStatsFrame(t *testing.T) {
+	s := servedRing(t)
+	cl, err := Dial(s.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Query(ctx, "select val from t where id = 2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OK != 3 || st.Accepted != 3 {
+		t.Fatalf("stats did not count the queries: %+v", st)
+	}
+	if st.CacheHits+st.CacheMisses == 0 {
+		t.Fatal("stats carried no pin accounting")
+	}
+	if st.CacheHits == 0 {
+		t.Fatal("repeated query never hit the hot-set cache")
+	}
+	if rate := st.CacheHitRate(); rate <= 0 || rate > 1 {
+		t.Fatalf("hit rate %v out of range", rate)
+	}
+	// The connection survives a stats exchange and keeps querying.
+	if _, err := cl.Query(ctx, "select val from t where id = 2"); err != nil {
+		t.Fatalf("query after stats frame: %v", err)
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/live"
+)
+
+// TestCacheSweepSmoke runs a miniature repeat sweep end to end: the
+// enabled run must actually hit the cache, beat pure circulation on
+// pin latency, and cut the repeat-phase ring traffic.
+func TestCacheSweepSmoke(t *testing.T) {
+	res, err := CacheSweep(40_000, 3, 8, time.Millisecond, []int{0, 32 << 20}, live.CacheLOI, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	off, on := res.Runs[0], res.Runs[1]
+	if off.Hits != 0 || off.HitRate != 0 {
+		t.Fatalf("cache-off run hit a cache: %+v", off)
+	}
+	if on.Hits == 0 || on.HitRate <= 0 {
+		t.Fatalf("cache-on run never hit: %+v", on)
+	}
+	if on.PinP99Micros >= off.PinP99Micros {
+		t.Fatalf("cached pin p99 %dµs not below circulation %dµs", on.PinP99Micros, off.PinP99Micros)
+	}
+	if off.RingWaitMicros == 0 {
+		t.Fatal("cache-off run recorded no ring wait")
+	}
+	for _, run := range res.Runs {
+		if run.PinP50Micros < 0 || run.PinP99Micros < run.PinP50Micros {
+			t.Fatalf("bad pin quantiles: %+v", run)
+		}
+		if run.QueryP50Micros <= 0 || run.QueryP99Micros < run.QueryP50Micros {
+			t.Fatalf("bad query quantiles: %+v", run)
+		}
+	}
+	if res.String() == "" {
+		t.Fatal("empty report")
+	}
+}

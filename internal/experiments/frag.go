@@ -11,7 +11,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -58,6 +57,12 @@ func FragmentSweep(rows, nodes, queries int, fragRows []int, seed int64) (*FragR
 func fragRun(db *tpch.DB, nodes, queries, fragRows int) (FragRun, error) {
 	cfg := live.DefaultConfig()
 	cfg.FragmentRows = fragRows
+	// The sweep measures circulation granularity: disable the hot-set
+	// cache so every query's pins actually ride the ring (with it on,
+	// repeat queries skip circulation and the latency column would
+	// measure the cache instead — that trade-off has its own sweep,
+	// cmd/dccache).
+	cfg.CacheBytes = 0
 	ring, err := live.NewRing(nodes, db.ColumnMap(), db.Schema(), cfg)
 	if err != nil {
 		return FragRun{}, err
@@ -81,32 +86,19 @@ func fragRun(db *tpch.DB, nodes, queries, fragRows int) (FragRun, error) {
 	// largest message size has been observed; later sends only repeat
 	// known sizes. HopBytes is a snapshot of a still-rotating ring —
 	// give in-flight send goroutines a short settle so the total
-	// reflects the work the queries caused, then read both.
-	settle := time.Now().Add(100 * time.Millisecond)
-	last := ring.HopBytes()
-	for time.Now().Before(settle) {
-		time.Sleep(10 * time.Millisecond)
-		cur := ring.HopBytes()
-		if cur == last {
-			break
-		}
-		last = cur
-	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	q := func(p float64) int64 {
-		i := int(p * float64(len(lat)-1))
-		return lat[i].Microseconds()
-	}
+	// reflects the work the queries caused (settleHopBytes, shared with
+	// the cache sweep), then read both.
+	hopBytes := settleHopBytes(ring)
 	frags, _ := ring.Fragments("lineitem.l_shipdate")
 	return FragRun{
 		FragmentRows: fragRows,
 		Fragments:    len(frags),
 		RegionBytes:  ring.MaxMessage(),
 		MaxHopBytes:  ring.MaxHopBytes(),
-		HopBytes:     ring.HopBytes(),
+		HopBytes:     hopBytes,
 		Queries:      queries,
-		P50Micros:    q(0.50),
-		P99Micros:    q(0.99),
+		P50Micros:    quantileMicros(lat, 0.50),
+		P99Micros:    quantileMicros(lat, 0.99),
 	}, nil
 }
 

@@ -56,6 +56,7 @@ func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 	id := core.BATID(atomic.AddInt64(&nextDynamicID, 1))
 	r.cols[name] = &colFrags{ids: []core.BATID{id}}
 	r.names = append(r.names, name)
+	r.fragVer[id] = &atomic.Int64{}
 	r.idsMu.Unlock()
 
 	n.mu.Lock()
@@ -195,11 +196,31 @@ func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error
 			owner.versions = map[core.BATID]int{}
 		}
 		owner.versions[id]++
-		if v := owner.versions[id]; v > version {
-			version = v
+		newVer := owner.versions[id]
+		if newVer > version {
+			version = newVer
 		}
 		// Keep the catalog size honest for admission decisions.
 		owner.rt.AdoptOwned(id, newFrags[i].Bytes(), owner.rt.Loaded(id))
+		// Advance the catalog version while the owner's store and the
+		// column lock are still held: any pin that reads the catalog
+		// from here on can no longer validate an entry labelled with an
+		// older version (the catalog read is the pin's linearization
+		// point; a pin that read just before this store completes
+		// against the old version, which is ordinary MVCC). Dropping
+		// the superseded entries on every node is then pure memory
+		// hygiene.
+		r.idsMu.RLock()
+		vp := r.fragVer[id]
+		r.idsMu.RUnlock()
+		if vp != nil {
+			vp.Store(int64(newVer))
+		}
+		for _, node := range r.nodes {
+			if node.hot != nil {
+				node.hot.invalidateBelow(id, newVer)
+			}
+		}
 	}
 	for _, owner := range lockOrder {
 		owner.mu.Unlock()
@@ -208,7 +229,9 @@ func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error
 }
 
 // Version reports the current version of a column (the highest version
-// among its fragments; updates bump every fragment together).
+// among its fragments; updates bump every fragment together). It reads
+// the ring's version catalog — the same source the hot-set cache
+// validates against — so it never touches an owner lock.
 func (r *Ring) Version(name string) (int, error) {
 	ids, ok := r.Fragments(name)
 	if !ok {
@@ -216,15 +239,9 @@ func (r *Ring) Version(name string) (int, error) {
 	}
 	version := 0
 	for _, id := range ids {
-		owner := r.ownerOf(id)
-		if owner == nil {
-			return 0, fmt.Errorf("live: no owner for %q", name)
-		}
-		owner.mu.Lock()
-		if v := owner.versions[id]; v > version {
+		if v := r.fragVersion(id); v > version {
 			version = v
 		}
-		owner.mu.Unlock()
 	}
 	return version, nil
 }

@@ -15,9 +15,11 @@ package live
 // order the fragments arrived in.
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bat"
 	"repro/internal/core"
@@ -94,6 +96,20 @@ func (r *Ring) Fragments(name string) ([]core.BATID, bool) {
 	return append([]core.BATID(nil), cf.ids...), true
 }
 
+// fragVersion reports the catalog's current version of one fragment
+// (0 for base data and for ids the catalog does not know). Lock-free
+// beyond the catalog-map read: the pin fast path calls this on every
+// cache validation.
+func (r *Ring) fragVersion(id core.BATID) int {
+	r.idsMu.RLock()
+	p := r.fragVer[id]
+	r.idsMu.RUnlock()
+	if p == nil {
+		return 0
+	}
+	return int(p.Load())
+}
+
 // MaxMessage reports the ring's data message limit — what every RDMA
 // memory region is sized to. With fragmentation on, it is keyed to the
 // largest fragment rather than the largest column.
@@ -118,6 +134,141 @@ func (r *Ring) HopBytes() int64 {
 		total += atomic.LoadInt64(&n.hopBytes)
 	}
 	return total
+}
+
+// ---------------------------------------------------------------------
+// fragment acquisition: cache hit, coalesced wait, or ring circulation
+// ---------------------------------------------------------------------
+
+// errPinAborted marks a pin abandoned because a sibling fragment of the
+// same multi-fragment pin already failed; it never surfaces to callers.
+var errPinAborted = errors.New("live: pin aborted")
+
+// maxSnapshotRetries bounds how often a multi-fragment pin re-acquires
+// fragments whose versions straddled a concurrent UpdateColumn. Each
+// round needs a fresh update to land mid-collection, so the bound only
+// trips under pathological sustained update pressure.
+const maxSnapshotRetries = 64
+
+// acquireFrag resolves one fragment payload for pinning, in order of
+// preference:
+//
+//  1. hot-set cache hit, version-validated against the ring catalog at
+//     this instant: a node-local read — no waiter, no ring wait. The
+//     pin's interest is fed back into the LOI accounting (NoteLocalHit)
+//     and any outstanding ring interest of this query is withdrawn.
+//  2. an in-flight wait for the same (id, version) by another local pin:
+//     join it instead of registering a second waiter (singleflight).
+//  3. the ring: register a waiter, announce the pin to the runtime, and
+//     block until the fragment flows past (the pre-cache path; the only
+//     path when the cache is disabled).
+//
+// viaRing reports whether the acquisition holds runtime refs (a pin and
+// a refcounted payload) the caller must release after use; node-local
+// acquisitions hold none — the payloads are immutable and GC-owned.
+// abort (nil for single pins) abandons the wait with errPinAborted.
+func (d *queryDC) acquireFrag(id core.BATID, abort <-chan struct{}) (b *bat.BAT, ver int, viaRing bool, err error) {
+	n := d.n
+	if n.hot != nil {
+		// Fragments this node owns are served synchronously from the
+		// store: no cache entry exists for them (dataLoop skips own
+		// fragments), so consulting the cache would only count a miss
+		// that never involved the ring, and a flight would dedupe waits
+		// that do not wait.
+		n.mu.Lock()
+		owned := n.rt.Owns(id)
+		n.mu.Unlock()
+		if owned {
+			b, ver, err = d.ringPin(id, abort)
+			return b, ver, true, err
+		}
+	}
+	for {
+		if n.hot == nil {
+			b, ver, err = d.ringPin(id, abort)
+			return b, ver, true, err
+		}
+		cur := n.ring.fragVersion(id)
+		if b := n.hot.get(id, cur); b != nil {
+			n.mu.Lock()
+			n.rt.NoteLocalHit(id)
+			// Withdraw any ring interest this query still has in id: the
+			// pin is served locally, so nothing will ever mark the
+			// runtime's request delivered and its resend timer would
+			// re-request a fragment nobody is waiting for.
+			n.rt.CancelQuery(d.q, []core.BATID{id})
+			n.mu.Unlock()
+			return b, cur, false, nil
+		}
+		fl, leader := n.hot.joinFlight(id, cur)
+		if leader {
+			b, ver, err = d.ringPin(id, abort)
+			if err != nil {
+				n.hot.finishFlight(id, cur, fl, nil, 0)
+				return nil, 0, false, err
+			}
+			n.hot.finishFlight(id, cur, fl, b, ver)
+			return b, ver, true, nil
+		}
+		select {
+		case <-fl.done:
+		case <-d.cancel: // nil for uncancellable callers
+			return nil, 0, false, mal.ErrCancelled
+		case <-n.closed:
+			return nil, 0, false, errors.New("live: ring closed")
+		case <-abort: // nil outside multi-fragment pins
+			return nil, 0, false, errPinAborted
+		}
+		if fl.b != nil {
+			n.mu.Lock()
+			n.rt.CancelQuery(d.q, []core.BATID{id})
+			n.mu.Unlock()
+			return fl.b, fl.ver, false, nil
+		}
+		// The leader failed at the protocol layer; retry — the next
+		// round either hits the cache, joins a newer flight, or makes
+		// this pin the leader so the failure surfaces here too.
+	}
+}
+
+// ringPin is the circulation path: register a waiter, announce the pin,
+// and block until delivery. Only time actually spent blocked counts as
+// ring wait — a synchronous delivery (owner store, or a payload another
+// local pin already holds) involves no circulation and no wait.
+func (d *queryDC) ringPin(id core.BATID, abort <-chan struct{}) (*bat.BAT, int, error) {
+	n := d.n
+	ch := make(chan delivered, 1)
+	n.mu.Lock()
+	n.waiters[waitKey{d.q, id}] = ch
+	n.rt.Pin(d.q, id)
+	n.mu.Unlock()
+	select {
+	case dv := <-ch: // delivered synchronously: not a ring wait
+		if dv.b == nil {
+			return nil, 0, fmt.Errorf("live: BAT %d does not exist", id)
+		}
+		return dv.b, dv.ver, nil
+	default:
+	}
+	start := time.Now()
+	select {
+	case dv := <-ch:
+		atomic.AddInt64(&n.ringWaits, 1)
+		atomic.AddInt64(&n.ringWaitNanos, time.Since(start).Nanoseconds())
+		if dv.b == nil {
+			return nil, 0, fmt.Errorf("live: BAT %d does not exist", id)
+		}
+		return dv.b, dv.ver, nil
+	case <-d.cancel: // nil for uncancellable callers: blocks forever
+		d.abandonPin(id, ch)
+		return nil, 0, mal.ErrCancelled
+	case <-n.closed:
+		d.abandonPin(id, ch)
+		return nil, 0, errors.New("live: ring closed")
+	case <-abort: // nil outside multi-fragment pins
+		d.abandonPin(id, ch)
+		return nil, 0, errPinAborted
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -151,15 +302,35 @@ func (d *queryDC) PinMap(handle mal.Value, fn func(mal.Value) (mal.Value, error)
 	return nil, fmt.Errorf("live: bad pin handle %T", handle)
 }
 
-// pinParts registers a blocked pin per fragment and collects them as
-// deliveries land. One lightweight goroutine per fragment waits on its
-// delivery channel (arrival order is the ring's business, not ours);
-// the per-fragment work is throttled by a semaphore of FragWorkers
-// tokens. Each fragment is unpinned right after its work completes —
-// the merged result owns its own memory (or immutable views), so no pin
-// needs to outlive the merge. The first failure aborts the remaining
-// waits and unwinds their pins.
+// pinParts acquires every fragment (cache, coalesced, or ring — in
+// whatever order they become available), applies fn to each on a
+// bounded worker pool, and returns the results in fragment order.
+// With the hot-set cache enabled the collected set is additionally
+// reconciled to a single column version: a concurrent UpdateColumn can
+// land mid-collection, and a merged result must never mix old and new
+// fragment versions.
 func (d *queryDC) pinParts(ids []core.BATID, fn func(mal.Value) (mal.Value, error)) ([]mal.Value, error) {
+	results, vers, err := d.collectFrags(ids, fn)
+	if err != nil {
+		return nil, err
+	}
+	if d.n.hot != nil && len(ids) > 1 {
+		if err := d.reconcileVersions(ids, fn, results, vers); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// collectFrags runs the parallel acquire/apply/release pass of
+// pinParts. One lightweight goroutine per fragment blocks on its
+// acquisition (arrival order is the ring's business, not ours); the
+// per-fragment work is throttled by a semaphore of FragWorkers tokens,
+// and ring-held fragments are unpinned right after their work completes
+// — the merged result owns its own memory (or immutable views), so no
+// pin needs to outlive the merge. The first failure aborts the
+// remaining waits and unwinds their pins.
+func (d *queryDC) collectFrags(ids []core.BATID, fn func(mal.Value) (mal.Value, error)) ([]mal.Value, []int, error) {
 	n := d.n
 	workers := n.cfg.FragWorkers
 	if workers <= 0 {
@@ -169,17 +340,8 @@ func (d *queryDC) pinParts(ids []core.BATID, fn func(mal.Value) (mal.Value, erro
 		workers = 1
 	}
 
-	chans := make([]chan *bat.BAT, len(ids))
-	n.mu.Lock()
-	for i, id := range ids {
-		ch := make(chan *bat.BAT, 1)
-		chans[i] = ch
-		n.waiters[waitKey{d.q, id}] = ch
-		n.rt.Pin(d.q, id)
-	}
-	n.mu.Unlock()
-
 	results := make([]mal.Value, len(ids))
+	vers := make([]int, len(ids))
 	sem := make(chan struct{}, workers)
 	abort := make(chan struct{})
 	var abortOnce sync.Once
@@ -199,38 +361,29 @@ func (d *queryDC) pinParts(ids []core.BATID, fn func(mal.Value) (mal.Value, erro
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			id, ch := ids[i], chans[i]
-			var b *bat.BAT
-			select {
-			case b = <-ch:
-			case <-d.cancel: // nil for uncancellable callers
-				d.abandonPin(id, ch)
-				fail(mal.ErrCancelled)
-				return
-			case <-n.closed:
-				d.abandonPin(id, ch)
-				fail(fmt.Errorf("live: ring closed"))
-				return
-			case <-abort:
-				d.abandonPin(id, ch)
-				return
-			}
-			if b == nil {
-				fail(fmt.Errorf("live: BAT %d does not exist", id))
+			id := ids[i]
+			b, ver, viaRing, err := d.acquireFrag(id, abort)
+			if err != nil {
+				if !errors.Is(err, errPinAborted) {
+					fail(err)
+				}
 				return
 			}
 			sem <- struct{}{}
 			v, err := fn(b)
 			<-sem
-			n.mu.Lock()
-			n.rt.Unpin(d.q, id)
-			n.unrefCached(id)
-			n.mu.Unlock()
+			if viaRing {
+				n.mu.Lock()
+				n.rt.Unpin(d.q, id)
+				n.unrefCached(id)
+				n.mu.Unlock()
+			}
 			if err != nil {
 				fail(err)
 				return
 			}
 			results[i] = v
+			vers[i] = ver
 		}(i)
 	}
 	wg.Wait()
@@ -238,15 +391,68 @@ func (d *queryDC) pinParts(ids []core.BATID, fn func(mal.Value) (mal.Value, erro
 	err := firstErr
 	errMu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return results, nil
+	return results, vers, nil
+}
+
+// reconcileVersions enforces the single-version snapshot contract of a
+// multi-fragment pin: if the collected fragments straddle a concurrent
+// UpdateColumn (updates bump every fragment of a column together, so a
+// consistent collection has one version throughout), the fragments on
+// the older side are re-acquired and fn re-applied until the set
+// agrees. Readers that collected entirely before the update keep their
+// old version (MVCC: the update does not invalidate a snapshot already
+// taken, it only forbids mixing).
+func (d *queryDC) reconcileVersions(ids []core.BATID, fn func(mal.Value) (mal.Value, error), results []mal.Value, vers []int) error {
+	for attempt := 0; ; attempt++ {
+		target := vers[0]
+		for _, v := range vers[1:] {
+			if v > target {
+				target = v
+			}
+		}
+		consistent := true
+		for _, v := range vers {
+			if v != target {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			return nil
+		}
+		if attempt >= maxSnapshotRetries {
+			return fmt.Errorf("live: no consistent snapshot after %d retries (sustained concurrent updates)", attempt)
+		}
+		// Re-acquire the stale side in parallel through the same
+		// machinery as the first pass: each re-acquire can block a ring
+		// circulation, so serializing them would multiply tail latency
+		// by the number of straddled fragments.
+		var staleIdx []int
+		staleIds := make([]core.BATID, 0, len(ids))
+		for i, v := range vers {
+			if v != target {
+				staleIdx = append(staleIdx, i)
+				staleIds = append(staleIds, ids[i])
+			}
+		}
+		subResults, subVers, err := d.collectFrags(staleIds, fn)
+		if err != nil {
+			return err
+		}
+		for j, i := range staleIdx {
+			results[i] = subResults[j]
+			vers[i] = subVers[j]
+		}
+	}
 }
 
 // pinMerged pins every fragment of h (out of order) and concatenates
-// the payloads in fragment order. The fragments are unpinned during the
-// merge; the caller's later unpin of the merged value is a no-op,
-// tracked through d.merged.
+// the payloads in fragment order — a single-version snapshot of the
+// column when the hot-set cache is enabled. The fragments are unpinned
+// during the merge; the caller's later unpin of the merged value is a
+// no-op, tracked through d.merged.
 func (d *queryDC) pinMerged(h *fragHandle) (*bat.BAT, error) {
 	parts, err := d.pinParts(h.ids, func(v mal.Value) (mal.Value, error) { return v, nil })
 	if err != nil {

@@ -232,6 +232,11 @@ func TestFragmentedMaxHopBytes(t *testing.T) {
 	run := func(fragRows int) (int64, *mal.ResultSet) {
 		cfg := DefaultConfig()
 		cfg.FragmentRows = fragRows
+		// This test measures circulating message sizes: disable the
+		// hot-set cache so every pin drives circulation (with it on, a
+		// pin of locally owned or cached fragments moves no data at all
+		// and there may be nothing to measure).
+		cfg.CacheBytes = 0
 		r, err := NewRing(3, cols, schema, cfg)
 		if err != nil {
 			t.Fatal(err)

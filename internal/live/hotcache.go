@@ -1,0 +1,323 @@
+package live
+
+// The hot-set fragment cache: the dual of the paper's hot-set model.
+// The ring keeps interesting data flowing so queries meet it "in
+// flight"; this cache keeps what already flowed past, so a node that
+// saw a fragment moments ago does not wait a full ring revolution to
+// see it again. Every ring delivery (and local publish) populates a
+// bounded, bytes-budgeted per-node map of BATID → (version, payload);
+// the pin path consults it first, validating the entry's version
+// against the ring catalog — a hit is a zero-copy immutable view with
+// no waiter and no ring wait, a miss (or a stale version) falls
+// through to circulation and refreshes the cache on delivery.
+//
+// Correctness contract (the staleness proof):
+//
+//  1. every payload on the wire is labelled with the version its owner
+//     installed it under (envelope v2), read in the same critical
+//     section that guards the owner's store — a payload labelled v IS
+//     version v's bytes;
+//  2. a cache entry inherits the label of the delivery that populated
+//     it and is immutable afterwards;
+//  3. a hit is served only while the entry's label equals the ring
+//     catalog's current version for that fragment; the atomic catalog
+//     read is the pin's linearization point. UpdateColumn advances the
+//     catalog version inside its ordered column/owner critical section
+//     before it returns.
+//
+// So no pin whose catalog read happens after an update commits can be
+// served an entry labelled with an older version. A pin that read the
+// catalog just before the commit may still complete against the old
+// version — that is ordinary MVCC (the pin linearizes before the
+// update), not staleness. Eviction and explicit invalidation are
+// memory hygiene, not correctness requirements.
+//
+// Eviction is LOI-weighted (CacheLOI): every hit raises an entry's
+// interest score, every eviction scan decays all scores by half, and
+// the lowest-interest entry goes first — the cache's local rendition
+// of the ring's level-of-interest economy, so a fragment the node's
+// queries keep meeting stays resident while one-pass traffic ages out.
+// CacheLRU falls back to pure recency for comparison runs.
+
+import (
+	"sync"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// CacheMode selects the hot-set cache eviction policy.
+type CacheMode int
+
+const (
+	// CacheLOI evicts by level of interest: hits raise an entry's
+	// score, eviction scans decay all scores, lowest goes first.
+	CacheLOI CacheMode = iota
+	// CacheLRU evicts by pure recency (comparison baseline).
+	CacheLRU
+)
+
+func (m CacheMode) String() string {
+	if m == CacheLRU {
+		return "lru"
+	}
+	return "loi"
+}
+
+// CacheStats snapshots one node's hot-set cache counters. RingWaits /
+// RingWaitNanos count pins that blocked on ring circulation (and for
+// how long, cumulatively) — the latency term cache hits eliminate;
+// they are counted whether or not the cache is enabled, so off-vs-on
+// runs compare directly.
+type CacheStats struct {
+	Hits      int64 // pins served node-locally, no ring wait
+	Misses    int64 // pins that had to wait for circulation
+	Stale     int64 // superseded entries dropped (pin-time mismatch or update sweep)
+	Inserts   int64 // deliveries admitted into the cache
+	Evictions int64 // entries evicted by the bytes budget
+	Coalesced int64 // pins that joined another pin's in-flight wait
+
+	Bytes   int64 // resident payload bytes
+	Entries int64 // resident fragments
+
+	RingWaits     int64 // pins that blocked on the ring
+	RingWaitNanos int64 // total time those pins spent blocked
+}
+
+// HitRate reports the fraction of pins served from the cache.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// hotEntry is one resident fragment version.
+type hotEntry struct {
+	b     *bat.BAT
+	ver   int
+	bytes int64
+	loi   float64 // interest score (CacheLOI); hits raise, scans decay
+	seq   int64   // recency stamp (CacheLRU and tie-break)
+}
+
+// flight is one in-flight ring wait for an (id, version) pair, shared
+// by every concurrent pin of that fragment: the first miss becomes the
+// leader and runs the real waiter/request machinery; followers block
+// on done and read b/ver. A failed leader leaves b nil and followers
+// retry (one of them becomes the next leader).
+type flight struct {
+	done chan struct{}
+	b    *bat.BAT
+	ver  int
+}
+
+type flightKey struct {
+	id  core.BATID
+	ver int
+}
+
+// hotCache is one node's hot-set fragment cache.
+type hotCache struct {
+	mu      sync.Mutex
+	mode    CacheMode
+	budget  int64
+	bytes   int64
+	seq     int64
+	entries map[core.BATID]*hotEntry
+	flights map[flightKey]*flight
+
+	hits      metrics.Counter
+	misses    metrics.Counter
+	stale     metrics.Counter
+	inserts   metrics.Counter
+	evictions metrics.Counter
+	coalesced metrics.Counter
+}
+
+func newHotCache(budget int, mode CacheMode) *hotCache {
+	return &hotCache{
+		mode:    mode,
+		budget:  int64(budget),
+		entries: map[core.BATID]*hotEntry{},
+		flights: map[flightKey]*flight{},
+	}
+}
+
+// get returns the cached payload for id if it is resident at exactly
+// version wantVer, bumping its interest. An entry at any other version
+// is dead by the validation contract and is dropped on sight.
+func (h *hotCache) get(id core.BATID, wantVer int) *bat.BAT {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.entries[id]
+	if !ok {
+		h.misses.Inc()
+		return nil
+	}
+	if e.ver != wantVer {
+		h.dropLocked(id, e)
+		h.stale.Inc()
+		h.misses.Inc()
+		return nil
+	}
+	e.loi++
+	h.seq++
+	e.seq = h.seq
+	h.hits.Inc()
+	return e.b
+}
+
+// peek reports whether id is resident at wantVer without counting a
+// hit or a miss (the request-path probe that decides whether to skip
+// the ring request altogether).
+func (h *hotCache) peek(id core.BATID, wantVer int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.entries[id]
+	return ok && e.ver == wantVer
+}
+
+// put admits a delivered payload at the given version. The payload is
+// capped to its own length so a later Append by some caller can never
+// grow into it, and the budget is enforced by LOI-weighted eviction.
+// A payload bigger than the whole budget is not admitted.
+func (h *hotCache) put(id core.BATID, ver int, b *bat.BAT) {
+	size := int64(b.Bytes())
+	if size > h.budget {
+		return
+	}
+	view := b.Slice(0, b.Len())
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if old, ok := h.entries[id]; ok {
+		if old.ver >= ver {
+			// Same version: the resident entry already holds these bytes
+			// and its accumulated interest — re-inserting would reset the
+			// LOI score a circulating fragment keeps earning. Newer
+			// version resident: an older delivery never downgrades it.
+			return
+		}
+		h.dropLocked(id, old)
+	}
+	h.seq++
+	h.entries[id] = &hotEntry{b: view, ver: ver, bytes: size, loi: 1, seq: h.seq}
+	h.bytes += size
+	h.inserts.Inc()
+	for h.bytes > h.budget {
+		h.evictLocked(id)
+	}
+}
+
+// evictLocked removes the least interesting entry other than keep, and
+// (in CacheLOI mode) decays every score so interest is recency-biased:
+// a once-hot fragment the queries stopped meeting ages out.
+func (h *hotCache) evictLocked(keep core.BATID) {
+	var victimID core.BATID
+	var victim *hotEntry
+	for id, e := range h.entries {
+		if id == keep {
+			continue
+		}
+		if victim == nil || h.lessLocked(e, victim) {
+			victimID, victim = id, e
+		}
+	}
+	if victim == nil {
+		return // only keep is resident; budget honoured by put's size gate
+	}
+	h.dropLocked(victimID, victim)
+	h.evictions.Inc()
+	if h.mode == CacheLOI {
+		for _, e := range h.entries {
+			e.loi /= 2
+		}
+	}
+}
+
+// lessLocked orders eviction candidates: true means a is evicted
+// before b.
+func (h *hotCache) lessLocked(a, b *hotEntry) bool {
+	if h.mode == CacheLRU || a.loi == b.loi {
+		return a.seq < b.seq
+	}
+	return a.loi < b.loi
+}
+
+func (h *hotCache) dropLocked(id core.BATID, e *hotEntry) {
+	delete(h.entries, id)
+	h.bytes -= e.bytes
+}
+
+// drop removes id outright (owner unload: the fragment left the ring's
+// hot set; the entry would still validate, but the owner serves its
+// own pins from the store, so resident bytes are better spent).
+func (h *hotCache) drop(id core.BATID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.entries[id]; ok {
+		h.dropLocked(id, e)
+	}
+}
+
+// invalidateBelow removes id if its resident version predates ver:
+// UpdateColumn's hygiene pass, run under the ordered column/owner
+// locks after the catalog version advanced. Version validation already
+// guarantees such an entry can never be served; dropping it here frees
+// the bytes immediately instead of on the next pin.
+func (h *hotCache) invalidateBelow(id core.BATID, ver int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.entries[id]; ok && e.ver < ver {
+		h.dropLocked(id, e)
+		h.stale.Inc()
+	}
+}
+
+// joinFlight dedupes concurrent ring waits for (id, ver): the first
+// caller becomes the leader (second result true) and must settle the
+// flight with finishFlight; later callers get the existing flight to
+// block on.
+func (h *hotCache) joinFlight(id core.BATID, ver int) (*flight, bool) {
+	key := flightKey{id, ver}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if fl, ok := h.flights[key]; ok {
+		h.coalesced.Inc()
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	h.flights[key] = fl
+	return fl, true
+}
+
+// finishFlight publishes the leader's outcome (b nil on failure) and
+// wakes every follower. The flight is removed first, so a pin that
+// misses after this point starts a fresh wait instead of reading a
+// settled one.
+func (h *hotCache) finishFlight(id core.BATID, ver int, fl *flight, b *bat.BAT, gotVer int) {
+	h.mu.Lock()
+	delete(h.flights, flightKey{id, ver})
+	h.mu.Unlock()
+	fl.b, fl.ver = b, gotVer
+	close(fl.done)
+}
+
+// stats snapshots the cache counters.
+func (h *hotCache) stats() CacheStats {
+	h.mu.Lock()
+	bytes, entries := h.bytes, int64(len(h.entries))
+	h.mu.Unlock()
+	return CacheStats{
+		Hits:      h.hits.Get(),
+		Misses:    h.misses.Get(),
+		Stale:     h.stale.Get(),
+		Inserts:   h.inserts.Get(),
+		Evictions: h.evictions.Get(),
+		Coalesced: h.coalesced.Get(),
+		Bytes:     bytes,
+		Entries:   entries,
+	}
+}

@@ -1,0 +1,537 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/minisql"
+)
+
+// TestCacheHitServesRepeatPin: the tentpole behavior — a fragment that
+// already flowed past is served node-locally on the next pin, with the
+// exact same bytes the ring would have delivered.
+func TestCacheHitServesRepeatPin(t *testing.T) {
+	r := newTestRing(t, 3)
+	defer r.Close()
+	reader := r.Node(1)
+
+	first, err := reader.Fetch("c.t_id") // owned by node 0: crosses the ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := reader.CacheStats()
+	if warm.Inserts == 0 {
+		t.Fatal("ring delivery did not populate the hot-set cache")
+	}
+	second, err := reader.Fetch("c.t_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := reader.CacheStats()
+	if after.Hits <= warm.Hits {
+		t.Fatalf("repeat pin did not hit the cache: hits %d -> %d", warm.Hits, after.Hits)
+	}
+	if !bytes.Equal(bat.AppendMarshal(nil, first), bat.AppendMarshal(nil, second)) {
+		t.Fatal("cached pin returned different bytes than the ring delivery")
+	}
+}
+
+// TestCacheDisabledMatchesCirculation: CacheBytes=0 keeps the
+// pure-circulation path and produces byte-identical results; no cache
+// counter ever moves.
+func TestCacheDisabledMatchesCirculation(t *testing.T) {
+	cols, schema := testColumns()
+	off := DefaultConfig()
+	off.CacheBytes = 0
+	rOff, err := NewRing(3, cols, schema, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rOff.Close()
+	rOn, err := NewRing(3, cols, schema, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rOn.Close()
+
+	q := "select t.name, c.val from t, c where c.t_id = t.id and c.val > 150 order by c.val"
+	for i := 0; i < 3; i++ {
+		a, err := rOff.Node(2).ExecSQL(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rOn.Node(2).ExecSQL(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resultBytes(t, a), resultBytes(t, b)) {
+			t.Fatal("cache-on result differs from cache-off")
+		}
+	}
+	cs := rOff.CacheStats()
+	if cs.Hits != 0 || cs.Misses != 0 || cs.Inserts != 0 || cs.Coalesced != 0 {
+		t.Fatalf("disabled cache counted activity: %+v", cs)
+	}
+	if on := rOn.CacheStats(); on.Hits == 0 {
+		t.Fatal("enabled cache never hit on a repeated query")
+	}
+}
+
+// TestCacheStaleNeverServed is the staleness property at its sharpest:
+// the instant UpdateColumn returns, the catalog version has advanced,
+// so the cached entry for the old version can no longer validate — a
+// cache hit at any later pin time can never return the old payload.
+func TestCacheStaleNeverServed(t *testing.T) {
+	r := newTestRing(t, 3)
+	defer r.Close()
+	reader := r.Node(1)
+
+	old, err := reader.Fetch("c.t_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := r.Fragments("c.t_id")
+	id := ids[0]
+	if got := r.fragVersion(id); got != 0 {
+		t.Fatalf("base version = %d", got)
+	}
+	if reader.hot.get(id, 0) == nil {
+		t.Fatal("warm fetch did not leave the fragment resident")
+	}
+
+	newVals := []int64{7, 7, 7, 7}
+	if _, err := r.UpdateColumn("c.t_id", func(*bat.BAT) *bat.BAT {
+		return bat.MakeInts("c.t_id", newVals)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The catalog version advanced inside UpdateColumn's critical
+	// section: validation against it can never accept the old entry.
+	cur := r.fragVersion(id)
+	if cur != 1 {
+		t.Fatalf("catalog version = %d after update", cur)
+	}
+	if b := reader.hot.get(id, cur); b != nil {
+		t.Fatal("cache served an entry for a version it never stored")
+	}
+	// And the new version becomes pinnable (the owner re-sends its
+	// store on the next pass), after which repeat pins are cache hits
+	// of the NEW version.
+	deadline := time.Now().Add(5 * time.Second)
+	var got *bat.BAT
+	for time.Now().Before(deadline) {
+		got, err = reader.Fetch("c.t_id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tail().Int(0) == 7 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got.Tail().Int(0) != 7 {
+		t.Fatalf("new version never visible (still %d)", got.Tail().Int(0))
+	}
+	if old.Tail().Int(0) != 2 {
+		t.Fatal("reader's old snapshot was mutated by the update")
+	}
+	pre := reader.CacheStats()
+	again, err := reader.Fetch("c.t_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Tail().Int(0) != 7 {
+		t.Fatal("repeat pin after update returned stale data")
+	}
+	if post := reader.CacheStats(); post.Hits <= pre.Hits {
+		t.Fatal("repeat pin of the new version did not come from the cache")
+	}
+}
+
+// TestSnapshotConsistencyUnderUpdates is the merge property test:
+// concurrent UpdateColumn calls race against readers pinning a
+// fragmented column, and every merged result must be a single-version
+// snapshot — all values equal — never a mix of old and new fragments.
+// The column is built so any cross-version mix is instantly visible:
+// at version v every row holds v.
+func TestSnapshotConsistencyUnderUpdates(t *testing.T) {
+	const rows = 4096
+	vals := make([]int64, rows) // version 0: all zeros
+	cols := map[string]*bat.BAT{"p.val": bat.MakeInts("p.val", vals)}
+	schema := fragSchema()
+	cfg := DefaultConfig()
+	cfg.FragmentRows = 512 // 8 fragments over 3 nodes
+	r, err := NewRing(3, cols, schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if ids, _ := r.Fragments("p.val"); len(ids) != 8 {
+		t.Fatalf("fragments = %d, want 8", len(ids))
+	}
+
+	stop := make(chan struct{})
+	var updates int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, err := r.UpdateColumn("p.val", func(cur *bat.BAT) *bat.BAT {
+				next := cur.Tail().Int(0) + 1
+				nv := make([]int64, rows)
+				for i := range nv {
+					nv[i] = next
+				}
+				return bat.MakeInts("p.val", nv)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			atomic.AddInt64(&updates, 1)
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	readErr := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := r.Node(1 + w%2)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var versionSeen int64
+				if i%2 == 0 {
+					b, err := node.Fetch("p.val")
+					if err != nil {
+						readErr <- err
+						return
+					}
+					if b.Len() != rows {
+						readErr <- fmt.Errorf("merged pin has %d rows, want %d", b.Len(), rows)
+						return
+					}
+					versionSeen = b.Tail().Int(0)
+					for j := 1; j < rows; j++ {
+						if b.Tail().Int(j) != versionSeen {
+							readErr <- fmt.Errorf("mixed-version merge: row 0 = %d, row %d = %d",
+								versionSeen, j, b.Tail().Int(j))
+							return
+						}
+					}
+				} else {
+					rs, err := node.ExecSQL("select sum(val), count(*) from p")
+					if err != nil {
+						readErr <- err
+						return
+					}
+					sum, count := rs.Row(0)[0].(int64), rs.Row(0)[1].(int64)
+					if count != rows {
+						readErr <- fmt.Errorf("count = %d, want %d", count, rows)
+						return
+					}
+					if sum%rows != 0 {
+						readErr <- fmt.Errorf("mixed-version aggregate: sum %d is not a multiple of %d", sum, rows)
+						return
+					}
+					versionSeen = sum / rows
+				}
+				if versionSeen < 0 {
+					readErr <- fmt.Errorf("negative version %d", versionSeen)
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(1200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+	if atomic.LoadInt64(&updates) < 2 {
+		t.Fatalf("only %d updates landed; the race was never exercised", updates)
+	}
+}
+
+func fragSchema() minisql.Schema {
+	return minisql.MapSchema{"p": {"val"}}
+}
+
+// TestCoalescedConcurrentPins: concurrent cold pins of the same
+// fragment share one in-flight ring wait instead of each registering a
+// waiter (singleflight), and all of them get the right payload.
+func TestCoalescedConcurrentPins(t *testing.T) {
+	cols, schema := testColumns()
+	r, err := NewRing(3, cols, schema, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	reader := r.Node(1) // c.t_id is owned by node 0: the pin is cold and crosses the ring
+
+	const readers = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := reader.Fetch("c.t_id")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if b.Len() != 4 || b.Tail().Int(0) != 2 {
+				errs <- fmt.Errorf("bad payload: %s", b.Dump(5))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cs := reader.CacheStats()
+	if cs.Coalesced == 0 && cs.Hits == 0 {
+		t.Fatal("24 concurrent cold pins neither coalesced nor hit the cache")
+	}
+	// No waiter bookkeeping may survive the queries.
+	reader.mu.Lock()
+	leftoverWaiters, leftoverCached := len(reader.waiters), len(reader.cached)
+	reader.mu.Unlock()
+	if leftoverWaiters != 0 || leftoverCached != 0 {
+		t.Fatalf("leftover waiters=%d cached=%d after coalesced pins", leftoverWaiters, leftoverCached)
+	}
+}
+
+// TestHopAndCacheCountersUnderRace hammers the instrumentation readers
+// (HopBytes, MaxHopBytes, CacheStats, WireCacheStats) while queries
+// drive concurrent sends — the race detector verifies every counter is
+// read and written atomically.
+func TestHopAndCacheCountersUnderRace(t *testing.T) {
+	r := newTestRing(t, 3)
+	defer r.Close()
+
+	done := make(chan struct{})
+	var poller sync.WaitGroup
+	poller.Add(1)
+	go func() {
+		defer poller.Done()
+		var sink int64
+		for {
+			select {
+			case <-done:
+				_ = sink
+				return
+			default:
+			}
+			sink += r.HopBytes() + r.MaxHopBytes()
+			cs := r.CacheStats()
+			sink += cs.Hits + cs.RingWaitNanos
+			for i := 0; i < r.Size(); i++ {
+				h, m := r.Node(i).WireCacheStats()
+				sink += h + m
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < r.Size(); i++ {
+		for k := 0; k < 4; k++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				if _, err := r.Node(node).ExecSQL("select c.t_id from t, c where c.t_id = t.id"); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(done)
+	poller.Wait()
+}
+
+// ---------------------------------------------------------------------
+// hotCache unit tests
+// ---------------------------------------------------------------------
+
+func intsOfBytes(n int) *bat.BAT { return bat.MakeInts("x", make([]int64, n/8)) }
+
+// TestHotCacheLOIEviction: under byte pressure the lowest-interest
+// entry goes first, and interest decays so a once-hot fragment ages
+// out.
+func TestHotCacheLOIEviction(t *testing.T) {
+	one := intsOfBytes(1024).Bytes()
+	h := newHotCache(2*one+one/2, CacheLOI)
+	h.put(1, 0, intsOfBytes(1024))
+	h.put(2, 0, intsOfBytes(1024))
+	for i := 0; i < 8; i++ {
+		if h.get(1, 0) == nil {
+			t.Fatal("resident entry missed")
+		}
+	}
+	h.put(3, 0, intsOfBytes(1024)) // over budget: entry 2 (loi 1) must go, not entry 1 (loi 9)
+	if h.get(1, 0) == nil {
+		t.Fatal("high-interest entry was evicted")
+	}
+	if h.get(2, 0) != nil {
+		t.Fatal("low-interest entry survived over budget")
+	}
+	st := h.stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("evictions=%d entries=%d, want 1/2", st.Evictions, st.Entries)
+	}
+}
+
+// TestHotCacheLRUEviction: CacheLRU ignores interest and evicts the
+// least recently touched entry.
+func TestHotCacheLRUEviction(t *testing.T) {
+	one := intsOfBytes(1024).Bytes()
+	h := newHotCache(2*one+one/2, CacheLRU)
+	h.put(1, 0, intsOfBytes(1024))
+	h.put(2, 0, intsOfBytes(1024))
+	for i := 0; i < 8; i++ {
+		h.get(1, 0) // interest, but older recency after the next touch
+	}
+	h.get(2, 0)
+	h.put(3, 0, intsOfBytes(1024))
+	if h.get(2, 0) == nil {
+		t.Fatal("most recently used entry was evicted")
+	}
+	if h.get(1, 0) != nil {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+// TestHotCacheVersioning: stale versions are dropped on sight, newer
+// deliveries replace older ones, and an older delivery never replaces
+// a newer resident version (late ring arrivals after an update).
+func TestHotCacheVersioning(t *testing.T) {
+	h := newHotCache(1<<20, CacheLOI)
+	h.put(1, 0, intsOfBytes(256))
+	if h.get(1, 1) != nil {
+		t.Fatal("served a version that was never stored")
+	}
+	if st := h.stats(); st.Stale != 1 {
+		t.Fatalf("stale = %d, want 1", st.Stale)
+	}
+	h.put(1, 2, intsOfBytes(256))
+	h.put(1, 1, intsOfBytes(256)) // late old delivery must not downgrade
+	if h.get(1, 2) == nil {
+		t.Fatal("newer version displaced by an older delivery")
+	}
+	h.invalidateBelow(1, 3)
+	if h.get(1, 2) != nil {
+		t.Fatal("invalidated entry still served")
+	}
+}
+
+// TestHotCacheBudgetGate: a payload larger than the whole budget is
+// not admitted, and cannot evict the entire cache to make room.
+func TestHotCacheBudgetGate(t *testing.T) {
+	h := newHotCache(1024, CacheLOI)
+	h.put(1, 0, intsOfBytes(512))
+	h.put(2, 0, intsOfBytes(64<<10))
+	if h.get(2, 0) != nil {
+		t.Fatal("over-budget payload admitted")
+	}
+	if h.get(1, 0) == nil {
+		t.Fatal("resident entry evicted by an inadmissible payload")
+	}
+}
+
+// TestFlightLifecycle: the first joiner leads, later joiners follow,
+// and finishing wakes the followers with the leader's outcome; a new
+// join after the finish starts a fresh flight.
+func TestFlightLifecycle(t *testing.T) {
+	h := newHotCache(1<<20, CacheLOI)
+	fl, leader := h.joinFlight(9, 0)
+	if !leader {
+		t.Fatal("first joiner did not lead")
+	}
+	fl2, leader2 := h.joinFlight(9, 0)
+	if leader2 || fl2 != fl {
+		t.Fatal("second joiner did not follow the first")
+	}
+	if _, leaderOther := h.joinFlight(9, 1); !leaderOther {
+		t.Fatal("a different version joined the wrong flight")
+	}
+	payload := intsOfBytes(64)
+	h.finishFlight(9, 0, fl, payload, 0)
+	select {
+	case <-fl.done:
+	default:
+		t.Fatal("finish did not wake followers")
+	}
+	if fl.b != payload {
+		t.Fatal("follower read the wrong payload")
+	}
+	if _, leader3 := h.joinFlight(9, 0); !leader3 {
+		t.Fatal("post-finish join did not start a fresh flight")
+	}
+	if st := h.stats(); st.Coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1", st.Coalesced)
+	}
+}
+
+// TestLocalHitsFeedLOI: pins served node-locally still count as
+// interest — the pending hits fold into the copy count the next time
+// the fragment flows past, so the owner's LOI sees cached readers.
+func TestLocalHitsFeedLOI(t *testing.T) {
+	env := &countEnv{}
+	rt := core.New(1, env, core.DefaultConfig())
+	rt.NoteLocalHit(7)
+	rt.NoteLocalHit(7)
+	rt.OnBAT(core.BATMsg{Owner: 0, BAT: 7, Size: 10})
+	if env.lastSent.Copies != 2 {
+		t.Fatalf("forwarded Copies = %d, want 2 (local hits folded in)", env.lastSent.Copies)
+	}
+	if rt.Stats().CacheInterest != 2 {
+		t.Fatalf("CacheInterest = %d, want 2", rt.Stats().CacheInterest)
+	}
+	// Drained: the next pass carries only its own copies.
+	rt.OnBAT(core.BATMsg{Owner: 0, BAT: 7, Size: 10})
+	if env.lastSent.Copies != 0 {
+		t.Fatalf("second pass Copies = %d, want 0", env.lastSent.Copies)
+	}
+}
+
+// countEnv is a minimal core.Env recording the last data send.
+type countEnv struct{ lastSent core.BATMsg }
+
+func (e *countEnv) Now() time.Duration                              { return 0 }
+func (e *countEnv) SendData(m core.BATMsg)                          { e.lastSent = m }
+func (e *countEnv) SendRequest(core.RequestMsg) bool                { return true }
+func (e *countEnv) QueueLoad() (int, int)                           { return 0, 1 << 30 }
+func (e *countEnv) After(time.Duration, func()) core.TimerHandle    { return nopTimer{} }
+func (e *countEnv) Deliver(core.QueryID, core.BATID)                {}
+func (e *countEnv) QueryError(core.QueryID, core.BATID, string)     {}
+func (e *countEnv) OnLoad(core.BATID, int)                          {}
+func (e *countEnv) OnUnload(core.BATID, int)                        {}
+
+type nopTimer struct{}
+
+func (nopTimer) Cancel() {}

@@ -57,6 +57,14 @@ type Config struct {
 	// FragWorkers bounds how many fragments of one pin a query
 	// processes concurrently as they arrive (defaults to Workers).
 	FragWorkers int
+	// CacheBytes budgets the per-node hot-set fragment cache: ring
+	// deliveries are kept resident so a repeat pin of an unchanged
+	// fragment is a version-validated node-local read instead of a ring
+	// wait (see hotcache.go). 0 disables the cache entirely, restoring
+	// the pure-circulation behavior (every pin waits for the ring).
+	CacheBytes int
+	// CacheMode selects the cache eviction policy (default CacheLOI).
+	CacheMode CacheMode
 	// placeFragment overrides the round-robin fragment placement
 	// (test hook: shuffled placements exercise adverse arrival orders).
 	placeFragment func(frag, nodes int) int
@@ -69,6 +77,7 @@ func DefaultConfig() Config {
 		QueueCap:     256 << 20,
 		Workers:      4,
 		FragmentRows: 64 << 10,
+		CacheBytes:   64 << 20,
 	}
 	// Live rings are small; short timers keep latencies low.
 	cfg.Core.LoadAllPeriod = 20 * time.Millisecond
@@ -87,6 +96,12 @@ type Ring struct {
 	idsMu sync.RWMutex
 	cols  map[string]*colFrags
 	names []string
+	// fragVer is the catalog's current version per fragment id (base
+	// data is 0). The map is extended under idsMu (Publish); the values
+	// are atomics so the pin fast path validates a cache entry without
+	// touching any owner lock. UpdateColumn advances them inside its
+	// ordered column/owner critical section.
+	fragVer map[core.BATID]*atomic.Int64
 	// updMu serializes whole-column updates (a column's fragments may
 	// live at several owners, so the §6.4 update lock is column-level).
 	updMuMu sync.Mutex
@@ -105,12 +120,19 @@ type Node struct {
 
 	// store holds the payloads of owned BATs ("local disk").
 	store map[core.BATID]*bat.BAT
-	// transit holds payloads of BATs currently flowing through.
-	transit map[core.BATID]*bat.BAT
+	// transit holds payloads of BATs currently flowing through, and
+	// transitVer the fragment version each arrived labelled with.
+	transit    map[core.BATID]*bat.BAT
+	transitVer map[core.BATID]int
 	// cached holds payloads pinned by local queries (refcounted).
 	cached map[core.BATID]*cachedBAT
 
-	waiters map[waitKey]chan *bat.BAT
+	// hot is the node's hot-set fragment cache (nil when
+	// Config.CacheBytes is 0: every new code path gates on it, so a
+	// disabled cache leaves the pure-circulation behavior untouched).
+	hot *hotCache
+
+	waiters map[waitKey]chan delivered
 	errs    map[core.QueryID]chan error
 
 	dataOut *rdma.Messenger // to successor (clockwise)
@@ -134,6 +156,13 @@ type Node struct {
 	// these to plot hop cost against fragment size.
 	hopBytes    int64
 	maxHopBytes int64
+
+	// Ring-wait accounting (atomic): how many pins blocked on ring
+	// circulation and the total time they spent blocked — the latency
+	// term the hot-set cache eliminates. Counted whether or not the
+	// cache is enabled, so off-vs-on runs compare directly.
+	ringWaits     int64
+	ringWaitNanos int64
 
 	// wireCache holds the marshalled bytes of each fragment version so
 	// forwarding an unchanged fragment does not pay bat.Marshal again.
@@ -197,7 +226,16 @@ func (n *Node) dropWireEntry(id core.BATID) {
 
 type cachedBAT struct {
 	b    *bat.BAT
+	ver  int
 	refs int
+}
+
+// delivered is what a waiter channel carries: the payload and the
+// fragment version it arrived labelled with (what the hot-set cache
+// and the snapshot merge validate against). A nil b fails the pin.
+type delivered struct {
+	b   *bat.BAT
+	ver int
 }
 
 // unrefCached drops one reference on a cached payload, evicting the
@@ -225,7 +263,20 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 	if n < 2 {
 		return nil, fmt.Errorf("live: ring needs at least 2 nodes")
 	}
-	r := &Ring{cfg: cfg, cols: map[string]*colFrags{}, updMu: map[string]*sync.Mutex{}}
+	if cfg.CacheBytes > 0 {
+		// With the hot-set cache on, a local pin at the owner is served
+		// from the store and everyone else is served from their caches:
+		// ring admission should be driven by actual remote interest
+		// (ring requests), not by local pins — a fully-hot workload then
+		// causes zero circulation.
+		cfg.Core.LocalPinsSkipLoad = true
+	}
+	r := &Ring{
+		cfg:     cfg,
+		cols:    map[string]*colFrags{},
+		updMu:   map[string]*sync.Mutex{},
+		fragVer: map[core.BATID]*atomic.Int64{},
+	}
 	names := make([]string, 0, len(columns))
 	for name := range columns {
 		names = append(names, name)
@@ -260,6 +311,7 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 			}
 			cf.ids = append(cf.ids, next)
 			frags = append(frags, fragEntry{next, fb})
+			r.fragVer[next] = &atomic.Int64{}
 			next++
 		}
 		r.cols[name] = cf
@@ -269,18 +321,22 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 	// Nodes and transports.
 	for i := 0; i < n; i++ {
 		node := &Node{
-			ring:      r,
-			id:        core.NodeID(i),
-			cfg:       cfg,
-			store:     map[core.BATID]*bat.BAT{},
-			transit:   map[core.BATID]*bat.BAT{},
-			cached:    map[core.BATID]*cachedBAT{},
-			waiters:   map[waitKey]chan *bat.BAT{},
-			errs:      map[core.QueryID]chan error{},
-			wireCache: map[core.BATID]*wireEntry{},
-			schema:    schema,
-			start:     time.Now(),
-			closed:    make(chan struct{}),
+			ring:       r,
+			id:         core.NodeID(i),
+			cfg:        cfg,
+			store:      map[core.BATID]*bat.BAT{},
+			transit:    map[core.BATID]*bat.BAT{},
+			transitVer: map[core.BATID]int{},
+			cached:     map[core.BATID]*cachedBAT{},
+			waiters:    map[waitKey]chan delivered{},
+			errs:       map[core.QueryID]chan error{},
+			wireCache:  map[core.BATID]*wireEntry{},
+			schema:     schema,
+			start:      time.Now(),
+			closed:     make(chan struct{}),
+		}
+		if cfg.CacheBytes > 0 {
+			node.hot = newHotCache(cfg.CacheBytes, cfg.CacheMode)
 		}
 		node.rt = core.New(node.id, (*liveEnv)(node), cfg.Core)
 		r.nodes = append(r.nodes, node)
@@ -387,7 +443,7 @@ func (n *Node) dataLoop(wg *sync.WaitGroup) {
 		if err != nil {
 			return
 		}
-		hdr, rawPayload, err := decodeDataMsg(data)
+		hdr, ver, rawPayload, err := decodeDataMsg(data)
 		if err != nil {
 			continue
 		}
@@ -401,17 +457,33 @@ func (n *Node) dataLoop(wg *sync.WaitGroup) {
 				continue
 			}
 		}
+		if payload != nil && n.hot != nil && hdr.Owner != n.id {
+			// Populate the hot-set cache from the passing traffic,
+			// labelled with the version the owner sent it under. Own
+			// fragments are skipped: the owner's pins are served from
+			// the store already. Inserted before OnBAT so a pin
+			// coalesced behind this delivery finds the entry resident.
+			n.hot.put(hdr.BAT, ver, payload)
+		}
 		n.mu.Lock()
 		if payload != nil {
 			n.transit[hdr.BAT] = payload
+			n.transitVer[hdr.BAT] = ver
 			// Seed the wire cache with the bytes just received: if OnBAT
 			// forwards this fragment, SendData reuses them verbatim
 			// instead of re-marshalling the payload it just decoded.
-			// Not pooled: the decoded BAT aliases these bytes.
-			n.setWireEntry(hdr.BAT, newWireEntry(payload, rawPayload, false))
+			// Not pooled: the decoded BAT aliases these bytes. In cache
+			// mode the owner forwards its *store* payload instead of the
+			// circulating copy, so seeding its own fragment would evict
+			// the store-keyed entry and force a re-marshal every pass —
+			// keep that entry instead.
+			if n.hot == nil || hdr.Owner != n.id {
+				n.setWireEntry(hdr.BAT, newWireEntry(payload, rawPayload, false))
+			}
 		}
 		n.rt.OnBAT(hdr)
 		delete(n.transit, hdr.BAT)
+		delete(n.transitVer, hdr.BAT)
 		if payload != nil {
 			// The seed has served its purpose (the forward, if any,
 			// happened inside OnBAT). On a non-owner, keeping it would
@@ -462,12 +534,28 @@ func (e *liveEnv) Now() time.Duration { return time.Since(e.start) }
 func (e *liveEnv) SendData(m core.BATMsg) {
 	n := e.node()
 	var payload *bat.BAT
-	if b, ok := n.transit[m.BAT]; ok {
-		payload = b
-	} else if b, ok := n.store[m.BAT]; ok {
-		payload = b
-	} else if c, ok := n.cached[m.BAT]; ok {
-		payload = c.b
+	var ver int
+	if n.hot != nil && m.Owner == n.id {
+		// Cache mode, forwarding our own fragment: send the store's
+		// current version rather than the circulating copy, so an
+		// UpdateColumn reaches the ring within one owner pass and the
+		// superseded bytes die here instead of rotating until the LOI
+		// decays (the invalidation half of the version-validation
+		// contract). Without the cache the circulating copy is
+		// forwarded as before.
+		if b, ok := n.store[m.BAT]; ok {
+			payload, ver = b, n.versions[m.BAT]
+			m.Size = b.Bytes()
+		}
+	}
+	if payload == nil {
+		if b, ok := n.transit[m.BAT]; ok {
+			payload, ver = b, n.transitVer[m.BAT]
+		} else if b, ok := n.store[m.BAT]; ok {
+			payload, ver = b, n.versions[m.BAT]
+		} else if c, ok := n.cached[m.BAT]; ok {
+			payload, ver = c.b, c.ver
+		}
 	}
 	if payload == nil {
 		return // nothing to forward; drop (should not happen)
@@ -508,7 +596,7 @@ func (e *liveEnv) SendData(m core.BATMsg) {
 		// fixed header, then the cached codec bytes — one copy, zero
 		// allocations.
 		n.dataOut.SendEncoded(dataHdrSize+len(ent.raw), func(dst []byte) int {
-			encodeDataHdr(dst, m, len(ent.raw))
+			encodeDataHdr(dst, m, ver, len(ent.raw))
 			return dataHdrSize + copy(dst[dataHdrSize:], ent.raw)
 		})
 	}()
@@ -573,22 +661,23 @@ func (e *liveEnv) Deliver(q core.QueryID, b core.BATID) {
 	}
 	delete(n.waiters, key)
 	var payload *bat.BAT
+	var ver int
 	if p, ok := n.transit[b]; ok {
-		payload = p
+		payload, ver = p, n.transitVer[b]
 		// The query will hold the BAT pinned: keep the payload cached.
 		c := n.cached[b]
 		if c == nil {
-			c = &cachedBAT{b: p}
+			c = &cachedBAT{b: p, ver: ver}
 			n.cached[b] = c
 		}
 		c.refs++
 	} else if p, ok := n.store[b]; ok {
-		payload = p
+		payload, ver = p, n.versions[b]
 	} else if c, ok := n.cached[b]; ok {
-		payload = c.b
+		payload, ver = c.b, c.ver
 		c.refs++
 	}
-	ch <- payload // buffered
+	ch <- delivered{payload, ver} // buffered
 }
 
 func (e *liveEnv) QueryError(q core.QueryID, b core.BATID, reason string) {
@@ -597,7 +686,7 @@ func (e *liveEnv) QueryError(q core.QueryID, b core.BATID, reason string) {
 	for key, ch := range n.waiters {
 		if key.q == q {
 			delete(n.waiters, key)
-			ch <- nil
+			ch <- delivered{}
 		}
 	}
 	if ec, ok := n.errs[q]; ok {
@@ -612,9 +701,14 @@ func (e *liveEnv) OnLoad(b core.BATID, size int) {}
 
 // OnUnload drops the fragment's cached wire bytes: once the BAT leaves
 // the hot set there is no forward to amortize them over. Called with
-// n.mu held.
+// n.mu held. The hot-set cache entry goes too — the owner serves its
+// own pins from the store, so resident bytes are better spent.
 func (e *liveEnv) OnUnload(b core.BATID, size int) {
-	e.node().dropWireEntry(b)
+	n := e.node()
+	n.dropWireEntry(b)
+	if n.hot != nil {
+		n.hot.drop(b)
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -635,6 +729,10 @@ type queryDC struct {
 	// the DcOptimizer emits unpin(X) on the pinned variable (Table 2),
 	// so unpin receives the *bat.BAT, not the request handle.
 	pinned map[*bat.BAT]core.BATID
+	// local marks pinned values served node-locally from the hot-set
+	// cache (or a coalesced flight): they hold no runtime pin and no
+	// refcounted payload, so their unpin only drops the tracking.
+	local map[*bat.BAT]bool
 	// merged tracks multi-fragment pin results: their fragments were
 	// unpinned at merge time, so the plan's unpin is a no-op on them.
 	merged map[*bat.BAT]bool
@@ -655,6 +753,15 @@ func (d *queryDC) Request(schema, table, column string) (mal.Value, error) {
 	d.mu.Unlock()
 	d.n.mu.Lock()
 	for _, id := range ids {
+		// A fragment resident in the hot-set cache at the catalog's
+		// current version will be served node-locally at pin time:
+		// skip the ring request entirely, so fully-hot repeat queries
+		// cause zero circulation. If the entry is evicted or updated
+		// before the pin, the pin's ring path re-announces interest
+		// (core.Runtime.Pin creates and sends the request itself).
+		if d.n.hot != nil && d.n.hot.peek(id, d.n.ring.fragVersion(id)) {
+			continue
+		}
 		d.n.rt.Request(d.q, id)
 	}
 	d.n.mu.Unlock()
@@ -664,9 +771,11 @@ func (d *queryDC) Request(schema, table, column string) (mal.Value, error) {
 	return &fragHandle{name: name, ids: ids}, nil
 }
 
-// Pin implements mal.DCRuntime: it blocks until the BAT flows past.
-// A multi-fragment handle pins every fragment as it arrives (any
-// order) and returns the order-preserving merge.
+// Pin implements mal.DCRuntime: a hot-set cache hit (validated against
+// the catalog version at this instant) returns a node-local zero-copy
+// view immediately; otherwise it blocks until the BAT flows past. A
+// multi-fragment handle pins every fragment as it arrives (any order)
+// and returns the order-preserving merge.
 func (d *queryDC) Pin(handle mal.Value) (mal.Value, error) {
 	if h, ok := handle.(*fragHandle); ok {
 		return d.pinMerged(h)
@@ -675,31 +784,23 @@ func (d *queryDC) Pin(handle mal.Value) (mal.Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("live: bad pin handle %T", handle)
 	}
-	ch := make(chan *bat.BAT, 1)
-	n := d.n
-	n.mu.Lock()
-	n.waiters[waitKey{d.q, id}] = ch
-	n.rt.Pin(d.q, id)
-	n.mu.Unlock()
-	select {
-	case b := <-ch:
-		if b == nil {
-			return nil, fmt.Errorf("live: BAT %d does not exist", id)
-		}
-		d.mu.Lock()
-		if d.pinned == nil {
-			d.pinned = map[*bat.BAT]core.BATID{}
-		}
-		d.pinned[b] = id
-		d.mu.Unlock()
-		return b, nil
-	case <-d.cancel: // nil for uncancellable callers: blocks forever
-		d.abandonPin(id, ch)
-		return nil, mal.ErrCancelled
-	case <-n.closed:
-		d.abandonPin(id, ch)
-		return nil, fmt.Errorf("live: ring closed")
+	b, _, viaRing, err := d.acquireFrag(id, nil)
+	if err != nil {
+		return nil, err
 	}
+	d.mu.Lock()
+	if d.pinned == nil {
+		d.pinned = map[*bat.BAT]core.BATID{}
+	}
+	d.pinned[b] = id
+	if !viaRing {
+		if d.local == nil {
+			d.local = map[*bat.BAT]bool{}
+		}
+		d.local[b] = true
+	}
+	d.mu.Unlock()
+	return b, nil
 }
 
 // abandonPin unwinds a pin the caller gave up on. A concurrent Deliver
@@ -710,13 +811,13 @@ func (d *queryDC) Pin(handle mal.Value) (mal.Value, error) {
 // lifetime. Otherwise the waiter entry is still registered; removing it
 // turns any later Deliver for this pin into a no-op (Deliver only
 // counts references when it finds a waiter to hand the payload to).
-func (d *queryDC) abandonPin(id core.BATID, ch chan *bat.BAT) {
+func (d *queryDC) abandonPin(id core.BATID, ch chan delivered) {
 	n := d.n
 	n.mu.Lock()
 	delete(n.waiters, waitKey{d.q, id})
 	select {
-	case b := <-ch:
-		if b != nil {
+	case dv := <-ch:
+		if dv.b != nil {
 			// The delivery won the race: drop the refs it counted, at
 			// both the live layer and the runtime (what the query's own
 			// unpin would have released).
@@ -748,9 +849,18 @@ func (d *queryDC) Unpin(handle mal.Value) error {
 		if ok {
 			delete(d.pinned, h)
 		}
+		local := d.local[h]
+		if local {
+			delete(d.local, h)
+		}
 		d.mu.Unlock()
 		if !ok {
 			return fmt.Errorf("live: unpin of a BAT that was never pinned")
+		}
+		if local {
+			// Served from the hot-set cache: no runtime pin and no
+			// refcounted payload were ever taken.
+			return nil
 		}
 		id = mapped
 	default:
@@ -845,8 +955,8 @@ func (n *Node) releaseQuery(q core.QueryID, dc *queryDC) {
 		}
 		delete(n.waiters, key)
 		select {
-		case b := <-ch:
-			if b != nil {
+		case dv := <-ch:
+			if dv.b != nil {
 				// The delivery counted refs at both layers; release both,
 				// as the query's own unpin would have.
 				n.rt.Unpin(q, key.b)
@@ -856,11 +966,15 @@ func (n *Node) releaseQuery(q core.QueryID, dc *queryDC) {
 		}
 	}
 	dc.mu.Lock()
-	for _, id := range dc.pinned {
+	for b, id := range dc.pinned {
+		if dc.local[b] {
+			continue // node-local acquisition: no runtime refs were taken
+		}
 		n.rt.Unpin(q, id)
 		n.unrefCached(id)
 	}
 	dc.pinned = nil
+	dc.local = nil
 	dc.mu.Unlock()
 }
 
@@ -893,6 +1007,38 @@ func (n *Node) InterpRunning() int64 { return atomic.LoadInt64(&n.interpRunning)
 // counters live alongside in wirebuf.Stats.
 func (n *Node) WireCacheStats() (hits, misses int64) {
 	return atomic.LoadInt64(&n.wireHits), atomic.LoadInt64(&n.wireMisses)
+}
+
+// CacheStats snapshots the node's hot-set cache counters plus the
+// ring-wait accounting (the latter is recorded whether or not the
+// cache is enabled, so disabled-vs-enabled runs compare directly).
+func (n *Node) CacheStats() CacheStats {
+	var s CacheStats
+	if n.hot != nil {
+		s = n.hot.stats()
+	}
+	s.RingWaits = atomic.LoadInt64(&n.ringWaits)
+	s.RingWaitNanos = atomic.LoadInt64(&n.ringWaitNanos)
+	return s
+}
+
+// CacheStats aggregates the hot-set cache counters over every node.
+func (r *Ring) CacheStats() CacheStats {
+	var total CacheStats
+	for _, n := range r.nodes {
+		s := n.CacheStats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Stale += s.Stale
+		total.Inserts += s.Inserts
+		total.Evictions += s.Evictions
+		total.Coalesced += s.Coalesced
+		total.Bytes += s.Bytes
+		total.Entries += s.Entries
+		total.RingWaits += s.RingWaits
+		total.RingWaitNanos += s.RingWaitNanos
+	}
+	return total
 }
 
 // Quiesce blocks until no node is executing a query, or until timeout

@@ -9,11 +9,16 @@ package live
 // the live ring now agree byte-for-byte.
 //
 // Data envelope (little-endian, payload 8-aligned for bat's zero-copy
-// decode):
+// decode). Envelope version 2 carries the fragment's catalog version
+// alongside the payload: the hot-set cache labels every delivery with
+// the version the owner installed it under, which is what makes
+// version-validated node-local reads provably never stale. Owner is a
+// ring position and fits u32, which is where the four bytes came from.
 //
 //	[0] 'D'  [1] 'R'  [2] version  [3] kind (1=data)
 //	[4:8]   u32 payload length
-//	[8:16]  Owner    [16:24] BAT     [24:32] Size
+//	[8:12]  u32 Owner  [12:16] u32 fragment version
+//	[16:24] BAT     [24:32] Size
 //	[32:40] LOI (float64 bits)
 //	[40:48] Copies   [48:56] Hops    [56:64] Cycles
 //	[64:]   payload (bat.AppendMarshal bytes)
@@ -36,7 +41,7 @@ import (
 const (
 	envMagic0  = 'D'
 	envMagic1  = 'R'
-	envVersion = 1
+	envVersion = 2
 
 	envKindData = 1
 	envKindReq  = 2
@@ -69,8 +74,9 @@ func checkEnvHeader(data []byte, kind byte, minLen int) error {
 	return nil
 }
 
-// encodeDataHdr writes the envelope for m into dst[:dataHdrSize].
-func encodeDataHdr(dst []byte, m core.BATMsg, payloadLen int) {
+// encodeDataHdr writes the envelope for m (a fragment at version ver)
+// into dst[:dataHdrSize].
+func encodeDataHdr(dst []byte, m core.BATMsg, ver, payloadLen int) {
 	// The length field is u32; wrapping would make the neighbour drop
 	// the fragment as corrupt with no error anywhere. Fail at the
 	// sender instead.
@@ -80,7 +86,8 @@ func encodeDataHdr(dst []byte, m core.BATMsg, payloadLen int) {
 	putEnvHeader(dst, envKindData)
 	le := binary.LittleEndian
 	le.PutUint32(dst[4:], uint32(payloadLen))
-	le.PutUint64(dst[8:], uint64(m.Owner))
+	le.PutUint32(dst[8:], uint32(m.Owner))
+	le.PutUint32(dst[12:], uint32(ver))
 	le.PutUint64(dst[16:], uint64(m.BAT))
 	le.PutUint64(dst[24:], uint64(m.Size))
 	le.PutUint64(dst[32:], math.Float64bits(m.LOI))
@@ -89,21 +96,22 @@ func encodeDataHdr(dst []byte, m core.BATMsg, payloadLen int) {
 	le.PutUint64(dst[56:], uint64(m.Cycles))
 }
 
-// decodeDataMsg parses a data envelope, returning the header and the
-// payload as a view over data (zero-copy; the payload stays aliased to
-// the receive buffer, which bat.UnmarshalView relies on).
-func decodeDataMsg(data []byte) (core.BATMsg, []byte, error) {
+// decodeDataMsg parses a data envelope, returning the header, the
+// fragment version, and the payload as a view over data (zero-copy; the
+// payload stays aliased to the receive buffer, which bat.UnmarshalView
+// relies on).
+func decodeDataMsg(data []byte) (core.BATMsg, int, []byte, error) {
 	if err := checkEnvHeader(data, envKindData, dataHdrSize); err != nil {
-		return core.BATMsg{}, nil, err
+		return core.BATMsg{}, 0, nil, err
 	}
 	le := binary.LittleEndian
 	payloadLen := int(le.Uint32(data[4:]))
 	if payloadLen != len(data)-dataHdrSize {
-		return core.BATMsg{}, nil, fmt.Errorf("%w: payload length %d, have %d bytes",
+		return core.BATMsg{}, 0, nil, fmt.Errorf("%w: payload length %d, have %d bytes",
 			errEnvelope, payloadLen, len(data)-dataHdrSize)
 	}
 	m := core.BATMsg{
-		Owner:  core.NodeID(le.Uint64(data[8:])),
+		Owner:  core.NodeID(le.Uint32(data[8:])),
 		BAT:    core.BATID(le.Uint64(data[16:])),
 		Size:   int(le.Uint64(data[24:])),
 		LOI:    math.Float64frombits(le.Uint64(data[32:])),
@@ -111,7 +119,7 @@ func decodeDataMsg(data []byte) (core.BATMsg, []byte, error) {
 		Hops:   int(le.Uint64(data[48:])),
 		Cycles: int(le.Uint64(data[56:])),
 	}
-	return m, data[dataHdrSize:], nil
+	return m, int(le.Uint32(data[12:])), data[dataHdrSize:], nil
 }
 
 // encodeReqMsg writes the envelope for m into dst[:reqMsgSize].

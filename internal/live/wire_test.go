@@ -10,16 +10,20 @@ import (
 func TestEnvelopeDataRoundtrip(t *testing.T) {
 	payload := bat.AppendMarshal(nil, bat.MakeInts("x", []int64{1, 2, 3}))
 	m := core.BATMsg{Owner: 3, BAT: 42, Size: 100, LOI: 0.75, Copies: 2, Hops: 9, Cycles: 4}
+	const ver = 7
 	buf := make([]byte, dataHdrSize+len(payload))
-	encodeDataHdr(buf, m, len(payload))
+	encodeDataHdr(buf, m, ver, len(payload))
 	copy(buf[dataHdrSize:], payload)
 
-	got, gotPayload, err := decodeDataMsg(buf)
+	got, gotVer, gotPayload, err := decodeDataMsg(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != m {
 		t.Fatalf("header roundtrip: got %+v want %+v", got, m)
+	}
+	if gotVer != ver {
+		t.Fatalf("fragment version roundtrip: got %d want %d", gotVer, ver)
 	}
 	b, err := bat.UnmarshalView(gotPayload)
 	if err != nil {
@@ -46,7 +50,7 @@ func TestEnvelopeReqRoundtrip(t *testing.T) {
 func TestEnvelopeRejectsCorruption(t *testing.T) {
 	m := core.BATMsg{BAT: 1, Size: 10}
 	buf := make([]byte, dataHdrSize)
-	encodeDataHdr(buf, m, 0)
+	encodeDataHdr(buf, m, 0, 0)
 
 	for _, mut := range []struct {
 		name string
@@ -59,7 +63,7 @@ func TestEnvelopeRejectsCorruption(t *testing.T) {
 		{"wrong kind", append([]byte{'D', 'R', envVersion, envKindReq}, buf[4:]...)},
 		{"length mismatch", append(append([]byte(nil), buf...), 0xFF)},
 	} {
-		if _, _, err := decodeDataMsg(mut.data); err == nil {
+		if _, _, _, err := decodeDataMsg(mut.data); err == nil {
 			t.Fatalf("%s: accepted", mut.name)
 		}
 	}

@@ -32,6 +32,14 @@ const (
 	FrameResult byte = 4
 	// FrameError carries an error code + message (server -> client).
 	FrameError byte = 5
+	// FrameStats requests the serving node's counters (client -> server,
+	// empty payload).
+	FrameStats byte = 6
+	// FrameStatsOK answers with a JSON-encoded NodeStats (server ->
+	// client). JSON is deliberate: stats are low-rate and the struct
+	// grows with every observability PR, so a self-describing encoding
+	// beats hand-rolled offsets here.
+	FrameStatsOK byte = 7
 )
 
 // Magic is the handshake payload; it versions the protocol. DCY2

@@ -10,6 +10,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net"
 	"strconv"
@@ -72,15 +73,39 @@ type NodeStats struct {
 	PlanCacheHits   int64
 	PlanCacheMisses int64
 
+	// Hot-set fragment cache and ring-wait counters of the served ring
+	// node (see live.CacheStats): how many pins were version-validated
+	// node-local reads versus waits on ring circulation, and how much
+	// time the latter spent blocked.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheStale     int64
+	CacheCoalesced int64
+	CacheBytes     int64
+	CacheEntries   int64
+	RingWaits      int64
+	RingWait       time.Duration // cumulative time pins blocked on the ring
+
 	// Latency quantiles over completed queries (OK + Failed).
 	Count               int64
 	Mean, P50, P95, P99 time.Duration
 }
 
+// CacheHitRate reports the fraction of pins served node-locally.
+func (s NodeStats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
 func (s NodeStats) String() string {
-	return fmt.Sprintf("accepted=%d ok=%d failed=%d rejected=%d drained=%d inflight=%d/%d(max) plancache=%d/%d p50=%s p95=%s p99=%s",
+	return fmt.Sprintf("accepted=%d ok=%d failed=%d rejected=%d drained=%d inflight=%d/%d(max) plancache=%d/%d hotcache=%d/%d ringwait=%s p50=%s p95=%s p99=%s",
 		s.Accepted, s.OK, s.Failed, s.Rejected, s.Drained, s.InFlight, s.MaxInFlight,
-		s.PlanCacheHits, s.PlanCacheHits+s.PlanCacheMisses, s.P50, s.P95, s.P99)
+		s.PlanCacheHits, s.PlanCacheHits+s.PlanCacheMisses,
+		s.CacheHits, s.CacheHits+s.CacheMisses, s.RingWait,
+		s.P50, s.P95, s.P99)
 }
 
 // Server serves every node of a live ring.
@@ -217,6 +242,15 @@ func (s *Server) Stats(i int) NodeStats {
 		PlanCacheMisses: misses,
 		Count:           int64(ns.latency.Count()),
 	}
+	cs := ns.node.CacheStats()
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses
+	st.CacheStale = cs.Stale
+	st.CacheCoalesced = cs.Coalesced
+	st.CacheBytes = cs.Bytes
+	st.CacheEntries = cs.Entries
+	st.RingWaits = cs.RingWaits
+	st.RingWait = time.Duration(cs.RingWaitNanos)
 	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
 	st.Mean = sec(ns.latency.Mean())
 	st.P50 = sec(ns.latency.Quantile(0.50))
@@ -320,13 +354,17 @@ func (ns *nodeServer) handle(conn net.Conn) {
 		if err != nil {
 			return // client hung up (or drain force-closed us)
 		}
-		if typ != FrameQuery {
+		switch typ {
+		case FrameQuery:
+			ns.serveQuery(bw, string(payload))
+		case FrameStats:
+			ns.serveStats(bw)
+		default:
 			WriteFrame(bw, FrameError, EncodeError(CodeBadRequest,
 				fmt.Sprintf("unexpected frame type %d", typ)))
 			bw.Flush()
 			return
 		}
-		ns.serveQuery(bw, string(payload))
 		if err := bw.Flush(); err != nil {
 			return
 		}
@@ -379,6 +417,18 @@ func (ns *nodeServer) serveQuery(bw *bufio.Writer, sql string) {
 	ns.ok.Inc()
 	WriteFrame(bw, FrameResult, payload)
 	wirebuf.Put(payload)
+}
+
+// serveStats answers one FrameStats request with the node's current
+// counters. Stats reads bypass admission: they are cheap, read-only,
+// and most useful exactly when the admission queue is saturated.
+func (ns *nodeServer) serveStats(bw *bufio.Writer) {
+	payload, err := json.Marshal(ns.srv.Stats(ns.nodeID))
+	if err != nil {
+		WriteFrame(bw, FrameError, EncodeError(CodeExec, err.Error()))
+		return
+	}
+	WriteFrame(bw, FrameStatsOK, payload)
 }
 
 // exec runs sql on this node, going through the plan cache: a hit skips

@@ -9,12 +9,22 @@ func TestGetPutReuse(t *testing.T) {
 		t.Fatalf("Get returned %d-length buffer", len(b))
 	}
 	b = append(b, make([]byte, 4096)...)
-	Put(b)
-	got := Get()
-	if cap(got) < 4096 {
-		// The pool may race with other tests' GC, but single-threaded
-		// Get-after-Put should hand the buffer straight back.
-		t.Fatalf("recycled buffer has cap %d, want >= 4096", cap(got))
+	// Under the race detector sync.Pool deliberately drops a fraction
+	// of Puts on the floor, so a single Put/Get pair is flaky there;
+	// consecutive drops decay geometrically, so a few attempts make
+	// the reuse deterministic in practice.
+	reused := false
+	for attempt := 0; attempt < 8 && !reused; attempt++ {
+		Put(b)
+		got := Get()
+		reused = cap(got) >= 4096
+		b = got[:0]
+		if !reused {
+			b = append(b, make([]byte, 4096)...)
+		}
+	}
+	if !reused {
+		t.Fatal("recycled buffer never handed back by Get")
 	}
 	after := Stats()
 	if after.Puts <= before.Puts {

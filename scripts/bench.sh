@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# bench.sh — run the wire-codec benchmark suite and the fragment
-# granularity sweep, recording the results.
+# bench.sh — run the wire-codec benchmark suite, the fragment
+# granularity sweep, and the hot-set cache repeat sweep, recording the
+# results.
 #
 # Usage:
 #   scripts/bench.sh          full run: 1s per benchmark, writes
-#                             BENCH_wire.json and BENCH_frag.json
-#   scripts/bench.sh -short   CI smoke: one iteration per benchmark and a
-#                             small sweep, still gating on codec/gob
-#                             equivalence and the fragmentation invariants
+#                             BENCH_wire.json, BENCH_frag.json, and
+#                             BENCH_cache.json
+#   scripts/bench.sh -short   CI smoke: one iteration per benchmark and
+#                             small sweeps, still gating on codec/gob
+#                             equivalence, the fragmentation invariants,
+#                             and the cache hit-rate / ≥5× pin-p99 gates
 #
 # The script fails if the codec-vs-gob equivalence tests fail (a wire
 # format regression can never produce a "fast but wrong" green run) or
@@ -76,4 +79,11 @@ if [ "$SHORT" -eq 1 ]; then
   go run ./cmd/dcfrag -short -out BENCH_frag.json
 else
   go run ./cmd/dcfrag -out BENCH_frag.json
+fi
+
+echo "== hot-set cache repeat sweep =="
+if [ "$SHORT" -eq 1 ]; then
+  go run ./cmd/dccache -short -out BENCH_cache.json
+else
+  go run ./cmd/dccache -out BENCH_cache.json
 fi
