@@ -1,0 +1,127 @@
+// Command dchop runs the hop-batching sweep on the fragmented live
+// TPC-H ring and records the trade-off (hop wire messages and batch
+// fill vs query latency) to a JSON snapshot, BENCH_hop.json by default.
+// scripts/bench.sh invokes it; CI runs it with -short.
+//
+// The run is gated: the batched setting must cut hop wire messages by
+// at least 4× against the unbatched baseline on the same workload and
+// must show a populated multi-fragment fill histogram, or the command
+// exits non-zero — a batching regression can never produce a quiet
+// green run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// gateRatio is the hop-message reduction floor the batched run must
+// clear against the unbatched baseline.
+const gateRatio = 4
+
+func main() {
+	rows := flag.Int("rows", 1<<20, "lineitem rows (the fragmented column)")
+	nodes := flag.Int("nodes", 3, "ring size")
+	queries := flag.Int("queries", 24, "queries per batch setting")
+	fragRows := flag.Int("fragrows", 16384, "FragmentRows (1M rows / 16384 = 64 fragments)")
+	budgets := flag.String("budgets", "0,1048576", "comma-separated HopBatchBytes settings (0 = off)")
+	out := flag.String("out", "BENCH_hop.json", "output JSON path")
+	short := flag.Bool("short", false, "CI smoke: small data, few queries")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Parse()
+
+	if *short {
+		*rows = 1 << 17
+		*queries = 6
+		*fragRows = 2048 // 64-way split at 128K rows: same fill regime as the full run
+	}
+	var batchBytes []int
+	for _, s := range strings.Split(*budgets, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal("bad -budgets entry %q: %v", s, err)
+		}
+		batchBytes = append(batchBytes, v)
+	}
+
+	fmt.Printf("== hop batching sweep: %d rows, %d nodes, %d queries, fragrows %d, budgets %v ==\n",
+		*rows, *nodes, *queries, *fragRows, batchBytes)
+	res, err := experiments.HopSweep(*rows, *nodes, *queries, *fragRows, batchBytes, *seed)
+	if err != nil {
+		fatal("sweep: %v", err)
+	}
+	fmt.Print(res)
+
+	if err := gate(res); err != nil {
+		fatal("gate: %v", err)
+	}
+
+	snapshot := struct {
+		Date  string `json:"date"`
+		Short bool   `json:"short"`
+		Suite string `json:"suite"`
+		*experiments.HopResult
+	}{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Short:     *short,
+		Suite:     "hop-batching-sweep",
+		HopResult: res,
+	}
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+	fmt.Printf("== wrote %s ==\n", *out)
+}
+
+// gate enforces the batching invariants on the recorded runs: the
+// unbatched baseline (HopBatchBytes 0, when present) must send all
+// singles, and every batched setting must cut its message count by at
+// least gateRatio while actually filling multi-fragment envelopes.
+func gate(res *experiments.HopResult) error {
+	var base *experiments.HopRun
+	for i := range res.Runs {
+		if res.Runs[i].HopBatchBytes == 0 {
+			base = &res.Runs[i]
+		}
+	}
+	if base != nil && (base.Batches != 0 || base.Singles != base.Msgs) {
+		return fmt.Errorf("unbatched baseline sent batches: %d batches, %d singles of %d msgs",
+			base.Batches, base.Singles, base.Msgs)
+	}
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		if run.HopBatchBytes == 0 {
+			continue
+		}
+		var multi int64
+		for b := 1; b < len(run.Fill); b++ {
+			multi += run.Fill[b]
+		}
+		if run.Batches == 0 || multi == 0 {
+			return fmt.Errorf("HopBatchBytes=%d: empty multi-fragment fill histogram %v",
+				run.HopBatchBytes, run.Fill)
+		}
+		if base != nil && run.Msgs*gateRatio > base.Msgs {
+			return fmt.Errorf("HopBatchBytes=%d: %d hop messages vs unbatched %d — want ≥%d× reduction",
+				run.HopBatchBytes, run.Msgs, base.Msgs, gateRatio)
+		}
+	}
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dchop: "+format+"\n", args...)
+	os.Exit(1)
+}

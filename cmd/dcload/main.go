@@ -46,6 +46,7 @@ func main() {
 		queries   = flag.Int("queries", 2000, "total queries to fire")
 		sql       = flag.String("q", "", "single SQL query (default: TPC-H demo mix)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-query timeout")
+		hopstats  = flag.Bool("hopstats", false, "report hop-transport stats: messages, batch fill, parked fragments")
 	)
 	flag.Parse()
 
@@ -98,6 +99,9 @@ func main() {
 		}
 	}
 	reportCache(targets, ring, res.ok)
+	if *hopstats {
+		reportHop(targets, ring)
+	}
 	for _, e := range res.errors {
 		fmt.Fprintln(os.Stderr, "dcload:", e)
 	}
@@ -155,6 +159,73 @@ func reportCache(targets []string, ring *dc.LiveRing, completed int64) {
 	}
 	fmt.Printf("ring wait: %d blocked pins, %s total (%s per completed query)\n",
 		ringWaits, ringWait, perQuery)
+}
+
+// reportHop prints the hop-transport outcome of the run: how many wire
+// messages the ring's forwards cost versus how many fragments they
+// carried (the batching win), the batch fill distribution, and how many
+// fragments LOI pacing is holding parked at their owners. A self-served
+// ring is read directly; external targets are asked over the wire.
+func reportHop(targets []string, ring *dc.LiveRing) {
+	var hs dc.LiveHopStats
+	if ring != nil {
+		hs = ring.HopStats()
+	} else {
+		for _, addr := range targets {
+			cl, err := dcclient.Dial(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcload: hop stats: skipping %s: %v\n", addr, err)
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			st, err := cl.Stats(ctx)
+			cancel()
+			cl.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcload: hop stats: skipping %s: %v\n", addr, err)
+				continue
+			}
+			hs.Msgs += st.HopMsgs
+			hs.Singles += st.HopSingles
+			hs.Batches += st.HopBatches
+			hs.Frags += st.HopFrags
+			for i := range hs.Fill {
+				hs.Fill[i] += st.HopFill[i]
+			}
+			hs.Bytes += st.HopBytes
+			if st.HopMaxMsg > hs.MaxMsg {
+				hs.MaxMsg = st.HopMaxMsg
+			}
+			hs.Parked += int(st.HopParked)
+			hs.ParkedTotal += st.HopParkedTotal
+			hs.Unparked += st.HopUnparked
+			hs.PoolAcquires += st.PoolAcquires
+			hs.PoolWaits += st.PoolWaits
+		}
+	}
+	if hs.Msgs == 0 {
+		fmt.Println("\nhop transport: no data messages sent")
+		return
+	}
+	fill := float64(hs.Frags) / float64(hs.Msgs)
+	bytesPerMsg := hs.Bytes / hs.Msgs
+	fmt.Printf("\nhop transport: %d messages carried %d fragments (fill %.2f): %d singles, %d batches\n",
+		hs.Msgs, hs.Frags, fill, hs.Singles, hs.Batches)
+	fmt.Printf("hop bytes: %d total, %d/msg mean, %d max message\n",
+		hs.Bytes, bytesPerMsg, hs.MaxMsg)
+	labels := [8]string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", ">64"}
+	var parts []string
+	for i, c := range hs.Fill {
+		if c > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", labels[i], c))
+		}
+	}
+	fmt.Printf("batch fill: %s\n", strings.Join(parts, " "))
+	fmt.Printf("pacing: %d fragments parked now (%d parked / %d unparked total)\n",
+		hs.Parked, hs.ParkedTotal, hs.Unparked)
+	if hs.PoolWaits > 0 {
+		fmt.Printf("send pool: %d waits / %d acquires\n", hs.PoolWaits, hs.PoolAcquires)
+	}
 }
 
 func startRing(nodes int, sf float64, seed int64, transport string, inflight, queue int) (*dc.LiveRing, *dc.QueryServer, error) {

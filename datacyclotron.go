@@ -90,6 +90,10 @@ type (
 	// a live node (LiveNode.CacheStats) or a whole ring
 	// (LiveRing.CacheStats).
 	LiveCacheStats = live.CacheStats
+	// LiveHopStats snapshots hop-transport counters — wire messages,
+	// batch fill, LOI-pacing park state — of a live node
+	// (LiveNode.HopStats) or a whole ring (LiveRing.HopStats).
+	LiveHopStats = live.HopStats
 )
 
 // Hot-set cache eviction policies (LiveConfig.CacheMode). The cache

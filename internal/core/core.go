@@ -126,6 +126,17 @@ type Config struct {
 	// fully-hot local workload causes zero circulation. Off by default
 	// (the paper's behavior, and what the simulator reproduces).
 	LocalPinsSkipLoad bool
+	// ParkIdleCycles enables LOI-gated hop pacing: a BAT that completes
+	// this many consecutive revolutions with zero copies (nobody
+	// downstream used it, per the envelope's own interest accounting) is
+	// parked at its owner instead of burning hop slots — it stays in the
+	// hot set, its LOI frozen, and re-enters circulation the moment the
+	// next interest signal (a ring request) reaches the owner. Any
+	// request arriving at the owner also resets the idle count, so
+	// interest announced just before a would-be park keeps the BAT
+	// flowing. 0 disables pacing (every hot BAT circulates continuously,
+	// the paper's behavior and the pre-pacing wire behavior).
+	ParkIdleCycles int
 }
 
 // DefaultConfig mirrors the paper's experimental settings.
@@ -149,6 +160,13 @@ type ownedBAT struct {
 	loaded       bool
 	pending      bool
 	pendingSince time.Duration
+
+	// LOI-gated pacing state (Config.ParkIdleCycles): consecutive
+	// zero-copy revolutions observed, and — while parked — the frozen
+	// circulation header the BAT re-enters the ring with.
+	idleCycles int
+	parked     bool
+	parkedMsg  BATMsg
 }
 
 // request is an S2 entry: one outstanding request aggregating all local
@@ -189,6 +207,8 @@ type Stats struct {
 	PendingPostponed  uint64 // load postponed because the ring was full
 	LOITSteps         uint64
 	CacheInterest     uint64 // pins served node-locally, folded into LOI
+	BATsParked        uint64 // idle BATs held at their owner (LOI pacing)
+	BATsUnparked      uint64 // parked BATs re-admitted by an interest signal
 }
 
 // Runtime is the Data Cyclotron layer of one node.
@@ -489,7 +509,16 @@ func (rt *Runtime) OnRequest(m RequestMsg) {
 	// Second/third/fourth outcomes: this node owns the BAT.
 	if o, owned := rt.s1[m.BAT]; owned {
 		if o.loaded {
-			return // already in the hot set: ignore
+			// An interest signal reached the owner: a parked BAT
+			// re-enters circulation, and a circulating one gets its idle
+			// count cleared so the fresh interest keeps it from parking
+			// before the requester's pin is counted downstream.
+			if o.parked {
+				rt.unpark(o)
+			} else {
+				o.idleCycles = 0
+			}
+			return
 		}
 		rt.tryLoad(o)
 		return
@@ -556,6 +585,7 @@ func (rt *Runtime) hotSetManagement(m BATMsg) {
 	}
 	m.Cycles++
 	m.Copies += rt.takeLocalHits(m.BAT)
+	copiesThisRev := m.Copies
 	cavg := 0.0
 	if m.Hops > 0 {
 		cavg = float64(m.Copies) / float64(m.Hops)
@@ -563,9 +593,36 @@ func (rt *Runtime) hotSetManagement(m BATMsg) {
 	newLOI := (m.LOI + cavg*float64(m.Cycles)) / float64(m.Cycles)
 	m.Copies = 0
 	m.Hops = 0
+	// LOI-gated pacing: the envelope says nobody downstream copied the
+	// BAT this whole revolution. After ParkIdleCycles such revolutions
+	// in a row, hold it here instead of burning another revolution's
+	// worth of hop slots; the next request arriving at this owner
+	// re-admits it with the header frozen at this point (the pause
+	// itself costs no further LOI decay — that is what distinguishes a
+	// park from the unload below, which forgets the LOI and pays the
+	// LoadAll round-trip to come back). The park check precedes the
+	// threshold check deliberately: an idle revolution is exactly when
+	// the LOI divides by the cycle count, so a threshold-first order
+	// would unload almost every idle BAT before it could ever park.
+	if rt.cfg.ParkIdleCycles > 0 {
+		if copiesThisRev == 0 {
+			o.idleCycles++
+			if o.idleCycles >= rt.cfg.ParkIdleCycles {
+				m.LOI = newLOI
+				o.parked = true
+				o.parkedMsg = m
+				rt.stats.BATsParked++
+				rt.adaptLOIT()
+				return
+			}
+		} else {
+			o.idleCycles = 0
+		}
+	}
 	if newLOI < rt.LOIT() {
 		// Below threshold: pull the BAT out of the hot set.
 		o.loaded = false
+		o.idleCycles = 0
 		rt.stats.BATsUnloaded++
 		rt.env.OnUnload(m.BAT, o.size)
 		rt.adaptLOIT()
@@ -575,6 +632,28 @@ func (rt *Runtime) hotSetManagement(m BATMsg) {
 	rt.stats.BATsForwarded++
 	rt.env.SendData(m)
 	rt.adaptLOIT()
+}
+
+// unpark re-admits a parked BAT into circulation with the header it was
+// parked with (its LOI and cycle count frozen across the pause).
+func (rt *Runtime) unpark(o *ownedBAT) {
+	o.parked = false
+	o.idleCycles = 0
+	rt.stats.BATsUnparked++
+	rt.stats.BATsForwarded++
+	rt.env.SendData(o.parkedMsg)
+}
+
+// ParkedBATs reports how many owned BATs are currently parked by the
+// LOI pacing (in the hot set but held out of circulation).
+func (rt *Runtime) ParkedBATs() int {
+	n := 0
+	for _, o := range rt.s1 {
+		if o.parked {
+			n++
+		}
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------

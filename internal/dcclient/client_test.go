@@ -258,6 +258,19 @@ func TestStatsFrame(t *testing.T) {
 	if rate := st.CacheHitRate(); rate <= 0 || rate > 1 {
 		t.Fatalf("hit rate %v out of range", rate)
 	}
+	// Hop-transport counters crossed the wire too: answering the query
+	// made fragments hop, and every message shows up in the fill
+	// histogram.
+	if st.HopMsgs == 0 || st.HopFrags < st.HopMsgs {
+		t.Fatalf("stats carried no hop accounting: msgs=%d frags=%d", st.HopMsgs, st.HopFrags)
+	}
+	var fill int64
+	for _, c := range st.HopFill {
+		fill += c
+	}
+	if fill != st.HopMsgs {
+		t.Fatalf("fill histogram %v does not sum to msgs %d", st.HopFill, st.HopMsgs)
+	}
 	// The connection survives a stats exchange and keeps querying.
 	if _, err := cl.Query(ctx, "select val from t where id = 2"); err != nil {
 		t.Fatalf("query after stats frame: %v", err)

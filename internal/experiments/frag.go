@@ -61,8 +61,11 @@ func fragRun(db *tpch.DB, nodes, queries, fragRows int) (FragRun, error) {
 	// cache so every query's pins actually ride the ring (with it on,
 	// repeat queries skip circulation and the latency column would
 	// measure the cache instead — that trade-off has its own sweep,
-	// cmd/dccache).
+	// cmd/dccache), and disable hop batching, which would coalesce the
+	// fragments back into large messages (that trade-off is cmd/dchop's
+	// sweep — this one is its unbatched baseline).
 	cfg.CacheBytes = 0
+	cfg.HopBatchBytes = 0
 	ring, err := live.NewRing(nodes, db.ColumnMap(), db.Schema(), cfg)
 	if err != nil {
 		return FragRun{}, err

@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+// TestHopSweepSmoke runs a miniature hop-batching sweep end to end: the
+// unbatched baseline must be all singles, the batched run must coalesce
+// fragments into fewer wire messages with a populated multi-fragment
+// fill histogram, and both must answer every query.
+func TestHopSweepSmoke(t *testing.T) {
+	res, err := HopSweep(60_000, 3, 4, 4096, []int{0, 1 << 20}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	off, batched := res.Runs[0], res.Runs[1]
+	if off.Batches != 0 || off.Singles != off.Msgs || off.Msgs != off.Frags {
+		t.Fatalf("unbatched run batched anyway: %+v", off)
+	}
+	if batched.Batches == 0 {
+		t.Fatalf("batched run produced no batches: %+v", batched)
+	}
+	if batched.Frags <= batched.Msgs {
+		t.Fatalf("batched fill did not exceed 1: %d frags over %d msgs", batched.Frags, batched.Msgs)
+	}
+	var multi int64
+	for i := 1; i < len(batched.Fill); i++ {
+		multi += batched.Fill[i]
+	}
+	if multi != batched.Batches {
+		t.Fatalf("fill histogram %v: multi buckets %d, want %d batches", batched.Fill, multi, batched.Batches)
+	}
+	// Same data, same queries: both runs forward comparable fragment
+	// volume, the batched one in far fewer envelopes.
+	if batched.Msgs >= off.Msgs {
+		t.Fatalf("batching did not reduce messages: %d vs %d", batched.Msgs, off.Msgs)
+	}
+	for _, run := range res.Runs {
+		if run.Queries != 4 || run.P50Micros <= 0 || run.P99Micros < run.P50Micros {
+			t.Fatalf("bad run: %+v", run)
+		}
+		if run.Fragments == 0 {
+			t.Fatal("lineitem was not fragmented")
+		}
+	}
+	if res.String() == "" {
+		t.Fatal("empty report")
+	}
+}

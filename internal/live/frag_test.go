@@ -201,8 +201,15 @@ func TestOutOfOrderFragmentArrival(t *testing.T) {
 // TestFragmentedRegionSizing: the ring message limit (== RDMA region
 // sizing) follows the largest fragment, not the largest column.
 func TestFragmentedRegionSizing(t *testing.T) {
+	// Batching sizes regions to the batch budget, not the fragment:
+	// disable it so the limit under test is the per-fragment one.
 	cols, schema := fragColumns(100_000)
-	base, err := NewRing(2, cols, schema, func() Config { c := DefaultConfig(); c.FragmentRows = 0; return c }())
+	base, err := NewRing(2, cols, schema, func() Config {
+		c := DefaultConfig()
+		c.FragmentRows = 0
+		c.HopBatchBytes = 0
+		return c
+	}())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,6 +218,7 @@ func TestFragmentedRegionSizing(t *testing.T) {
 
 	cfg := DefaultConfig()
 	cfg.FragmentRows = 8192
+	cfg.HopBatchBytes = 0
 	r, err := NewRing(2, cols, schema, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -235,8 +243,11 @@ func TestFragmentedMaxHopBytes(t *testing.T) {
 		// This test measures circulating message sizes: disable the
 		// hot-set cache so every pin drives circulation (with it on, a
 		// pin of locally owned or cached fragments moves no data at all
-		// and there may be nothing to measure).
+		// and there may be nothing to measure), and disable hop batching,
+		// which would coalesce the small fragments back into large
+		// messages — the property under test is fragment granularity.
 		cfg.CacheBytes = 0
+		cfg.HopBatchBytes = 0
 		r, err := NewRing(3, cols, schema, cfg)
 		if err != nil {
 			t.Fatal(err)

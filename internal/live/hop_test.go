@@ -1,0 +1,408 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/minisql"
+)
+
+// batchCases builds batch entries over every column kind and property
+// combination the codec carries (mirroring the bat wire tests): ints,
+// floats, strings (odd lengths, so padding varies), oids, bools, dense
+// heads, sorted columns, slices, and empty payloads.
+func batchCases() []batchEntry {
+	strs := []string{"a", "", "hello world", "\x00bin\xff", "odd"}
+	sorted := bat.MakeInts("sorted", []int64{5, 3, 1, 4}).SortT(false)
+	payloads := []*bat.BAT{
+		bat.MakeInts("ints", []int64{1, -2, 3, 1 << 62}),
+		bat.MakeFloats("floats", []float64{1.5, -2.25, 0, -0.0}),
+		bat.MakeStrs("strs", strs),
+		bat.MakeOids("oids", []bat.Oid{0, 5, bat.NilOid}),
+		bat.New("bools", bat.DenseColumn(10, 5), bat.BoolColumn([]bool{true, false, true, true, false})),
+		bat.New("densedense", bat.DenseColumn(3, 5), bat.DenseColumn(100, 5)),
+		sorted,
+		sorted.Slice(1, 3),
+		bat.MakeInts("empty", nil),
+		bat.MakeStrs("emptystrs", nil),
+	}
+	entries := make([]batchEntry, len(payloads))
+	for i, b := range payloads {
+		entries[i] = batchEntry{
+			m: core.BATMsg{
+				Owner:  core.NodeID(i % 3),
+				BAT:    core.BATID(100 + i),
+				Size:   b.Bytes(),
+				LOI:    0.25 * float64(i),
+				Copies: i,
+				Hops:   i * 7,
+				Cycles: i % 4,
+			},
+			ver:     i % 5,
+			payload: bat.AppendMarshal(nil, b),
+		}
+	}
+	return entries
+}
+
+// encodeSingle is the reference v2 single-fragment encoding of one
+// entry — what the unbatched ring would have sent.
+func encodeSingle(e batchEntry) []byte {
+	buf := make([]byte, dataHdrSize+len(e.payload))
+	encodeDataHdr(buf, e.m, e.ver, len(e.payload))
+	copy(buf[dataHdrSize:], e.payload)
+	return buf
+}
+
+// TestBatchRoundtripProperty: unbatch(batch(frags)) ≡ frags
+// byte-identically for every kind/property combination — each decoded
+// entry re-encodes to the exact v2 single message of the original, and
+// every payload decodes through bat.UnmarshalView like a single's would.
+func TestBatchRoundtripProperty(t *testing.T) {
+	cases := batchCases()
+	// Sweep batch sizes 1..len: padding interactions differ with the mix.
+	for size := 1; size <= len(cases); size++ {
+		entries := cases[:size]
+		data := encodeBatch(nil, entries)
+		got, err := decodeBatchMsg(data)
+		if err != nil {
+			t.Fatalf("size %d: decode: %v", size, err)
+		}
+		if len(got) != len(entries) {
+			t.Fatalf("size %d: %d entries decoded, want %d", size, len(got), len(entries))
+		}
+		for i, e := range entries {
+			g := got[i]
+			if g.m != e.m || g.ver != e.ver {
+				t.Fatalf("size %d entry %d: header roundtrip: got (%+v, %d) want (%+v, %d)",
+					size, i, g.m, g.ver, e.m, e.ver)
+			}
+			if !bytes.Equal(encodeSingle(g), encodeSingle(e)) {
+				t.Fatalf("size %d entry %d: unbatched bytes differ from the v2 single", size, i)
+			}
+			if len(e.payload) > 0 {
+				if _, err := bat.UnmarshalView(g.payload); err != nil {
+					t.Fatalf("size %d entry %d: payload no longer decodes: %v", size, i, err)
+				}
+			}
+		}
+		// Payloads must land 8-aligned relative to the message, the
+		// zero-copy decode contract.
+		off := batchHdrSize + size*dataHdrSize
+		for i := range entries {
+			if off%8 != 0 {
+				t.Fatalf("size %d entry %d: payload offset %d not 8-aligned", size, i, off)
+			}
+			off += pad8(len(entries[i].payload))
+		}
+	}
+}
+
+// TestBatchRejectsCorruption sweeps the v3 decoder with truncations,
+// count overflows, misaligned offsets, and header corruption: every
+// mutation must be rejected, never partially decoded or panicked on.
+func TestBatchRejectsCorruption(t *testing.T) {
+	entries := batchCases()[:3]
+	good := encodeBatch(nil, entries)
+	clone := func() []byte { return append([]byte(nil), good...) }
+
+	muts := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", good[:4]},
+		{"bad magic", append([]byte{'X', 'X'}, good[2:]...)},
+		{"v2 version byte", append([]byte{'D', 'R', envVersion, envKindBatch}, good[4:]...)},
+		{"data kind byte", append([]byte{'D', 'R', envVersionBatch, envKindData}, good[4:]...)},
+		{"count zero", func() []byte {
+			d := clone()
+			binary.LittleEndian.PutUint32(d[4:], 0)
+			return d
+		}()},
+		{"count overflow", func() []byte {
+			d := clone()
+			binary.LittleEndian.PutUint32(d[4:], 0xFFFFFFFF)
+			return d
+		}()},
+		{"count over cap", func() []byte {
+			d := clone()
+			binary.LittleEndian.PutUint32(d[4:], maxHopBatchFrags+1)
+			return d
+		}()},
+		{"count claims more entries", func() []byte {
+			d := clone()
+			binary.LittleEndian.PutUint32(d[4:], uint32(len(entries)+1))
+			return d
+		}()},
+		{"truncated entry table", good[:batchHdrSize+dataHdrSize*len(entries)-7]},
+		{"truncated last payload", good[:len(good)-5]},
+		{"trailing bytes", append(clone(), 0xAB)},
+		{"entry header magic", func() []byte {
+			d := clone()
+			d[batchHdrSize] = 'X' // first entry's magic byte
+			return d
+		}()},
+		{"entry payload length grown", func() []byte {
+			// Inflating entry 0's length field shifts every later payload
+			// offset: either a bounds failure or the exactness check trips.
+			d := clone()
+			le := binary.LittleEndian
+			cur := le.Uint32(d[batchHdrSize+4:])
+			le.PutUint32(d[batchHdrSize+4:], cur+8)
+			return d
+		}()},
+		{"entry payload length misaligned", func() []byte {
+			// A length that is not the encoded payload's: the trailing
+			// exactness check must catch the drifted offsets.
+			d := clone()
+			le := binary.LittleEndian
+			cur := le.Uint32(d[batchHdrSize+4:])
+			le.PutUint32(d[batchHdrSize+4:], cur+1)
+			return d
+		}()},
+		{"entry payload length huge", func() []byte {
+			d := clone()
+			binary.LittleEndian.PutUint32(d[batchHdrSize+4:], 1<<30)
+			return d
+		}()},
+	}
+	for _, mut := range muts {
+		if _, err := decodeBatchMsg(mut.data); err == nil {
+			t.Errorf("%s: accepted", mut.name)
+		}
+	}
+	// The single-message decoder must reject a batch envelope and vice
+	// versa: the kinds don't alias.
+	if _, _, _, err := decodeDataMsg(good); err == nil {
+		t.Error("v2 decoder accepted a batch envelope")
+	}
+	single := encodeSingle(entries[0])
+	if _, err := decodeBatchMsg(single); err == nil {
+		t.Error("batch decoder accepted a v2 single")
+	}
+	if isBatchMsg(single) {
+		t.Error("isBatchMsg matched a v2 single")
+	}
+	if !isBatchMsg(good) {
+		t.Error("isBatchMsg rejected a batch")
+	}
+}
+
+// FuzzDecodeBatch drives the batch decoder with arbitrary bytes: it
+// must never panic, and whatever it accepts must re-encode to the
+// input exactly (decode is the inverse of encode on its whole range).
+func FuzzDecodeBatch(f *testing.F) {
+	cases := batchCases()
+	f.Add(encodeBatch(nil, cases[:1]))
+	f.Add(encodeBatch(nil, cases[:4]))
+	f.Add(encodeBatch(nil, cases))
+	f.Add(encodeSingle(cases[0]))
+	f.Add([]byte{'D', 'R', envVersionBatch, envKindBatch, 2, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeBatchMsg(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeBatch(nil, entries), data) {
+			t.Fatalf("accepted batch does not re-encode to itself")
+		}
+	})
+}
+
+// fragTestRing builds a ring whose columns fragment into many pieces,
+// so one query queues many co-resident outbound fragments per node.
+func fragTestRing(t *testing.T, mutate func(*Config)) *Ring {
+	t.Helper()
+	n := 512
+	ids := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+		vals[i] = int64(i * 3)
+	}
+	cols := map[string]*bat.BAT{
+		"t.id":  bat.MakeInts("t.id", ids),
+		"t.val": bat.MakeInts("t.val", vals),
+	}
+	schema := minisql.MapSchema{"t": {"id", "val"}}
+	cfg := DefaultConfig()
+	cfg.FragmentRows = 32 // 16 fragments per column
+	cfg.CacheBytes = 0    // every pin rides the ring
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := NewRing(3, cols, schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestHopBatchingEndToEnd runs a fragmented query workload with
+// batching on and checks both correctness and that the transport
+// actually coalesced: fewer hop messages than fragments, a populated
+// multi-fragment fill histogram, and matching Frags accounting.
+func TestHopBatchingEndToEnd(t *testing.T) {
+	r := fragTestRing(t, nil)
+	defer r.Close()
+	want := int64(0)
+	for i := 0; i < 512; i++ {
+		want += int64(i) * 3
+	}
+	for q := 0; q < 3; q++ {
+		rs, err := r.Node(q % 3).ExecSQL("select sum(t.val) from t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rs.Rows()[0][0].(int64); got != want {
+			t.Fatalf("query %d: sum = %d, want %d", q, got, want)
+		}
+	}
+	s := r.HopStats()
+	if s.Msgs == 0 || s.Frags == 0 {
+		t.Fatalf("no hop traffic recorded: %+v", s)
+	}
+	if s.Batches == 0 {
+		t.Fatalf("no batches formed over a 16-fragment workload: %+v", s)
+	}
+	if s.Frags <= s.Msgs {
+		t.Fatalf("no coalescing: %d fragments in %d messages", s.Frags, s.Msgs)
+	}
+	if s.Msgs != s.Singles+s.Batches {
+		t.Fatalf("Msgs %d != Singles %d + Batches %d", s.Msgs, s.Singles, s.Batches)
+	}
+	var fill int64
+	for _, c := range s.Fill {
+		fill += c
+	}
+	if fill != s.Msgs {
+		t.Fatalf("fill histogram sums to %d, want Msgs %d", fill, s.Msgs)
+	}
+	var multi int64
+	for _, c := range s.Fill[1:] {
+		multi += c
+	}
+	if multi != s.Batches {
+		t.Fatalf("multi-fragment fill buckets sum to %d, want Batches %d", multi, s.Batches)
+	}
+}
+
+// TestHopBatchingDisabled: HopBatchBytes=0 keeps the per-fragment v2
+// path — every message is a single, no batch envelope ever forms.
+func TestHopBatchingDisabled(t *testing.T) {
+	r := fragTestRing(t, func(cfg *Config) { cfg.HopBatchBytes = 0 })
+	defer r.Close()
+	if _, err := r.Node(1).ExecSQL("select sum(t.val) from t"); err != nil {
+		t.Fatal(err)
+	}
+	s := r.HopStats()
+	if s.Msgs == 0 {
+		t.Fatal("no hop traffic recorded")
+	}
+	if s.Batches != 0 {
+		t.Fatalf("batches formed with batching disabled: %+v", s)
+	}
+	if s.Singles != s.Msgs || s.Frags != s.Msgs {
+		t.Fatalf("unbatched accounting broken: %+v", s)
+	}
+}
+
+// TestHopPacingParksIdleFragments: with LOI pacing on (the batching
+// default), fragments nobody pins stop circulating within a few
+// revolutions, and a later query's interest signal re-admits them.
+func TestHopPacingParksIdleFragments(t *testing.T) {
+	r := fragTestRing(t, func(cfg *Config) {
+		// Fast revolutions so parking happens quickly.
+		cfg.Core.LoadAllPeriod = 5 * time.Millisecond
+	})
+	defer r.Close()
+	if _, err := r.Node(0).ExecSQL("select sum(t.val) from t"); err != nil {
+		t.Fatal(err)
+	}
+	// With the query done there is no interest left: every circulating
+	// fragment should park at its owner within a few revolutions.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := r.HopStats(); s.Parked > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := r.HopStats()
+	if s.Parked == 0 || s.ParkedTotal == 0 {
+		t.Fatalf("no fragments parked on an idle ring: %+v", s)
+	}
+	// New interest must unpark: the query has to see every fragment
+	// again and still answer correctly.
+	rs, err := r.Node(1).ExecSQL("select sum(t.val) from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := 0; i < 512; i++ {
+		want += int64(i) * 3
+	}
+	if got := rs.Rows()[0][0].(int64); got != want {
+		t.Fatalf("post-park sum = %d, want %d", got, want)
+	}
+	if s := r.HopStats(); s.Unparked == 0 {
+		t.Fatalf("interest did not unpark any fragment: %+v", s)
+	}
+}
+
+// TestHopSchedulerTake exercises the flush policy directly: budget
+// bounds, the always-take-first rule, and the entry cap.
+func TestHopSchedulerTake(t *testing.T) {
+	ent := func(raw int) *wireEntry {
+		e := newWireEntry(nil, make([]byte, raw), false)
+		return e
+	}
+	// Budget fits the batch header plus two 100-byte entries, not three.
+	budget := batchHdrSize + 2*batchEntryWire(100)
+	hs := newHopScheduler(budget, 0)
+	for i := 0; i < 5; i++ {
+		hs.enqueue(hopEntry{m: core.BATMsg{BAT: core.BATID(i)}, ent: ent(100)})
+	}
+	if got := len(hs.take()); got != 2 {
+		t.Fatalf("first take = %d entries, want 2 (budget-bounded)", got)
+	}
+	if got := len(hs.take()); got != 2 {
+		t.Fatalf("second take = %d entries, want 2", got)
+	}
+	if got := len(hs.take()); got != 1 {
+		t.Fatalf("third take = %d entries, want 1 (remainder)", got)
+	}
+	if hs.take() != nil {
+		t.Fatal("take on an empty queue should return nil")
+	}
+	// An oversized first entry still travels (as a single).
+	hs.enqueue(hopEntry{m: core.BATMsg{BAT: 99}, ent: ent(10 * budget)})
+	hs.enqueue(hopEntry{m: core.BATMsg{BAT: 100}, ent: ent(100)})
+	if got := len(hs.take()); got != 1 {
+		t.Fatalf("oversized first entry: take = %d, want 1", got)
+	}
+	// The entry-count cap holds even under a huge budget.
+	big := newHopScheduler(1<<30, 0)
+	for i := 0; i < maxHopBatchFrags+10; i++ {
+		big.enqueue(hopEntry{m: core.BATMsg{BAT: core.BATID(i)}, ent: ent(8)})
+	}
+	if got := len(big.take()); got != maxHopBatchFrags {
+		t.Fatalf("take = %d entries, want the %d cap", got, maxHopBatchFrags)
+	}
+}
+
+// TestFillBucket pins the histogram bucketing.
+func TestFillBucket(t *testing.T) {
+	want := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 32: 5, 33: 6, 64: 6, 65: 7}
+	for frags, bucket := range want {
+		if got := fillBucket(frags); got != bucket {
+			t.Errorf("fillBucket(%d) = %d, want %d", frags, got, bucket)
+		}
+	}
+}
+

@@ -65,6 +65,17 @@ type Config struct {
 	CacheBytes int
 	// CacheMode selects the cache eviction policy (default CacheLOI).
 	CacheMode CacheMode
+	// HopBatchBytes budgets the batched hop transport: co-resident
+	// outbound fragments coalesce into one multi-payload batch envelope
+	// of at most this many wire bytes (see hop.go). 0 disables batching
+	// entirely: every fragment travels as its own v2 message, exactly
+	// the pre-batching ring.
+	HopBatchBytes int
+	// HopBatchLinger is how long the hop scheduler waits for more
+	// co-resident fragments before flushing a partial batch. Only the
+	// first fragment of a batch pays it; keep it well under the query
+	// latencies being protected.
+	HopBatchLinger time.Duration
 	// placeFragment overrides the round-robin fragment placement
 	// (test hook: shuffled placements exercise adverse arrival orders).
 	placeFragment func(frag, nodes int) int
@@ -73,11 +84,13 @@ type Config struct {
 // DefaultConfig suits in-process rings.
 func DefaultConfig() Config {
 	cfg := Config{
-		Core:         core.DefaultConfig(),
-		QueueCap:     256 << 20,
-		Workers:      4,
-		FragmentRows: 64 << 10,
-		CacheBytes:   64 << 20,
+		Core:           core.DefaultConfig(),
+		QueueCap:       256 << 20,
+		Workers:        4,
+		FragmentRows:   64 << 10,
+		CacheBytes:     64 << 20,
+		HopBatchBytes:  1 << 20,
+		HopBatchLinger: 200 * time.Microsecond,
 	}
 	// Live rings are small; short timers keep latencies low.
 	cfg.Core.LoadAllPeriod = 20 * time.Millisecond
@@ -156,6 +169,17 @@ type Node struct {
 	// these to plot hop cost against fragment size.
 	hopBytes    int64
 	maxHopBytes int64
+
+	// hop is the outbound batch scheduler (nil when Config.HopBatchBytes
+	// is 0, leaving the per-fragment send path untouched). The counters
+	// below feed HopStats and are maintained by both paths, so batched
+	// and unbatched runs compare directly.
+	hop            *hopScheduler
+	hopMsgs        int64
+	hopSingles     int64
+	hopBatchesSent int64
+	hopFrags       int64
+	hopFill        [8]int64
 
 	// Ring-wait accounting (atomic): how many pins blocked on ring
 	// circulation and the total time they spent blocked — the latency
@@ -271,6 +295,17 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		// causes zero circulation.
 		cfg.Core.LocalPinsSkipLoad = true
 	}
+	if cfg.HopBatchBytes > 0 && cfg.Core.ParkIdleCycles == 0 {
+		// Batched transport turns on LOI-gated pacing by default: a
+		// fragment that served nobody for two straight revolutions parks
+		// at its owner until the next interest signal, instead of burning
+		// batch slots. A negative ParkIdleCycles opts out explicitly; 0
+		// in the core config still means "off" when batching is off.
+		cfg.Core.ParkIdleCycles = 2
+	}
+	if cfg.Core.ParkIdleCycles < 0 {
+		cfg.Core.ParkIdleCycles = 0
+	}
 	r := &Ring{
 		cfg:     cfg,
 		cols:    map[string]*colFrags{},
@@ -317,6 +352,20 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		r.cols[name] = cf
 	}
 	maxBytes := dataHdrSize + maxPayload
+	dataDepth := 0 // 0 = messenger default
+	if cfg.HopBatchBytes > 0 {
+		// A batch tops out at the byte budget (take() only coalesces
+		// while the batch stays inside it); a single oversized fragment
+		// still travels alone, so the region must fit whichever is
+		// larger. Batch-aware receive credits: one credit now admits a
+		// whole batch of fragments, so the data links run a shallower
+		// receive queue at the same fragment-level concurrency — and the
+		// (larger) registered regions stay bounded.
+		if cfg.HopBatchBytes > maxBytes {
+			maxBytes = cfg.HopBatchBytes
+		}
+		dataDepth = 4
+	}
 
 	// Nodes and transports.
 	for i := 0; i < n; i++ {
@@ -338,6 +387,9 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		if cfg.CacheBytes > 0 {
 			node.hot = newHotCache(cfg.CacheBytes, cfg.CacheMode)
 		}
+		if cfg.HopBatchBytes > 0 {
+			node.hop = newHopScheduler(cfg.HopBatchBytes, cfg.HopBatchLinger)
+		}
 		node.rt = core.New(node.id, (*liveEnv)(node), cfg.Core)
 		r.nodes = append(r.nodes, node)
 	}
@@ -347,11 +399,11 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		if err != nil {
 			return nil, err
 		}
-		mA, err := rdma.NewMessenger(dataA, maxBytes)
+		mA, err := rdma.NewMessengerDepth(dataA, maxBytes, dataDepth)
 		if err != nil {
 			return nil, err
 		}
-		mB, err := rdma.NewMessenger(dataB, maxBytes)
+		mB, err := rdma.NewMessengerDepth(dataB, maxBytes, dataDepth)
 		if err != nil {
 			return nil, err
 		}
@@ -388,12 +440,16 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		owner.rt.AddOwned(fe.id, fe.b.Bytes())
 	}
 
-	// Start receive loops and runtime tickers.
+	// Start receive loops, the hop scheduler, and runtime tickers.
 	for _, node := range r.nodes {
 		node.rt.Start()
 		r.wg.Add(2)
 		go node.dataLoop(&r.wg)
 		go node.reqLoop(&r.wg)
+		if node.hop != nil {
+			r.wg.Add(1)
+			go node.hopLoop(&r.wg)
+		}
 	}
 	return r, nil
 }
@@ -443,62 +499,83 @@ func (n *Node) dataLoop(wg *sync.WaitGroup) {
 		if err != nil {
 			return
 		}
+		if isBatchMsg(data) {
+			// A batch envelope is several v2 messages that shared one
+			// hop: handle each entry exactly as if it had arrived alone.
+			// Entry payloads are zero-copy views over the (per-Recv
+			// fresh) message buffer, same aliasing rules as a single.
+			entries, err := decodeBatchMsg(data)
+			if err != nil {
+				continue
+			}
+			for _, e := range entries {
+				n.handleData(e.m, e.ver, e.payload)
+			}
+			continue
+		}
 		hdr, ver, rawPayload, err := decodeDataMsg(data)
 		if err != nil {
 			continue
 		}
-		var payload *bat.BAT
-		if len(rawPayload) > 0 {
-			// Zero-copy decode: the BAT's fixed-width columns alias
-			// rawPayload (and thus the receive buffer), which is fresh
-			// per message and immutable from here on.
-			payload, err = bat.UnmarshalView(rawPayload)
-			if err != nil {
-				continue
-			}
-		}
-		if payload != nil && n.hot != nil && hdr.Owner != n.id {
-			// Populate the hot-set cache from the passing traffic,
-			// labelled with the version the owner sent it under. Own
-			// fragments are skipped: the owner's pins are served from
-			// the store already. Inserted before OnBAT so a pin
-			// coalesced behind this delivery finds the entry resident.
-			n.hot.put(hdr.BAT, ver, payload)
-		}
-		n.mu.Lock()
-		if payload != nil {
-			n.transit[hdr.BAT] = payload
-			n.transitVer[hdr.BAT] = ver
-			// Seed the wire cache with the bytes just received: if OnBAT
-			// forwards this fragment, SendData reuses them verbatim
-			// instead of re-marshalling the payload it just decoded.
-			// Not pooled: the decoded BAT aliases these bytes. In cache
-			// mode the owner forwards its *store* payload instead of the
-			// circulating copy, so seeding its own fragment would evict
-			// the store-keyed entry and force a re-marshal every pass —
-			// keep that entry instead.
-			if n.hot == nil || hdr.Owner != n.id {
-				n.setWireEntry(hdr.BAT, newWireEntry(payload, rawPayload, false))
-			}
-		}
-		n.rt.OnBAT(hdr)
-		delete(n.transit, hdr.BAT)
-		delete(n.transitVer, hdr.BAT)
-		if payload != nil {
-			// The seed has served its purpose (the forward, if any,
-			// happened inside OnBAT). On a non-owner, keeping it would
-			// pin the raw bytes and the decoded payload of every
-			// fragment that ever flowed past — the next arrival reseeds
-			// anyway. Persistent entries are kept only for fragments in
-			// the local store, where repeat sends amortize the marshal.
-			if _, owned := n.store[hdr.BAT]; !owned {
-				if ent, ok := n.wireCache[hdr.BAT]; ok && ent.src == payload {
-					n.dropWireEntry(hdr.BAT)
-				}
-			}
-		}
-		n.mu.Unlock()
+		n.handleData(hdr, ver, rawPayload)
 	}
+}
+
+// handleData processes one arrived data message (or one batch entry):
+// decode, hot-cache population, runtime delivery.
+func (n *Node) handleData(hdr core.BATMsg, ver int, rawPayload []byte) {
+	var payload *bat.BAT
+	if len(rawPayload) > 0 {
+		// Zero-copy decode: the BAT's fixed-width columns alias
+		// rawPayload (and thus the receive buffer), which is fresh
+		// per message and immutable from here on.
+		var err error
+		payload, err = bat.UnmarshalView(rawPayload)
+		if err != nil {
+			return
+		}
+	}
+	if payload != nil && n.hot != nil && hdr.Owner != n.id {
+		// Populate the hot-set cache from the passing traffic,
+		// labelled with the version the owner sent it under. Own
+		// fragments are skipped: the owner's pins are served from
+		// the store already. Inserted before OnBAT so a pin
+		// coalesced behind this delivery finds the entry resident.
+		n.hot.put(hdr.BAT, ver, payload)
+	}
+	n.mu.Lock()
+	if payload != nil {
+		n.transit[hdr.BAT] = payload
+		n.transitVer[hdr.BAT] = ver
+		// Seed the wire cache with the bytes just received: if OnBAT
+		// forwards this fragment, SendData reuses them verbatim
+		// instead of re-marshalling the payload it just decoded.
+		// Not pooled: the decoded BAT aliases these bytes. In cache
+		// mode the owner forwards its *store* payload instead of the
+		// circulating copy, so seeding its own fragment would evict
+		// the store-keyed entry and force a re-marshal every pass —
+		// keep that entry instead.
+		if n.hot == nil || hdr.Owner != n.id {
+			n.setWireEntry(hdr.BAT, newWireEntry(payload, rawPayload, false))
+		}
+	}
+	n.rt.OnBAT(hdr)
+	delete(n.transit, hdr.BAT)
+	delete(n.transitVer, hdr.BAT)
+	if payload != nil {
+		// The seed has served its purpose (the forward, if any,
+		// happened inside OnBAT). On a non-owner, keeping it would
+		// pin the raw bytes and the decoded payload of every
+		// fragment that ever flowed past — the next arrival reseeds
+		// anyway. Persistent entries are kept only for fragments in
+		// the local store, where repeat sends amortize the marshal.
+		if _, owned := n.store[hdr.BAT]; !owned {
+			if ent, ok := n.wireCache[hdr.BAT]; ok && ent.src == payload {
+				n.dropWireEntry(hdr.BAT)
+			}
+		}
+	}
+	n.mu.Unlock()
 }
 
 func (n *Node) reqLoop(wg *sync.WaitGroup) {
@@ -576,6 +653,14 @@ func (e *liveEnv) SendData(m core.BATMsg) {
 	}
 	ent.acquire()
 	atomic.AddInt64(&n.outBytes, int64(m.Size))
+	if n.hop != nil {
+		// Batched transport: queue the fragment for the hop scheduler,
+		// which coalesces co-resident outbound fragments into one batch
+		// envelope per neighbour hop. The entry reference keeps the
+		// cached bytes stable until the (possibly vectored) send is done.
+		n.hop.enqueue(hopEntry{m: m, ver: ver, ent: ent})
+		return
+	}
 	go func() {
 		defer ent.release()
 		defer atomic.AddInt64(&n.outBytes, -int64(m.Size))
@@ -585,13 +670,7 @@ func (e *liveEnv) SendData(m core.BATMsg) {
 		default:
 		}
 		wire := int64(dataHdrSize + len(ent.raw))
-		atomic.AddInt64(&n.hopBytes, wire)
-		for {
-			cur := atomic.LoadInt64(&n.maxHopBytes)
-			if wire <= cur || atomic.CompareAndSwapInt64(&n.maxHopBytes, cur, wire) {
-				break
-			}
-		}
+		n.countHopMsg(wire, 1)
 		// Assemble the envelope directly in the registered send region:
 		// fixed header, then the cached codec bytes — one copy, zero
 		// allocations.

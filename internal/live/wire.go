@@ -50,6 +50,29 @@ const (
 	dataHdrSize = 64
 	// reqMsgSize is the exact size of a request message.
 	reqMsgSize = 24
+
+	// Batch envelope (version 3, kind 3): several data messages gathered
+	// into one hop message so a busy link pays one send per *batch*
+	// rather than per fragment. Layout:
+	//
+	//	[0] 'D'  [1] 'R'  [2] 3 (version)  [3] 3 (kind)
+	//	[4:8]   u32 entry count
+	//	count × 64-byte entry headers — each a complete v2 data header
+	//	count × payloads, each zero-padded to 8 bytes
+	//
+	// Entry headers are full v2 data envelopes (magic included) so each
+	// entry validates independently and unbatching reproduces the exact
+	// v2 single-message bytes. The 8-byte batch header plus 64-byte
+	// entries keep every payload 8-aligned relative to the message, which
+	// bat.UnmarshalView's zero-copy decode requires.
+	envVersionBatch = 3
+	envKindBatch    = 3
+	batchHdrSize    = 8
+
+	// maxHopBatchFrags bounds the entries in one batch envelope; the
+	// receiver rejects anything larger, so a corrupt count can't drive a
+	// huge entry-table walk.
+	maxHopBatchFrags = 64
 )
 
 var errEnvelope = errors.New("live: bad ring envelope")
@@ -96,6 +119,23 @@ func encodeDataHdr(dst []byte, m core.BATMsg, ver, payloadLen int) {
 	le.PutUint64(dst[56:], uint64(m.Cycles))
 }
 
+// decodeDataHdr extracts the message fields of a validated 64-byte data
+// header: the BAT header, the fragment version, and the payload length
+// the header claims.
+func decodeDataHdr(h []byte) (core.BATMsg, int, int) {
+	le := binary.LittleEndian
+	m := core.BATMsg{
+		Owner:  core.NodeID(le.Uint32(h[8:])),
+		BAT:    core.BATID(le.Uint64(h[16:])),
+		Size:   int(le.Uint64(h[24:])),
+		LOI:    math.Float64frombits(le.Uint64(h[32:])),
+		Copies: int(le.Uint64(h[40:])),
+		Hops:   int(le.Uint64(h[48:])),
+		Cycles: int(le.Uint64(h[56:])),
+	}
+	return m, int(le.Uint32(h[12:])), int(le.Uint32(h[4:]))
+}
+
 // decodeDataMsg parses a data envelope, returning the header, the
 // fragment version, and the payload as a view over data (zero-copy; the
 // payload stays aliased to the receive buffer, which bat.UnmarshalView
@@ -104,22 +144,110 @@ func decodeDataMsg(data []byte) (core.BATMsg, int, []byte, error) {
 	if err := checkEnvHeader(data, envKindData, dataHdrSize); err != nil {
 		return core.BATMsg{}, 0, nil, err
 	}
-	le := binary.LittleEndian
-	payloadLen := int(le.Uint32(data[4:]))
+	m, ver, payloadLen := decodeDataHdr(data)
 	if payloadLen != len(data)-dataHdrSize {
 		return core.BATMsg{}, 0, nil, fmt.Errorf("%w: payload length %d, have %d bytes",
 			errEnvelope, payloadLen, len(data)-dataHdrSize)
 	}
-	m := core.BATMsg{
-		Owner:  core.NodeID(le.Uint32(data[8:])),
-		BAT:    core.BATID(le.Uint64(data[16:])),
-		Size:   int(le.Uint64(data[24:])),
-		LOI:    math.Float64frombits(le.Uint64(data[32:])),
-		Copies: int(le.Uint64(data[40:])),
-		Hops:   int(le.Uint64(data[48:])),
-		Cycles: int(le.Uint64(data[56:])),
+	return m, ver, data[dataHdrSize:], nil
+}
+
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// batchEntry is one fragment inside a batch envelope: exactly the
+// triple a v2 data message carries.
+type batchEntry struct {
+	m       core.BATMsg
+	ver     int
+	payload []byte
+}
+
+// batchEntryWire is the wire cost of one batch entry: its header plus
+// the payload padded to 8 bytes.
+func batchEntryWire(payloadLen int) int { return dataHdrSize + pad8(payloadLen) }
+
+// isBatchMsg reports whether data starts like a v3 batch envelope (the
+// receive loop's dispatch test; full validation happens in
+// decodeBatchMsg).
+func isBatchMsg(data []byte) bool {
+	return len(data) >= 4 && data[0] == envMagic0 && data[1] == envMagic1 &&
+		data[2] == envVersionBatch && data[3] == envKindBatch
+}
+
+// encodeBatch appends the v3 batch envelope for entries to dst. The hop
+// scheduler normally assembles the same bytes as a vectored send (the
+// header block and the cached payloads go to the wire without being
+// gathered first); this contiguous form is the reference encoding the
+// framing tests hold that path to.
+func encodeBatch(dst []byte, entries []batchEntry) []byte {
+	dst = append(dst, envMagic0, envMagic1, envVersionBatch, envKindBatch)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(entries)))
+	dst = append(dst, b4[:]...)
+	var hdr [dataHdrSize]byte
+	for _, e := range entries {
+		encodeDataHdr(hdr[:], e.m, e.ver, len(e.payload))
+		dst = append(dst, hdr[:]...)
 	}
-	return m, int(le.Uint32(data[12:])), data[dataHdrSize:], nil
+	var zeros [8]byte
+	for _, e := range entries {
+		dst = append(dst, e.payload...)
+		dst = append(dst, zeros[:pad8(len(e.payload))-len(e.payload)]...)
+	}
+	return dst
+}
+
+// decodeBatchMsg parses a v3 batch envelope. Every entry header is
+// validated as a complete v2 data header, payload bounds are checked
+// entry by entry, and the message must be consumed exactly — trailing
+// bytes, a truncated entry table, or an overflowing count are all
+// rejected rather than partially decoded. Payloads are zero-copy views
+// over data.
+func decodeBatchMsg(data []byte) ([]batchEntry, error) {
+	if len(data) < batchHdrSize {
+		return nil, fmt.Errorf("%w: %d bytes, need %d", errEnvelope, len(data), batchHdrSize)
+	}
+	if data[0] != envMagic0 || data[1] != envMagic1 {
+		return nil, fmt.Errorf("%w: bad magic %q", errEnvelope, data[:2])
+	}
+	if data[2] != envVersionBatch {
+		return nil, fmt.Errorf("%w: version %d (want %d)", errEnvelope, data[2], envVersionBatch)
+	}
+	if data[3] != envKindBatch {
+		return nil, fmt.Errorf("%w: kind %d (want %d)", errEnvelope, data[3], envKindBatch)
+	}
+	count := int64(binary.LittleEndian.Uint32(data[4:]))
+	if count < 1 || count > maxHopBatchFrags {
+		return nil, fmt.Errorf("%w: batch count %d (want 1..%d)", errEnvelope, count, maxHopBatchFrags)
+	}
+	// int64 math: a hostile count can't overflow the table-end offset.
+	tableEnd := int64(batchHdrSize) + count*dataHdrSize
+	if tableEnd > int64(len(data)) {
+		return nil, fmt.Errorf("%w: truncated entry table (%d entries, %d bytes)",
+			errEnvelope, count, len(data))
+	}
+	entries := make([]batchEntry, count)
+	off := int(tableEnd)
+	for i := range entries {
+		h := data[batchHdrSize+i*dataHdrSize:][:dataHdrSize]
+		if err := checkEnvHeader(h, envKindData, dataHdrSize); err != nil {
+			return nil, fmt.Errorf("batch entry %d: %w", i, err)
+		}
+		m, ver, payloadLen := decodeDataHdr(h)
+		if payloadLen > len(data)-off {
+			return nil, fmt.Errorf("%w: batch entry %d payload of %d bytes exceeds message",
+				errEnvelope, i, payloadLen)
+		}
+		entries[i] = batchEntry{m: m, ver: ver, payload: data[off : off+payloadLen]}
+		off += pad8(payloadLen)
+		if off > len(data) {
+			return nil, fmt.Errorf("%w: batch entry %d padding runs past message end", errEnvelope, i)
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch entries", errEnvelope, len(data)-off)
+	}
+	return entries, nil
 }
 
 // encodeReqMsg writes the envelope for m into dst[:reqMsgSize].

@@ -2,7 +2,9 @@ package rdma
 
 import (
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Messenger turns a QueuePair into a reliable message stream: it owns a
@@ -16,8 +18,15 @@ type Messenger struct {
 
 	maxMsg int
 
-	sendMu  sync.Mutex
-	sendBuf *MemoryRegion
+	// sendFree is the ring of registered send regions. Encoding happens
+	// into a region with no lock held, so concurrent SendEncoded calls
+	// only serialize on the wire itself (sendMu pairs each PostSend with
+	// its completion — the completion queue is shared FIFO).
+	sendFree chan *MemoryRegion
+	sendMu   sync.Mutex
+
+	poolAcquires int64 // atomic: send-region acquisitions
+	poolWaits    int64 // atomic: acquisitions that had to block
 
 	recvMu   sync.Mutex
 	recvBufs []*MemoryRegion
@@ -26,19 +35,50 @@ type Messenger struct {
 	closeOnce sync.Once
 }
 
-// MessengerDepth is the number of receive buffers kept posted.
+// MessengerDepth is the default number of receive buffers kept posted.
+// With hop batching, one receive credit admits a whole multi-fragment
+// batch, so a batching link can run a shallower queue (NewMessengerDepth)
+// at the same fragment-level concurrency.
 const MessengerDepth = 8
 
-// NewMessenger wraps qp. maxMsg bounds the size of a single message;
-// buffers are registered once up front (the expensive operation §2.3
-// advises amortizing).
+// MessengerSendRegions bounds the send-region pool size; the pool is
+// additionally capped so total registered send bytes stay bounded
+// (maxSendPoolBytes) when messages are large.
+const MessengerSendRegions = 4
+
+// maxSendPoolBytes caps the total registered send-buffer bytes per
+// messenger: registration is the expensive, pinned resource (§2.3), so
+// large-message links get fewer regions rather than more pinned memory.
+const maxSendPoolBytes = 8 << 20
+
+// NewMessenger wraps qp with the default receive depth. maxMsg bounds
+// the size of a single message; buffers are registered once up front
+// (the expensive operation §2.3 advises amortizing).
 func NewMessenger(qp QueuePair, maxMsg int) (*Messenger, error) {
+	return NewMessengerDepth(qp, maxMsg, MessengerDepth)
+}
+
+// NewMessengerDepth wraps qp keeping depth receive buffers posted.
+func NewMessengerDepth(qp QueuePair, maxMsg, depth int) (*Messenger, error) {
 	if maxMsg <= 0 {
 		return nil, fmt.Errorf("rdma: non-positive max message size")
 	}
+	if depth <= 0 {
+		depth = MessengerDepth
+	}
 	m := &Messenger{qp: qp, dev: &Device{}, maxMsg: maxMsg}
-	m.sendBuf = m.dev.RegisterMemory(maxMsg)
-	for i := 0; i < MessengerDepth; i++ {
+	regions := MessengerSendRegions
+	if cap := maxSendPoolBytes / maxMsg; cap < regions {
+		regions = cap
+	}
+	if regions < 1 {
+		regions = 1
+	}
+	m.sendFree = make(chan *MemoryRegion, regions)
+	for i := 0; i < regions; i++ {
+		m.sendFree <- m.dev.RegisterMemory(maxMsg)
+	}
+	for i := 0; i < depth; i++ {
 		mr := m.dev.RegisterMemory(maxMsg)
 		m.recvBufs = append(m.recvBufs, mr)
 		if err := qp.PostRecv(mr); err != nil {
@@ -51,8 +91,31 @@ func NewMessenger(qp QueuePair, maxMsg int) (*Messenger, error) {
 // MaxMessage reports the configured message size bound.
 func (m *Messenger) MaxMessage() int { return m.maxMsg }
 
+// PoolStats reports send-region pool pressure: total acquisitions and
+// how many of them found every region busy and had to block.
+func (m *Messenger) PoolStats() (acquires, waits int64) {
+	return atomic.LoadInt64(&m.poolAcquires), atomic.LoadInt64(&m.poolWaits)
+}
+
+// acquireRegion takes a free send region, counting contention.
+func (m *Messenger) acquireRegion() (*MemoryRegion, error) {
+	atomic.AddInt64(&m.poolAcquires, 1)
+	select {
+	case mr := <-m.sendFree:
+		return mr, nil
+	default:
+	}
+	atomic.AddInt64(&m.poolWaits, 1)
+	select {
+	case mr := <-m.sendFree:
+		return mr, nil
+	case <-m.qp.Done():
+		return nil, ErrClosed
+	}
+}
+
 // Send transmits one message, blocking until the NIC (emulated) has
-// taken it. Concurrent senders serialize on the send buffer.
+// taken it.
 func (m *Messenger) Send(data []byte) error {
 	return m.SendEncoded(len(data), func(dst []byte) int {
 		return copy(dst, data)
@@ -60,11 +123,12 @@ func (m *Messenger) Send(data []byte) error {
 }
 
 // SendEncoded transmits one message of at most size bytes, letting the
-// caller encode it directly into the registered send region — no
+// caller encode it directly into a registered send region — no
 // intermediate buffer, no per-send allocation, and the region's
 // registration cost stays amortized over every message (§2.3). encode
 // receives a size-byte window of the region and returns how many bytes
-// it actually wrote. Concurrent senders serialize on the send buffer.
+// it actually wrote. Concurrent senders encode into distinct pool
+// regions in parallel and serialize only on the wire.
 func (m *Messenger) SendEncoded(size int, encode func(dst []byte) int) error {
 	if size > m.maxMsg {
 		return ErrTooLarge
@@ -72,13 +136,64 @@ func (m *Messenger) SendEncoded(size int, encode func(dst []byte) int) error {
 	if size < 0 {
 		return fmt.Errorf("rdma: negative message size %d", size)
 	}
-	m.sendMu.Lock()
-	defer m.sendMu.Unlock()
-	n := encode(m.sendBuf.Bytes()[:size])
+	mr, err := m.acquireRegion()
+	if err != nil {
+		return err
+	}
+	defer func() { m.sendFree <- mr }()
+	n := encode(mr.Bytes()[:size])
 	if n < 0 || n > size {
 		return fmt.Errorf("rdma: encoder wrote %d bytes into a %d-byte window", n, size)
 	}
-	if err := m.qp.PostSend(m.sendBuf, n); err != nil {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	if err := m.qp.PostSend(mr, n); err != nil {
+		return err
+	}
+	select {
+	case c := <-m.qp.SendCompletions():
+		return c.Err
+	case <-m.qp.Done():
+		return ErrClosed
+	}
+}
+
+// SendVectored transmits one message gathered from several byte slices
+// — the batched-hop path. On a transport that supports vectored sends
+// (the TCP provider's writev-shaped PostSendVec), the parts go to the
+// wire directly, one gather write, no assembly copy: the parts must
+// stay valid and unmodified until SendVectored returns (the live ring's
+// refcounted wire cache provides exactly that, playing the role of
+// pre-registered buffers). Other transports fall back to gathering the
+// parts into one registered send region. Either way the receiver sees a
+// single contiguous message equal to the concatenation of the parts.
+func (m *Messenger) SendVectored(parts [][]byte) error {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > m.maxMsg {
+		return ErrTooLarge
+	}
+	vs, ok := m.qp.(VectoredSender)
+	if !ok {
+		return m.SendEncoded(total, func(dst []byte) int {
+			off := 0
+			for _, p := range parts {
+				off += copy(dst[off:], p)
+			}
+			return off
+		})
+	}
+	bufs := make(net.Buffers, 0, len(parts))
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	if err := vs.PostSendVec(bufs); err != nil {
 		return err
 	}
 	select {

@@ -75,6 +75,17 @@ type Completion struct {
 	Err error
 }
 
+// VectoredSender is the optional gather-send extension of a QueuePair:
+// one message assembled from several buffers, written to the wire as a
+// single vectored operation (writev on the TCP provider). The buffers
+// must remain valid and unmodified until the send completion arrives —
+// the contract of pre-registered RDMA buffers, which callers provide by
+// holding references (see Messenger.SendVectored). Transports without
+// it get the gather done in a registered region instead.
+type VectoredSender interface {
+	PostSendVec(bufs net.Buffers) error
+}
+
 // QueuePair is a point-to-point asynchronous channel between two ring
 // neighbours: sends and receives are posted, completions are polled —
 // the RDMA execution model that lets computation overlap communication
@@ -242,7 +253,10 @@ func (qp *inprocQP) Close() error {
 // ---------------------------------------------------------------------
 
 // tcpQP frames messages over a TCP connection: 4-byte length prefix +
-// payload. It keeps the same post/poll API shape.
+// payload. It keeps the same post/poll API shape. Sends are gathered:
+// the frame header and every payload part go to the kernel as one
+// vectored write (net.Buffers → writev), so a message is one syscall
+// whether it was posted from a region or from a batch of buffers.
 type tcpQP struct {
 	conn net.Conn
 
@@ -251,7 +265,7 @@ type tcpQP struct {
 	sendCQ chan Completion
 	recvCQ chan Completion
 
-	sendQ    chan []byte
+	sendQ    chan net.Buffers
 	recvPend chan *MemoryRegion
 	done     chan struct{}
 	wg       sync.WaitGroup
@@ -263,7 +277,7 @@ func NewTCP(conn net.Conn) QueuePair {
 		conn:     conn,
 		sendCQ:   make(chan Completion, 64),
 		recvCQ:   make(chan Completion, 64),
-		sendQ:    make(chan []byte, 64),
+		sendQ:    make(chan net.Buffers, 64),
 		recvPend: make(chan *MemoryRegion, 64),
 		done:     make(chan struct{}),
 	}
@@ -280,17 +294,23 @@ func (qp *tcpQP) sendLoop() {
 		select {
 		case <-qp.done:
 			return
-		case data := <-qp.sendQ:
-			binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-			if _, err := qp.conn.Write(hdr[:]); err != nil {
+		case parts := <-qp.sendQ:
+			total := 0
+			for _, p := range parts {
+				total += len(p)
+			}
+			binary.BigEndian.PutUint32(hdr[:], uint32(total))
+			// One gather write for header + all parts. WriteTo drains
+			// the Buffers slice in place, which is fine: it was built
+			// for this send and hdr is rewritten next iteration.
+			bufs := make(net.Buffers, 0, len(parts)+1)
+			bufs = append(bufs, hdr[:])
+			bufs = append(bufs, parts...)
+			if _, err := bufs.WriteTo(qp.conn); err != nil {
 				qp.sendCQ <- Completion{Err: err}
 				continue
 			}
-			if _, err := qp.conn.Write(data); err != nil {
-				qp.sendCQ <- Completion{Err: err}
-				continue
-			}
-			qp.sendCQ <- Completion{Bytes: len(data)}
+			qp.sendCQ <- Completion{Bytes: total}
 		}
 	}
 }
@@ -351,7 +371,26 @@ func (qp *tcpQP) PostSend(mr *MemoryRegion, n int) error {
 	data := make([]byte, n)
 	copy(data, mr.buf[:n])
 	select {
-	case qp.sendQ <- data:
+	case qp.sendQ <- net.Buffers{data}:
+		return nil
+	case <-qp.done:
+		return ErrClosed
+	}
+}
+
+// PostSendVec implements VectoredSender: the parts are handed to the
+// send loop as-is (no copy) and written with the frame header in one
+// gather write. The caller must keep the parts stable until the send
+// completion arrives.
+func (qp *tcpQP) PostSendVec(bufs net.Buffers) error {
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return ErrClosed
+	}
+	qp.mu.Unlock()
+	select {
+	case qp.sendQ <- bufs:
 		return nil
 	case <-qp.done:
 		return ErrClosed

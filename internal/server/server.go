@@ -86,6 +86,23 @@ type NodeStats struct {
 	RingWaits      int64
 	RingWait       time.Duration // cumulative time pins blocked on the ring
 
+	// Hop-transport counters of the served ring node (see
+	// live.HopStats): wire messages vs fragments forwarded (batching
+	// fill), the batch fill histogram, bytes moved, LOI-pacing park
+	// state, and send-region pool pressure.
+	HopMsgs        int64
+	HopSingles     int64
+	HopBatches     int64
+	HopFrags       int64
+	HopFill        [8]int64
+	HopBytes       int64
+	HopMaxMsg      int64
+	HopParked      int64
+	HopParkedTotal int64
+	HopUnparked    int64
+	PoolAcquires   int64
+	PoolWaits      int64
+
 	// Latency quantiles over completed queries (OK + Failed).
 	Count               int64
 	Mean, P50, P95, P99 time.Duration
@@ -101,10 +118,11 @@ func (s NodeStats) CacheHitRate() float64 {
 }
 
 func (s NodeStats) String() string {
-	return fmt.Sprintf("accepted=%d ok=%d failed=%d rejected=%d drained=%d inflight=%d/%d(max) plancache=%d/%d hotcache=%d/%d ringwait=%s p50=%s p95=%s p99=%s",
+	return fmt.Sprintf("accepted=%d ok=%d failed=%d rejected=%d drained=%d inflight=%d/%d(max) plancache=%d/%d hotcache=%d/%d ringwait=%s hop=%d/%dmsg parked=%d p50=%s p95=%s p99=%s",
 		s.Accepted, s.OK, s.Failed, s.Rejected, s.Drained, s.InFlight, s.MaxInFlight,
 		s.PlanCacheHits, s.PlanCacheHits+s.PlanCacheMisses,
 		s.CacheHits, s.CacheHits+s.CacheMisses, s.RingWait,
+		s.HopFrags, s.HopMsgs, s.HopParked,
 		s.P50, s.P95, s.P99)
 }
 
@@ -251,6 +269,19 @@ func (s *Server) Stats(i int) NodeStats {
 	st.CacheEntries = cs.Entries
 	st.RingWaits = cs.RingWaits
 	st.RingWait = time.Duration(cs.RingWaitNanos)
+	hs := ns.node.HopStats()
+	st.HopMsgs = hs.Msgs
+	st.HopSingles = hs.Singles
+	st.HopBatches = hs.Batches
+	st.HopFrags = hs.Frags
+	st.HopFill = hs.Fill
+	st.HopBytes = hs.Bytes
+	st.HopMaxMsg = hs.MaxMsg
+	st.HopParked = int64(hs.Parked)
+	st.HopParkedTotal = hs.ParkedTotal
+	st.HopUnparked = hs.Unparked
+	st.PoolAcquires = hs.PoolAcquires
+	st.PoolWaits = hs.PoolWaits
 	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
 	st.Mean = sec(ns.latency.Mean())
 	st.P50 = sec(ns.latency.Quantile(0.50))

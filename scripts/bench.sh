@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # bench.sh — run the wire-codec benchmark suite, the fragment
-# granularity sweep, and the hot-set cache repeat sweep, recording the
-# results.
+# granularity sweep, the hot-set cache repeat sweep, and the hop
+# batching sweep, recording the results.
 #
 # Usage:
 #   scripts/bench.sh          full run: 1s per benchmark, writes
-#                             BENCH_wire.json, BENCH_frag.json, and
-#                             BENCH_cache.json
+#                             BENCH_wire.json, BENCH_frag.json,
+#                             BENCH_cache.json, and BENCH_hop.json
 #   scripts/bench.sh -short   CI smoke: one iteration per benchmark and
 #                             small sweeps, still gating on codec/gob
 #                             equivalence, the fragmentation invariants,
-#                             and the cache hit-rate / ≥5× pin-p99 gates
+#                             the cache hit-rate / ≥5× pin-p99 gates,
+#                             and the ≥4× hop-message reduction gate
 #
 # The script fails if the codec-vs-gob equivalence tests fail (a wire
 # format regression can never produce a "fast but wrong" green run) or
@@ -86,4 +87,11 @@ if [ "$SHORT" -eq 1 ]; then
   go run ./cmd/dccache -short -out BENCH_cache.json
 else
   go run ./cmd/dccache -out BENCH_cache.json
+fi
+
+echo "== hop batching sweep =="
+if [ "$SHORT" -eq 1 ]; then
+  go run ./cmd/dchop -short -out BENCH_hop.json
+else
+  go run ./cmd/dchop -out BENCH_hop.json
 fi
