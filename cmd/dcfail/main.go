@@ -1,0 +1,122 @@
+// Command dcfail runs the kill-and-recover sweep on the replicated
+// live ring served over the network query service and records the
+// recovery envelope (detection, re-ownership, first post-kill answer)
+// to a JSON snapshot, BENCH_failover.json by default. scripts/bench.sh
+// invokes it; CI runs it with -short.
+//
+// The run is gated on the membership layer's promises: zero incorrect
+// answers, zero hard failures, every fragment re-owned from its
+// replica with nothing lost, and recovery (both re-ownership and the
+// first fully post-kill answer) inside gateFactor death timeouts — a
+// failover regression can never produce a quiet green run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// gateFactor bounds recovery as a multiple of the failure detector's
+// death timeout: detection itself costs one timeout, so promotion,
+// splice, and client failover together get at most one more.
+const gateFactor = 2
+
+func main() {
+	rows := flag.Int("rows", 1<<17, "lineitem rows")
+	clients := flag.Int("clients", 8, "concurrent network clients")
+	queries := flag.Int("queries", 300, "queries per ring size")
+	sizes := flag.String("sizes", "3,4,5", "comma-separated ring sizes; one node is killed in each")
+	out := flag.String("out", "BENCH_failover.json", "output JSON path")
+	short := flag.Bool("short", false, "CI smoke: small data, few queries")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Parse()
+
+	if *short {
+		*rows = 1 << 15
+		*queries = 150
+		*sizes = "3,5"
+	}
+	var ringSizes []int
+	for _, s := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 2 {
+			fatal("bad -sizes entry %q", s)
+		}
+		ringSizes = append(ringSizes, v)
+	}
+
+	fmt.Printf("== failover sweep: %d rows, %d clients, %d queries, ring sizes %v ==\n",
+		*rows, *clients, *queries, ringSizes)
+	res, err := experiments.FailoverSweep(*rows, *clients, *queries, ringSizes, *seed)
+	if err != nil {
+		fatal("sweep: %v", err)
+	}
+	fmt.Print(res)
+
+	if err := gate(res); err != nil {
+		fatal("gate: %v", err)
+	}
+
+	snapshot := struct {
+		Date  string `json:"date"`
+		Short bool   `json:"short"`
+		Suite string `json:"suite"`
+		*experiments.FailoverResult
+	}{
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		Short:          *short,
+		Suite:          "failover-sweep",
+		FailoverResult: res,
+	}
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+	fmt.Printf("== wrote %s ==\n", *out)
+}
+
+// gate enforces the failover invariants on every recorded run.
+func gate(res *experiments.FailoverResult) error {
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		if run.Incorrect != 0 {
+			return fmt.Errorf("%d nodes: %d incorrect answers — correctness is absolute", run.Nodes, run.Incorrect)
+		}
+		if run.Failed != 0 {
+			return fmt.Errorf("%d nodes: %d hard query failures", run.Nodes, run.Failed)
+		}
+		if !run.Reowned || run.LostFrags != 0 {
+			return fmt.Errorf("%d nodes: fragments not recovered (reowned=%v, lost=%d)",
+				run.Nodes, run.Reowned, run.LostFrags)
+		}
+		if run.Promotions == 0 {
+			return fmt.Errorf("%d nodes: kill produced no promotions — the victim owned nothing?", run.Nodes)
+		}
+		budget := gateFactor * run.DeadTimeoutMs
+		if run.ReownMs > budget {
+			return fmt.Errorf("%d nodes: re-ownership took %dms, budget %dms (%d× death timeout)",
+				run.Nodes, run.ReownMs, budget, gateFactor)
+		}
+		if run.FirstOKMs < 0 || run.FirstOKMs > budget {
+			return fmt.Errorf("%d nodes: first post-kill answer at %dms, budget %dms (%d× death timeout)",
+				run.Nodes, run.FirstOKMs, budget, gateFactor)
+		}
+	}
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dcfail: "+format+"\n", args...)
+	os.Exit(1)
+}

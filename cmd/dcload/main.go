@@ -47,6 +47,11 @@ func main() {
 		sql       = flag.String("q", "", "single SQL query (default: TPC-H demo mix)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-query timeout")
 		hopstats  = flag.Bool("hopstats", false, "report hop-transport stats: messages, batch fill, parked fragments")
+		replicas  = flag.Int("replicas", 0, "fragment replicas per owner, enables membership (selfserve)")
+		hb        = flag.Duration("hb", 0, "heartbeat interval for the failure detector (selfserve, 0 = default)")
+		kill      = flag.Duration("kill", 0, "kill one node this long into the run (selfserve failover drill)")
+		killnode  = flag.Int("killnode", 1, "node to kill in -kill mode")
+		memstats  = flag.Bool("memstats", false, "report membership stats: view, liveness, replicas, failovers")
 	)
 	flag.Parse()
 
@@ -58,7 +63,7 @@ func main() {
 	switch {
 	case *selfserve:
 		var err error
-		ring, srv, err = startRing(*nodes, *sf, *seed, *transport, *inflight, *queue)
+		ring, srv, err = startRing(*nodes, *sf, *seed, *transport, *inflight, *queue, *replicas, *hb)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcload:", err)
 			os.Exit(1)
@@ -66,13 +71,34 @@ func main() {
 		defer ring.Close()
 		defer srv.Close()
 		targets = srv.Addrs()
-		fmt.Printf("selfserve: %d-node ring over TPC-H sf=%g, inflight=%d queue=%d\n",
-			*nodes, *sf, *inflight, *queue)
+		fmt.Printf("selfserve: %d-node ring over TPC-H sf=%g, inflight=%d queue=%d replicas=%d\n",
+			*nodes, *sf, *inflight, *queue, *replicas)
 	case *addrs != "":
 		targets = strings.Split(*addrs, ",")
 	default:
 		fmt.Fprintln(os.Stderr, "dcload: need -addrs or -selfserve")
 		os.Exit(1)
+	}
+
+	if *kill > 0 {
+		if srv == nil {
+			fmt.Fprintln(os.Stderr, "dcload: -kill needs -selfserve (an external server is not ours to kill)")
+			os.Exit(1)
+		}
+		if *replicas <= 0 {
+			fmt.Fprintln(os.Stderr, "dcload: -kill needs -replicas > 0 (no failover without replica copies)")
+			os.Exit(1)
+		}
+		if *killnode < 0 || *killnode >= ring.Size() {
+			fmt.Fprintf(os.Stderr, "dcload: -killnode %d out of range for a %d-node ring\n", *killnode, ring.Size())
+			os.Exit(1)
+		}
+		s, victim := srv, *killnode
+		killTimer := time.AfterFunc(*kill, func() {
+			fmt.Printf("kill: node %d down at t=%s\n", victim, *kill)
+			s.KillNode(victim)
+		})
+		defer killTimer.Stop()
 	}
 
 	mix := []string{tpch.Q6ishSQL, tpch.Q1SQL, tpch.Q3ishSQL}
@@ -102,12 +128,76 @@ func main() {
 	if *hopstats {
 		reportHop(targets, ring)
 	}
+	if *memstats {
+		reportMemb(targets, ring)
+	}
 	for _, e := range res.errors {
 		fmt.Fprintln(os.Stderr, "dcload:", e)
+	}
+	if *kill > 0 {
+		// Failover drill: correctness is absolute (a single wrong answer
+		// fails the run), but a bounded number of hard failures is the
+		// cost of killing a node under load — every client session may
+		// lose at most the query it had in flight on the dead node.
+		if res.incorrect > 0 || res.ok == 0 || res.failed > int64(*clients) {
+			os.Exit(1)
+		}
+		return
 	}
 	if res.failed > 0 || res.incorrect > 0 || res.ok == 0 {
 		os.Exit(1)
 	}
+}
+
+// reportMemb prints the membership outcome of the run: view version,
+// liveness counts, replica health, and how many failovers/promotions
+// the ring performed. A self-served ring is read directly; external
+// targets are asked over the wire.
+func reportMemb(targets []string, ring *dc.LiveRing) {
+	var ms dc.LiveMembershipStats
+	if ring != nil {
+		ms = ring.MembershipStats()
+	} else {
+		for _, addr := range targets {
+			cl, err := dcclient.Dial(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcload: membership stats: skipping %s: %v\n", addr, err)
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			st, err := cl.Stats(ctx)
+			cancel()
+			cl.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcload: membership stats: skipping %s: %v\n", addr, err)
+				continue
+			}
+			ms.Enabled = ms.Enabled || st.MembEnabled
+			if st.MembViewVersion > ms.ViewVersion {
+				ms.ViewVersion = st.MembViewVersion
+				ms.Alive, ms.Suspect, ms.Dead = st.MembAlive, st.MembSuspect, st.MembDead
+			}
+			ms.Replicas += st.MembReplicas
+			ms.ReplicaLag += st.MembReplicaLag
+			if st.MembFailovers > ms.Failovers {
+				ms.Failovers = st.MembFailovers
+			}
+			ms.Promotions += st.MembPromotions
+			ms.LostFrags += st.MembLostFrags
+			ms.BeatsSent += st.MembBeatsSent
+			ms.BeatsRecv += st.MembBeatsRecv
+		}
+	}
+	if !ms.Enabled {
+		fmt.Println("\nmembership: disabled (replicas=0)")
+		return
+	}
+	fmt.Printf("\nmembership: view v%d, %d alive / %d suspect / %d dead\n",
+		ms.ViewVersion, ms.Alive, ms.Suspect, ms.Dead)
+	fmt.Printf("replication: %d replica copies held, %d behind the catalog, %d lost\n",
+		ms.Replicas, ms.ReplicaLag, ms.LostFrags)
+	fmt.Printf("failover: %d failovers, %d promotions, beats %d sent / %d received\n",
+		ms.Failovers, ms.Promotions, ms.BeatsSent, ms.BeatsRecv)
 }
 
 // reportCache prints the hot-set cache outcome of the run: how many
@@ -228,7 +318,7 @@ func reportHop(targets []string, ring *dc.LiveRing) {
 	}
 }
 
-func startRing(nodes int, sf float64, seed int64, transport string, inflight, queue int) (*dc.LiveRing, *dc.QueryServer, error) {
+func startRing(nodes int, sf float64, seed int64, transport string, inflight, queue, replicas int, hb time.Duration) (*dc.LiveRing, *dc.QueryServer, error) {
 	ringCfg := dc.DefaultLiveConfig()
 	switch transport {
 	case "inproc":
@@ -237,6 +327,10 @@ func startRing(nodes int, sf float64, seed int64, transport string, inflight, qu
 		ringCfg.Transport = live.TCP
 	default:
 		return nil, nil, fmt.Errorf("unknown transport %q", transport)
+	}
+	ringCfg.Replicas = replicas
+	if hb > 0 {
+		ringCfg.Heartbeat.HeartbeatInterval = hb
 	}
 	db := tpch.GenDB(sf, seed)
 	columns := db.ColumnMap()

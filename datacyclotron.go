@@ -35,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/live"
 	"repro/internal/mal"
+	"repro/internal/membership"
 	"repro/internal/minisql"
 	"repro/internal/server"
 )
@@ -94,6 +95,14 @@ type (
 	// batch fill, LOI-pacing park state — of a live node
 	// (LiveNode.HopStats) or a whole ring (LiveRing.HopStats).
 	LiveHopStats = live.HopStats
+	// LiveMembershipStats snapshots the elastic-membership state —
+	// view version, liveness counts, replica health, failovers — of a
+	// live node (LiveNode.MembershipStats) or a whole ring
+	// (LiveRing.MembershipStats).
+	LiveMembershipStats = live.MembershipStats
+	// HeartbeatConfig tunes the ring's failure detector
+	// (LiveConfig.Heartbeat; consulted when LiveConfig.Replicas > 0).
+	HeartbeatConfig = membership.Config
 )
 
 // Hot-set cache eviction policies (LiveConfig.CacheMode). The cache

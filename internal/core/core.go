@@ -167,6 +167,13 @@ type ownedBAT struct {
 	idleCycles int
 	parked     bool
 	parkedMsg  BATMsg
+
+	// initLOI, when non-zero, overrides Config.InitialLOI for this
+	// BAT's next ring admission and is then consumed. A replica
+	// promoted to owner after a node death enters circulation with the
+	// interest it had accumulated before the crash instead of starting
+	// cold (§6.3).
+	initLOI float64
 }
 
 // request is an S2 entry: one outstanding request aggregating all local
@@ -209,6 +216,8 @@ type Stats struct {
 	CacheInterest     uint64 // pins served node-locally, folded into LOI
 	BATsParked        uint64 // idle BATs held at their owner (LOI pacing)
 	BATsUnparked      uint64 // parked BATs re-admitted by an interest signal
+	BATsPromoted      uint64 // replicas adopted as owned after a node death
+	OrbitsSuspected   uint64 // circulating BATs marked lost after a node death
 }
 
 // Runtime is the Data Cyclotron layer of one node.
@@ -301,6 +310,54 @@ func (rt *Runtime) AddOwned(b BATID, size int) {
 // pass at this node runs hot-set management as usual.
 func (rt *Runtime) AdoptOwned(b BATID, size int, loaded bool) {
 	rt.s1[b] = &ownedBAT{id: b, size: size, loaded: loaded}
+}
+
+// PromoteOwned registers b as owned by way of replica promotion after
+// its previous owner died (§6.3). The BAT enters S1 cold (not loaded),
+// so the next interest signal re-admits it through the normal tryLoad
+// path; loi carries the level of interest the fragment had accumulated
+// while circulating from its dead owner, so a hot fragment resumes as
+// hot instead of re-earning its place from zero.
+func (rt *Runtime) PromoteOwned(b BATID, size int, loi float64) {
+	rt.s1[b] = &ownedBAT{id: b, size: size, initLOI: loi}
+	rt.stats.BATsPromoted++
+	// Queries that pinned b while its old owner was (silently) dead are
+	// still blocked in S3, waiting on a delivery that died with it. The
+	// promotion makes this node the owner, so those pins are served the
+	// same way Pin serves an owner's query: from local storage, now.
+	if pins := rt.s3[b]; len(pins) > 0 {
+		for q := range pins {
+			rt.deliver(b, q)
+		}
+		delete(rt.s3, b)
+		rt.finishRequestIfDone(b)
+	}
+}
+
+// SuspectOrbit marks every owned, circulating BAT as unloaded: called
+// on the survivors of a ring membership failure, whose in-flight
+// envelopes may have died in the dead node's queues. The owner cannot
+// tell a lost envelope from a slow one, so it assumes loss: the next
+// interest signal re-admits the BAT through tryLoad exactly like a
+// first load (requesters' resend timers fire within one ResendTimeout,
+// so a fragment someone is waiting for re-enters orbit in bounded
+// time). An envelope that in fact survived keeps circulating and
+// serving pins until it returns here, where hot-set management drops
+// unloaded arrivals silently — at most one transient duplicate, never
+// a lost fragment. Parked BATs hold their envelope locally and keep it.
+func (rt *Runtime) SuspectOrbit() int {
+	n := 0
+	for _, o := range rt.s1 {
+		if o.loaded && !o.parked {
+			o.loaded = false
+			o.idleCycles = 0
+			n++
+			rt.stats.OrbitsSuspected++
+			rt.env.OnUnload(o.id, o.size)
+		}
+	}
+	rt.adaptLOIT()
+	return n
 }
 
 // RemoveOwned drops b from S1 (used by ownership handover in pulsating
@@ -689,9 +746,21 @@ func (rt *Runtime) load(o *ownedBAT) {
 		Owner: rt.id,
 		BAT:   o.id,
 		Size:  o.size,
-		LOI:   rt.cfg.InitialLOI,
+		LOI:   rt.admitLOI(o),
 	})
 	rt.adaptLOIT()
+}
+
+// admitLOI is the level of interest a BAT enters the ring with:
+// normally Config.InitialLOI, but a promoted replica's first admission
+// consumes the interest it accumulated before its owner died.
+func (rt *Runtime) admitLOI(o *ownedBAT) float64 {
+	if o.initLOI != 0 {
+		loi := o.initLOI
+		o.initLOI = 0
+		return loi
+	}
+	return rt.cfg.InitialLOI
 }
 
 func (rt *Runtime) unpend(b BATID) {
@@ -731,7 +800,7 @@ func (rt *Runtime) LoadAll() {
 			o.loaded = true
 			rt.stats.BATsLoaded++
 			rt.env.OnLoad(o.id, o.size)
-			rt.env.SendData(BATMsg{Owner: rt.id, BAT: o.id, Size: o.size, LOI: rt.cfg.InitialLOI})
+			rt.env.SendData(BATMsg{Owner: rt.id, BAT: o.id, Size: o.size, LOI: rt.admitLOI(o)})
 		} else {
 			remaining = append(remaining, id)
 		}

@@ -4,6 +4,15 @@
 // Connections are pooled and reused across queries; protocol-level
 // errors (rejection, drain, query failure) keep the connection alive,
 // transport errors discard it.
+//
+// The client treats its node address as a cache, not a binding: every
+// handshake refreshes the ring's full address list and per-node
+// liveness (the server's membership view), and when the home node
+// dies mid-run the client fails the query over to a surviving node
+// and rehomes there. Queries are read-only, so cross-node retry is
+// sound; server-answered errors (RemoteError) are never retried, with
+// one exception — a draining answer means "this node is leaving the
+// ring", which is exactly when a survivor should get the query.
 package dcclient
 
 import (
@@ -39,13 +48,14 @@ func DefaultConfig() Config {
 // ErrClosed is returned by operations on a closed client.
 var ErrClosed = errors.New("dcclient: client closed")
 
-// Client talks to one node of a served ring.
+// Client talks to one node of a served ring, failing over to another
+// when that node dies.
 type Client struct {
-	addr  string
-	cfg   Config
-	hello server.Hello
+	cfg Config
 
 	mu     sync.Mutex
+	addr   string       // current home address (rehomed on failover)
+	hello  server.Hello // last good handshake: ring info + routing cache
 	idle   []*conn
 	closed bool
 }
@@ -113,8 +123,22 @@ func (cl *Client) Node() server.Hello {
 	return cl.hello
 }
 
-// Addr reports the server address this client talks to.
-func (cl *Client) Addr() string { return cl.addr }
+// Addr reports the server address this client currently talks to (the
+// original Dial target, or the node it rehomed onto after a failover).
+func (cl *Client) Addr() string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.addr
+}
+
+// Peers reports the routing cache from the last good handshake: every
+// ring node's address and whether the serving node's membership view
+// has it alive. Empty when the server predates the membership protocol.
+func (cl *Client) Peers() (addrs []string, alive []bool) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return append([]string(nil), cl.hello.Addrs...), append([]bool(nil), cl.hello.Alive...)
+}
 
 // Query executes sql on the connected node, honouring ctx's deadline
 // and cancellation for the whole round trip (including dialing a fresh
@@ -125,47 +149,110 @@ func (cl *Client) Addr() string { return cl.addr }
 // response byte arrived (the idempotent point — TCP gives no ack
 // visibility, so "nothing heard back" is the observable stand-in for
 // "request not accepted", sound for this read-only query protocol),
-// the query is retried exactly once on a freshly dialed connection
-// instead of surfacing a transport error to the caller. Deadline
-// expiries and errors on fresh connections are never retried.
+// the query is retried exactly once on a freshly dialed connection.
+//
+// When the home node itself is gone — dial fails, or the retry dies on
+// the wire too — the query fails over: surviving peers from the routing
+// cache are tried in ring order, and the first one that answers becomes
+// the new home. Deadline expiries and server-answered errors
+// (RemoteError) are never retried anywhere — except a draining answer,
+// which marks the node as leaving the ring and fails over like a dead
+// connection.
 func (cl *Client) Query(ctx context.Context, sql string) (*mal.ResultSet, error) {
 	cn, err := cl.get(ctx)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, ErrClosed) || ctx.Err() != nil {
+			return nil, err
+		}
+		return cl.queryFailover(ctx, sql, err)
 	}
 	wasReused := cn.reused
-	rs, err, retryable := cl.run(ctx, cn, sql)
-	if err == nil || !wasReused || !retryable {
+	rs, err, preByte, transport := cl.run(ctx, cn, sql)
+	if err == nil || !transport {
 		return rs, err
 	}
-	fresh, derr := cl.freshConn(ctx)
-	if derr != nil {
-		return nil, err // the original failure stands
+	if wasReused && preByte {
+		fresh, derr := cl.freshConn(ctx)
+		if derr == nil {
+			rs, err, _, transport = cl.run(ctx, fresh, sql)
+			if err == nil || !transport {
+				return rs, err
+			}
+		}
 	}
-	rs, err, _ = cl.run(ctx, fresh, sql)
-	return rs, err
+	return cl.queryFailover(ctx, sql, err)
+}
+
+// queryFailover retries sql against surviving peers after the home node
+// failed with orig. Candidates come from the routing cache of the last
+// good handshake, tried in ring order starting after the home position
+// and skipping nodes the membership view has declared dead. The first
+// peer whose handshake succeeds becomes the new home (its Hello also
+// refreshes the cache); a server-answered error from it settles the
+// query — the ring is alive, the query itself is the problem. If every
+// candidate is unreachable, the original failure stands.
+func (cl *Client) queryFailover(ctx context.Context, sql string, orig error) (*mal.ResultSet, error) {
+	cl.mu.Lock()
+	home := cl.addr
+	homeIdx := cl.hello.Node
+	addrs := append([]string(nil), cl.hello.Addrs...)
+	alive := append([]bool(nil), cl.hello.Alive...)
+	cl.mu.Unlock()
+	if len(addrs) == 0 {
+		return nil, orig // no routing cache: nothing to fail over to
+	}
+	for k := 1; k <= len(addrs); k++ {
+		if ctx.Err() != nil {
+			return nil, orig
+		}
+		i := (homeIdx + k) % len(addrs)
+		if addrs[i] == home || !alive[i] {
+			continue
+		}
+		cn, err := cl.dialPeer(ctx, addrs[i])
+		if err != nil {
+			continue // unreachable too; try the next survivor
+		}
+		cl.rehome(addrs[i])
+		rs, err, _, transport := cl.run(ctx, cn, sql)
+		if err == nil || !transport {
+			return rs, err
+		}
+	}
+	return nil, orig
 }
 
 // run performs one round trip on cn, settling the connection (pooled on
 // protocol-level outcomes, closed on transport errors) and mapping
-// context errors. retryable reports a transport failure that happened
-// before any response byte and not through a deadline.
-func (cl *Client) run(ctx context.Context, cn *conn, sql string) (rs *mal.ResultSet, err error, retryable bool) {
+// context errors. preByte reports that the failure happened before any
+// response byte arrived; transport reports a failure that justifies
+// trying another node — a dead connection (neither a server-answered
+// error nor a deadline), or a server that answered it is draining.
+func (cl *Client) run(ctx context.Context, cn *conn, sql string) (rs *mal.ResultSet, err error, preByte, transport bool) {
 	before := cn.cr.n
 	rs, err = cn.roundTrip(ctx, cl.cfg.MaxFrame, sql)
 	if err == nil {
 		cl.put(cn)
-		return rs, nil, false
+		return rs, nil, false, false
 	}
 	var re *server.RemoteError
 	if errors.As(err, &re) {
+		if re.Code == server.CodeDraining {
+			// The node is shutting down — or the ring declared it dead
+			// and its server is refusing queries. The answer is
+			// authoritative for this node but not for the query: it
+			// deserves a survivor, so report it failover-eligible. The
+			// connection has nothing more to offer.
+			cn.c.Close()
+			return nil, err, false, true
+		}
 		// The server answered; the connection is still in protocol.
 		cl.put(cn)
-		return nil, err, false
+		return nil, err, false, false
 	}
 	cn.c.Close()
 	if ctx.Err() != nil {
-		return nil, ctx.Err(), false
+		return nil, ctx.Err(), false, false
 	}
 	// The only socket deadline is the one mapped from ctx, so a
 	// timeout is the context's deadline even when the socket clock
@@ -173,11 +260,11 @@ func (cl *Client) run(ctx context.Context, cn *conn, sql string) (rs *mal.Result
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		if _, ok := ctx.Deadline(); ok {
-			return nil, context.DeadlineExceeded, false
+			return nil, context.DeadlineExceeded, false, false
 		}
-		return nil, err, false
+		return nil, err, false, false
 	}
-	return nil, err, cn.cr.n == before
+	return nil, err, cn.cr.n == before, true
 }
 
 // Stats fetches the serving node's counters (queries, admission,
@@ -281,6 +368,54 @@ func (cl *Client) freshConn(ctx context.Context) (*conn, error) {
 	return cl.dial(ctx)
 }
 
+// Refresh re-handshakes with the home node on a fresh connection,
+// updating the routing cache (address list, liveness, view version)
+// from its current membership view; the connection is then pooled. The
+// cache otherwise refreshes only when a dial happens naturally — on an
+// empty pool or a failover.
+func (cl *Client) Refresh(ctx context.Context) error {
+	cn, err := cl.freshConn(ctx)
+	if err != nil {
+		return err
+	}
+	cl.put(cn)
+	return nil
+}
+
+// dialPeer dials a specific peer address with the same deadline
+// bounding as freshConn.
+func (cl *Client) dialPeer(ctx context.Context, addr string) (*conn, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cl.mu.Unlock()
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cl.cfg.DialTimeout)
+		defer cancel()
+	}
+	return cl.dialAddr(ctx, addr)
+}
+
+// rehome makes addr the client's home node: the idle pool (connections
+// to the old home) is discarded, and subsequent queries dial addr.
+func (cl *Client) rehome(addr string) {
+	cl.mu.Lock()
+	if cl.addr == addr {
+		cl.mu.Unlock()
+		return
+	}
+	cl.addr = addr
+	idle := cl.idle
+	cl.idle = nil
+	cl.mu.Unlock()
+	for _, cn := range idle {
+		cn.c.Close()
+	}
+}
+
 // Close releases all pooled connections.
 func (cl *Client) Close() error {
 	cl.mu.Lock()
@@ -328,12 +463,19 @@ func (cl *Client) put(cn *conn) {
 	cl.mu.Unlock()
 }
 
-// dial establishes and handshakes one connection under ctx.
+// dial establishes and handshakes one connection to the current home
+// address under ctx.
 func (cl *Client) dial(ctx context.Context) (*conn, error) {
+	return cl.dialAddr(ctx, cl.Addr())
+}
+
+// dialAddr establishes and handshakes one connection to addr under
+// ctx. The handshake's Hello refreshes the routing cache.
+func (cl *Client) dialAddr(ctx context.Context, addr string) (*conn, error) {
 	var d net.Dialer
-	c, err := d.DialContext(ctx, "tcp", cl.addr)
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("dcclient: dial %s: %w", cl.addr, err)
+		return nil, fmt.Errorf("dcclient: dial %s: %w", addr, err)
 	}
 	cr := &countingReader{r: c}
 	cn := &conn{c: c, cr: cr, br: bufio.NewReader(cr), bw: bufio.NewWriter(c)}

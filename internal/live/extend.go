@@ -43,9 +43,9 @@ var nextDynamicID int64 = int64(firstDynamicID)
 func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 	// Exact admission check: the codec reports the encoded size to the
 	// byte, so the only overhead to account for is the fixed envelope.
-	if wire := dataHdrSize + bat.MarshalSize(b); wire > n.dataOut.MaxMessage() {
+	if wire := dataHdrSize + bat.MarshalSize(b); wire > n.ring.MaxMessage() {
 		return 0, fmt.Errorf("live: intermediate %q (%d wire bytes) exceeds ring message limit %d",
-			name, wire, n.dataOut.MaxMessage())
+			name, wire, n.ring.MaxMessage())
 	}
 	r := n.ring
 	r.idsMu.Lock()
@@ -57,12 +57,39 @@ func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 	r.cols[name] = &colFrags{ids: []core.BATID{id}}
 	r.names = append(r.names, name)
 	r.fragVer[id] = &atomic.Int64{}
+	r.fragCol[id] = name
 	r.idsMu.Unlock()
 
 	n.mu.Lock()
 	n.store[id] = b
 	n.rt.AddOwned(id, b.Bytes())
 	n.mu.Unlock()
+
+	// Replica placement follows the same rule as base fragments: the
+	// next Replicas live ring successors of the owner each get a copy,
+	// so a published intermediate survives its owner's death too.
+	if r.cfg.Replicas > 0 {
+		total := len(r.nodes)
+		chain := make([]core.NodeID, 0, r.cfg.Replicas)
+		for k := 1; k <= total && len(chain) < r.cfg.Replicas; k++ {
+			rep := r.nodes[(int(n.id)+k)%total]
+			if rep.id == n.id || r.isDead(rep.id) {
+				continue
+			}
+			rep.mu.Lock()
+			rep.replicas[id] = &replicaFrag{b: b}
+			rep.mu.Unlock()
+			chain = append(chain, rep.id)
+		}
+		r.memMu.Lock()
+		r.fragOwner[id] = n.id
+		r.fragReplicas[id] = chain
+		r.memMu.Unlock()
+	} else {
+		r.memMu.Lock()
+		r.fragOwner[id] = n.id
+		r.memMu.Unlock()
+	}
 	return id, nil
 }
 
@@ -152,9 +179,9 @@ func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error
 		if len(ids) > 1 {
 			nf = next.Slice(sp[0], sp[1])
 		}
-		if wire := dataHdrSize + bat.MarshalSize(nf); wire > owners[i].dataOut.MaxMessage() {
+		if wire := dataHdrSize + bat.MarshalSize(nf); wire > r.MaxMessage() {
 			return 0, fmt.Errorf("live: new version of %q fragment %d (%d wire bytes) exceeds ring message limit %d",
-				name, i, wire, owners[i].dataOut.MaxMessage())
+				name, i, wire, r.MaxMessage())
 		}
 		newFrags[i] = nf
 	}
@@ -168,17 +195,40 @@ func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error
 	// versioning is per fragment, the granularity at which data lives in
 	// the ring (each fragment individually is always a consistent
 	// version, and readers holding old payloads continue on them).
-	lockOrder := make([]*Node, 0, len(owners))
-	for _, owner := range owners {
-		dup := false
-		for _, seen := range lockOrder {
-			if seen == owner {
-				dup = true
-				break
+	// Surviving replica holders join the critical section too: replicas
+	// are installed at the new version *before* the catalog advances, so
+	// a failover that promotes a replica (serialized against this very
+	// column lock) always finds catalog-current bytes — the PR 5
+	// staleness contract extended to promoted replicas.
+	var repNodes map[core.BATID][]*Node
+	if r.cfg.Replicas > 0 {
+		repNodes = make(map[core.BATID][]*Node, len(ids))
+		r.memMu.RLock()
+		for _, id := range ids {
+			for _, nid := range r.fragReplicas[id] {
+				if !r.deadNodes[nid] {
+					repNodes[id] = append(repNodes[id], r.nodes[nid])
+				}
 			}
 		}
-		if !dup {
-			lockOrder = append(lockOrder, owner)
+		r.memMu.RUnlock()
+	}
+
+	lockOrder := make([]*Node, 0, len(owners))
+	addLocked := func(node *Node) {
+		for _, seen := range lockOrder {
+			if seen == node {
+				return
+			}
+		}
+		lockOrder = append(lockOrder, node)
+	}
+	for _, owner := range owners {
+		addLocked(owner)
+	}
+	for _, reps := range repNodes {
+		for _, rep := range reps {
+			addLocked(rep)
 		}
 	}
 	sort.Slice(lockOrder, func(i, j int) bool { return lockOrder[i].id < lockOrder[j].id })
@@ -202,6 +252,16 @@ func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error
 		}
 		// Keep the catalog size honest for admission decisions.
 		owner.rt.AdoptOwned(id, newFrags[i].Bytes(), owner.rt.Loaded(id))
+		// Replicas first, then the catalog: a promotion serialized
+		// behind this critical section must find its replica already at
+		// the version the catalog reports.
+		for _, rep := range repNodes[id] {
+			loi := 0.0
+			if old := rep.replicas[id]; old != nil {
+				loi = old.loi
+			}
+			rep.replicas[id] = &replicaFrag{b: newFrags[i], ver: newVer, loi: loi}
+		}
 		// Advance the catalog version while the owner's store and the
 		// column lock are still held: any pin that reads the catalog
 		// from here on can no longer validate an entry labelled with an
@@ -246,17 +306,29 @@ func (r *Ring) Version(name string) (int, error) {
 	return version, nil
 }
 
-// ownerOf finds the node whose data loader owns id.
+// ownerOf finds the node whose data loader owns id, preferring a live
+// owner. In the window between a node's death and its fragments'
+// promotion the only owner on record may be the dead node; updating
+// through it is still correct — the surviving replicas are written at
+// the new version inside the column-locked critical section, and the
+// promotion (serialized on the same lock) installs exactly the catalog
+// version.
 func (r *Ring) ownerOf(id core.BATID) *Node {
+	var deadOwner *Node
 	for _, n := range r.nodes {
 		n.mu.Lock()
 		owns := n.rt.Owns(id)
 		n.mu.Unlock()
 		if owns {
-			return n
+			if !r.isDead(n.id) {
+				return n
+			}
+			if deadOwner == nil {
+				deadOwner = n
+			}
 		}
 	}
-	return nil
+	return deadOwner
 }
 
 // columnLock returns the per-column update mutex, creating it lazily.

@@ -110,10 +110,20 @@ func (r *Ring) fragVersion(id core.BATID) int {
 	return int(p.Load())
 }
 
+// fragKnown reports whether id is a published fragment in the ring
+// catalog — the authority consulted before a full-circle request is
+// allowed to conclude "BAT does not exist".
+func (r *Ring) fragKnown(id core.BATID) bool {
+	r.idsMu.RLock()
+	_, ok := r.fragVer[id]
+	r.idsMu.RUnlock()
+	return ok
+}
+
 // MaxMessage reports the ring's data message limit — what every RDMA
 // memory region is sized to. With fragmentation on, it is keyed to the
 // largest fragment rather than the largest column.
-func (r *Ring) MaxMessage() int { return r.nodes[0].dataOut.MaxMessage() }
+func (r *Ring) MaxMessage() int { return r.maxMsgBytes }
 
 // MaxHopBytes reports the largest single data message any node has put
 // on the ring so far.

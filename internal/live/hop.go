@@ -226,7 +226,7 @@ func (n *Node) flushHopBatch(batch []hopEntry) {
 		e := batch[0]
 		wire = int64(dataHdrSize + len(e.ent.raw))
 		n.countHopMsg(wire, 1)
-		n.dataOut.SendEncoded(int(wire), func(dst []byte) int {
+		n.linkDataOut().SendEncoded(int(wire), func(dst []byte) int {
 			encodeDataHdr(dst, e.m, e.ver, len(e.ent.raw))
 			return dataHdrSize + copy(dst[dataHdrSize:], e.ent.raw)
 		})
@@ -252,7 +252,7 @@ func (n *Node) flushHopBatch(batch []hopEntry) {
 	// One vectored send: header block and cached payloads go to the wire
 	// in a single gather write; SendVectored returns only after the
 	// transport is done with the parts, so the deferred releases are safe.
-	n.dataOut.SendVectored(parts)
+	n.linkDataOut().SendVectored(parts)
 }
 
 // countHopMsg records one outbound data message of the given wire size
@@ -295,7 +295,7 @@ func (n *Node) HopStats() HopStats {
 	n.mu.Unlock()
 	s.ParkedTotal = int64(st.BATsParked)
 	s.Unparked = int64(st.BATsUnparked)
-	s.PoolAcquires, s.PoolWaits = n.dataOut.PoolStats()
+	s.PoolAcquires, s.PoolWaits = n.linkDataOut().PoolStats()
 	return s
 }
 

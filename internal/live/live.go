@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dcopt"
 	"repro/internal/mal"
+	"repro/internal/membership"
 	"repro/internal/minisql"
 	"repro/internal/rdma"
 	"repro/internal/wirebuf"
@@ -76,6 +77,19 @@ type Config struct {
 	// first fragment of a batch pays it; keep it well under the query
 	// latencies being protected.
 	HopBatchLinger time.Duration
+	// Replicas installs each fragment on its owner plus this many ring
+	// successors and enables the elastic-membership subsystem:
+	// heartbeat failure detection multiplexed on the data links, a
+	// monotonically versioned membership view gossiped with the beats,
+	// and automatic failover (replica promotion, catalog repair, ring
+	// splice) when a node is declared dead. 0 disables all of it — no
+	// detectors, no heartbeat traffic, no replica state — leaving the
+	// single-owner ring byte-identical to the pre-membership path.
+	Replicas int
+	// Heartbeat tunes the failure detector (pulse interval, missed-beat
+	// suspicion and death thresholds). Zero fields take membership
+	// defaults; only consulted when Replicas > 0.
+	Heartbeat membership.Config
 	// placeFragment overrides the round-robin fragment placement
 	// (test hook: shuffled placements exercise adverse arrival orders).
 	placeFragment func(frag, nodes int) int
@@ -120,6 +134,31 @@ type Ring struct {
 	updMuMu sync.Mutex
 	updMu   map[string]*sync.Mutex
 	wg      sync.WaitGroup
+
+	// Exact ring message limit and data-link depth, kept so failover
+	// can build replacement messengers identical to the originals.
+	maxMsgBytes int
+	dataDepth   int
+
+	// fragCol maps every fragment id back to its column name (guarded
+	// by idsMu, extended by Publish): failover groups a dead node's
+	// fragments by column so promotion serializes against UpdateColumn
+	// through the same per-column lock.
+	fragCol map[core.BATID]string
+
+	// Membership state (zero-valued and untouched when Replicas is 0).
+	// memMu guards deadNodes, fragOwner, and fragReplicas; it is never
+	// acquired while holding a node's mu (lock order: memMu first).
+	memMu        sync.RWMutex
+	deadNodes    map[core.NodeID]bool
+	fragOwner    map[core.BATID]core.NodeID
+	fragReplicas map[core.BATID][]core.NodeID
+	// failMu serializes failovers (several survivors may declare the
+	// same death within one heartbeat interval).
+	failMu     sync.Mutex
+	failovers  int64 // atomic: nodes declared dead and failed over
+	promotions int64 // atomic: fragments re-owned from replicas
+	lostFrags  int64 // atomic: fragments dead with no surviving replica
 }
 
 // Node is one live ring participant.
@@ -148,6 +187,12 @@ type Node struct {
 	waiters map[waitKey]chan delivered
 	errs    map[core.QueryID]chan error
 
+	// The four neighbour links. linkMu guards the pointers themselves:
+	// failover splices fresh messengers around a dead neighbour at
+	// runtime, and the receive loops re-check the current link when a
+	// Recv fails (relinked vs shut down). The messengers' own methods
+	// are concurrency-safe; only the pointer swap needs the lock.
+	linkMu  sync.RWMutex
 	dataOut *rdma.Messenger // to successor (clockwise)
 	reqOut  *rdma.Messenger // to predecessor (anti-clockwise)
 	dataIn  *rdma.Messenger // from predecessor
@@ -201,6 +246,22 @@ type Node struct {
 	// interpRunning counts live interpreter goroutines (leak detector
 	// and drain hook).
 	interpRunning int64
+
+	// memb is this node's membership failure detector (nil when
+	// Config.Replicas is 0 — the same nil-gating as hot and hop).
+	memb *membership.Detector
+	// replicas holds this node's replica copies of fragments owned
+	// elsewhere (this node is within Replicas ring successors of the
+	// owner). Guarded by mu; nil when Replicas is 0.
+	replicas map[core.BATID]*replicaFrag
+
+	beatsSent int64 // atomic: heartbeat pulses sent
+	beatsRecv int64 // atomic: heartbeat pulses received
+
+	// killOnce makes node shutdown idempotent: KillNode (simulated
+	// crash), failover (authoritative death), and Ring.Close may each
+	// try to stop the same node.
+	killOnce sync.Once
 }
 
 // wireEntry caches one fragment's serialized form. Entries are
@@ -306,11 +367,21 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 	if cfg.Core.ParkIdleCycles < 0 {
 		cfg.Core.ParkIdleCycles = 0
 	}
+	if cfg.Replicas < 0 {
+		cfg.Replicas = 0
+	}
+	if cfg.Replicas >= n {
+		cfg.Replicas = n - 1 // a fragment needs at most one copy per node
+	}
 	r := &Ring{
-		cfg:     cfg,
-		cols:    map[string]*colFrags{},
-		updMu:   map[string]*sync.Mutex{},
-		fragVer: map[core.BATID]*atomic.Int64{},
+		cfg:          cfg,
+		cols:         map[string]*colFrags{},
+		updMu:        map[string]*sync.Mutex{},
+		fragVer:      map[core.BATID]*atomic.Int64{},
+		fragCol:      map[core.BATID]string{},
+		deadNodes:    map[core.NodeID]bool{},
+		fragOwner:    map[core.BATID]core.NodeID{},
+		fragReplicas: map[core.BATID][]core.NodeID{},
 	}
 	names := make([]string, 0, len(columns))
 	for name := range columns {
@@ -347,6 +418,7 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 			cf.ids = append(cf.ids, next)
 			frags = append(frags, fragEntry{next, fb})
 			r.fragVer[next] = &atomic.Int64{}
+			r.fragCol[next] = name
 			next++
 		}
 		r.cols[name] = cf
@@ -366,6 +438,16 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		}
 		dataDepth = 4
 	}
+	if cfg.Replicas > 0 {
+		// A beat gossips one status byte per ring member; make sure the
+		// data regions can carry it even on tiny test rings.
+		if bs := beatMsgSize(n); bs > maxBytes {
+			maxBytes = bs
+		}
+	}
+	r.maxMsgBytes = maxBytes
+	r.dataDepth = dataDepth
+	hbCfg := cfg.Heartbeat.WithDefaults()
 
 	// Nodes and transports.
 	for i := 0; i < n; i++ {
@@ -389,6 +471,10 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		}
 		if cfg.HopBatchBytes > 0 {
 			node.hop = newHopScheduler(cfg.HopBatchBytes, cfg.HopBatchLinger)
+		}
+		if cfg.Replicas > 0 {
+			node.replicas = map[core.BATID]*replicaFrag{}
+			node.memb = membership.NewDetector(i, n, (i-1+n)%n, hbCfg)
 		}
 		node.rt = core.New(node.id, (*liveEnv)(node), cfg.Core)
 		r.nodes = append(r.nodes, node)
@@ -435,12 +521,27 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		place = func(frag, nodes int) int { return frag % nodes }
 	}
 	for i, fe := range frags {
-		owner := r.nodes[place(i, n)%n]
+		pos := place(i, n) % n
+		owner := r.nodes[pos]
 		owner.store[fe.id] = fe.b
 		owner.rt.AddOwned(fe.id, fe.b.Bytes())
+		r.fragOwner[fe.id] = owner.id
+		if cfg.Replicas > 0 {
+			// Replica placement rule: the next Replicas ring successors
+			// of the owner each hold a copy — the chain any survivor
+			// can recompute from the fragment id alone.
+			chain := make([]core.NodeID, 0, cfg.Replicas)
+			for k := 1; k <= cfg.Replicas; k++ {
+				rep := r.nodes[(pos+k)%n]
+				rep.replicas[fe.id] = &replicaFrag{b: fe.b}
+				chain = append(chain, rep.id)
+			}
+			r.fragReplicas[fe.id] = chain
+		}
 	}
 
-	// Start receive loops, the hop scheduler, and runtime tickers.
+	// Start receive loops, the hop scheduler, heartbeats, and runtime
+	// tickers.
 	for _, node := range r.nodes {
 		node.rt.Start()
 		r.wg.Add(2)
@@ -449,6 +550,10 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		if node.hop != nil {
 			r.wg.Add(1)
 			go node.hopLoop(&r.wg)
+		}
+		if node.memb != nil {
+			r.wg.Add(1)
+			go node.beatLoop(&r.wg)
 		}
 	}
 	return r, nil
@@ -460,17 +565,11 @@ func (r *Ring) Node(i int) *Node { return r.nodes[i] }
 // Size reports the ring size.
 func (r *Ring) Size() int { return len(r.nodes) }
 
-// Close shuts the ring down.
+// Close shuts the ring down. Nodes already killed (KillNode, failover)
+// are skipped by their kill-once guard.
 func (r *Ring) Close() {
 	for _, n := range r.nodes {
-		n.mu.Lock()
-		n.rt.Stop()
-		n.mu.Unlock()
-		close(n.closed)
-		n.dataOut.Close()
-		n.reqOut.Close()
-		n.dataIn.Close()
-		n.reqIn.Close()
+		n.kill()
 	}
 	r.wg.Wait()
 }
@@ -495,9 +594,30 @@ func (r *Ring) BATID(name string) (core.BATID, bool) {
 func (n *Node) dataLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
-		data, err := n.dataIn.Recv()
+		in := n.linkDataIn()
+		data, err := in.Recv()
 		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			if n.linkDataIn() != in {
+				// Failover spliced a new predecessor link in and closed
+				// this one under us: resume receiving from the new link.
+				continue
+			}
 			return
+		}
+		if isBeatMsg(data) {
+			n.onBeat(data)
+			continue
+		}
+		if n.memb != nil {
+			// Any message on the data link is implicit proof that the
+			// predecessor lives: a node pushing bulk data is not dead,
+			// even when its explicit beats are queued behind that data.
+			n.memb.Pulse()
 		}
 		if isBatchMsg(data) {
 			// A batch envelope is several v2 messages that shared one
@@ -524,6 +644,31 @@ func (n *Node) dataLoop(wg *sync.WaitGroup) {
 // handleData processes one arrived data message (or one batch entry):
 // decode, hot-cache population, runtime delivery.
 func (n *Node) handleData(hdr core.BATMsg, ver int, rawPayload []byte) {
+	if n.memb != nil && hdr.Owner != n.id && n.ring.isDead(hdr.Owner) {
+		// An envelope orphaned by its owner's death. If failover has
+		// promoted this node to owner, adopt the envelope as our own
+		// circulating copy (hot-set management then runs as usual); the
+		// dead node's first live successor retires any other orphan so
+		// it cannot orbit forever — re-owned fragments re-enter the
+		// ring from the heir's store with the catalog version.
+		n.mu.Lock()
+		owns := n.rt.Owns(hdr.BAT)
+		myVer := n.versions[hdr.BAT]
+		n.mu.Unlock()
+		if owns {
+			if ver < myVer {
+				// A stale orbit copy outlived by the promotion: the heir's
+				// store already holds a newer version, so adopting this
+				// envelope would put superseded bytes back into
+				// circulation. Retire it; the store copy re-enters the
+				// ring through the next load.
+				return
+			}
+			hdr.Owner = n.id
+		} else if n.ring.nextAlive(hdr.Owner) == n.id {
+			return
+		}
+	}
 	var payload *bat.BAT
 	if len(rawPayload) > 0 {
 		// Zero-copy decode: the BAT's fixed-width columns alias
@@ -544,6 +689,12 @@ func (n *Node) handleData(hdr core.BATMsg, ver int, rawPayload []byte) {
 		n.hot.put(hdr.BAT, ver, payload)
 	}
 	n.mu.Lock()
+	if rp, ok := n.replicas[hdr.BAT]; ok {
+		// Replica-aware LOI accounting: remember the interest the
+		// fragment shows while circulating, so a promotion after the
+		// owner's death re-admits it at its earned heat (§6.3).
+		rp.loi = hdr.LOI
+	}
 	if payload != nil {
 		n.transit[hdr.BAT] = payload
 		n.transitVer[hdr.BAT] = ver
@@ -581,12 +732,36 @@ func (n *Node) handleData(hdr core.BATMsg, ver int, rawPayload []byte) {
 func (n *Node) reqLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
-		data, err := n.reqIn.Recv()
+		in := n.linkReqIn()
+		data, err := in.Recv()
 		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			if n.linkReqIn() != in {
+				continue // spliced: receive from the new link
+			}
 			return
 		}
 		req, err := decodeReqMsg(data)
 		if err != nil {
+			continue
+		}
+		if n.memb != nil && n.ring.isDead(req.Origin) {
+			// A dead origin can never receive the answer; absorbing the
+			// request here stops it orbiting the repaired ring.
+			continue
+		}
+		if n.memb != nil && req.Origin == n.id && n.ring.fragKnown(req.BAT) {
+			// Full circle, but the catalog still lists the fragment: no
+			// live owner absorbed the request because ownership is mid-
+			// promotion (or the re-owned fragment has not re-entered
+			// orbit yet). The stable-ring conclusion — returned request
+			// means the BAT does not exist — would error every blocked
+			// pin with a false negative. Swallow it instead: the resend
+			// timer keeps the interest alive until the new owner answers.
 			continue
 		}
 		n.mu.Lock()
@@ -674,7 +849,7 @@ func (e *liveEnv) SendData(m core.BATMsg) {
 		// Assemble the envelope directly in the registered send region:
 		// fixed header, then the cached codec bytes — one copy, zero
 		// allocations.
-		n.dataOut.SendEncoded(dataHdrSize+len(ent.raw), func(dst []byte) int {
+		n.linkDataOut().SendEncoded(dataHdrSize+len(ent.raw), func(dst []byte) int {
 			encodeDataHdr(dst, m, ver, len(ent.raw))
 			return dataHdrSize + copy(dst[dataHdrSize:], ent.raw)
 		})
@@ -689,7 +864,7 @@ func (e *liveEnv) SendRequest(m core.RequestMsg) bool {
 			return
 		default:
 		}
-		n.reqOut.SendEncoded(reqMsgSize, func(dst []byte) int {
+		n.linkReqOut().SendEncoded(reqMsgSize, func(dst []byte) int {
 			encodeReqMsg(dst, m)
 			return reqMsgSize
 		})
@@ -741,7 +916,17 @@ func (e *liveEnv) Deliver(q core.QueryID, b core.BATID) {
 	delete(n.waiters, key)
 	var payload *bat.BAT
 	var ver int
-	if p, ok := n.transit[b]; ok {
+	if p, ok := n.store[b]; ok {
+		// Owner: always serve the store, never a circulating copy. The
+		// store is the authoritative latest version (UpdateColumn bumps
+		// it under the column lock before the catalog advances), while a
+		// transit copy returning from a full orbit carries whatever
+		// version the fragment had when it was last sent — under update
+		// pressure that can be arbitrarily far behind. Serving the store
+		// keeps owner pins on the cache contract: never older than the
+		// catalog read before the pin.
+		payload, ver = p, n.versions[b]
+	} else if p, ok := n.transit[b]; ok {
 		payload, ver = p, n.transitVer[b]
 		// The query will hold the BAT pinned: keep the payload cached.
 		c := n.cached[b]
@@ -750,8 +935,6 @@ func (e *liveEnv) Deliver(q core.QueryID, b core.BATID) {
 			n.cached[b] = c
 		}
 		c.refs++
-	} else if p, ok := n.store[b]; ok {
-		payload, ver = p, n.versions[b]
 	} else if c, ok := n.cached[b]; ok {
 		payload, ver = c.b, c.ver
 		c.refs++

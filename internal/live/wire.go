@@ -36,6 +36,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/membership"
 )
 
 const (
@@ -269,4 +270,70 @@ func decodeReqMsg(data []byte) (core.RequestMsg, error) {
 		Origin: core.NodeID(le.Uint64(data[8:])),
 		BAT:    core.BATID(le.Uint64(data[16:])),
 	}, nil
+}
+
+// Beat envelope (version 2, kind 4): the membership heartbeat pulse,
+// multiplexed onto the data link so liveness rides the same path as the
+// payloads it vouches for (a link that can't carry beats can't carry
+// data either). The pulse gossips the sender's whole membership view —
+// one status byte per ring position plus the view version — which is
+// what makes detection converge ring-wide in O(ring) hops.
+//
+//	[0] 'D'  [1] 'R'  [2] 2 (version)  [3] 4 (kind)
+//	[4:8]   u32 status count
+//	[8:16]  u64 sender ring position
+//	[16:24] u64 view version
+//	[24:24+count] status bytes (membership.Status)
+const (
+	envKindBeat = 4
+	beatHdrSize = 24
+
+	// maxBeatNodes bounds the status table a beat may carry; the
+	// receiver rejects anything larger, so a corrupt count can't drive
+	// a huge allocation.
+	maxBeatNodes = 1 << 16
+)
+
+// beatMsgSize is the exact wire size of a beat over nodes ring members.
+func beatMsgSize(nodes int) int { return beatHdrSize + nodes }
+
+// isBeatMsg reports whether data is a beat envelope.
+func isBeatMsg(data []byte) bool {
+	return len(data) >= beatHdrSize && data[0] == envMagic0 && data[1] == envMagic1 &&
+		data[2] == envVersion && data[3] == envKindBeat
+}
+
+// encodeBeatMsg writes a beat from ring position from carrying view.
+func encodeBeatMsg(dst []byte, from int, view membership.View) int {
+	putEnvHeader(dst, envKindBeat)
+	le := binary.LittleEndian
+	le.PutUint32(dst[4:], uint32(len(view.Status)))
+	le.PutUint64(dst[8:], uint64(from))
+	le.PutUint64(dst[16:], uint64(view.Version))
+	for i, s := range view.Status {
+		dst[beatHdrSize+i] = byte(s)
+	}
+	return beatMsgSize(len(view.Status))
+}
+
+// decodeBeatMsg parses a beat envelope.
+func decodeBeatMsg(data []byte) (from int, view membership.View, err error) {
+	if err := checkEnvHeader(data, envKindBeat, beatHdrSize); err != nil {
+		return 0, membership.View{}, err
+	}
+	le := binary.LittleEndian
+	count := int(le.Uint32(data[4:]))
+	if count > maxBeatNodes {
+		return 0, membership.View{}, fmt.Errorf("%w: beat over %d nodes", errEnvelope, count)
+	}
+	if len(data) < beatHdrSize+count {
+		return 0, membership.View{}, fmt.Errorf("%w: beat truncated (%d of %d status bytes)",
+			errEnvelope, len(data)-beatHdrSize, count)
+	}
+	view.Version = int64(le.Uint64(data[16:]))
+	view.Status = make([]membership.Status, count)
+	for i := range view.Status {
+		view.Status[i] = membership.Status(data[beatHdrSize+i])
+	}
+	return int(le.Uint64(data[8:])), view, nil
 }

@@ -80,7 +80,7 @@ func TestExactMessageSizing(t *testing.T) {
 	defer r.Close()
 	n := r.Node(0)
 
-	limit := n.dataOut.MaxMessage()
+	limit := n.ring.MaxMessage()
 	// Binary-search the largest int column that fits the limit exactly.
 	fits := func(rows int) bool {
 		return dataHdrSize+bat.MarshalSize(bat.MakeInts("probe", make([]int64, rows))) <= limit

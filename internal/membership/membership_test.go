@@ -1,0 +1,187 @@
+package membership
+
+import (
+	"testing"
+	"time"
+)
+
+func cfg() Config {
+	return Config{HeartbeatInterval: 10 * time.Millisecond, SuspectAfter: 3, DeadAfter: 6}
+}
+
+// tick drives n silent intervals and returns the last verdict.
+func tick(d *Detector, n int) (dead []int) {
+	for i := 0; i < n; i++ {
+		dead = d.Tick()
+	}
+	return dead
+}
+
+func TestTickSuspectThenDead(t *testing.T) {
+	d := NewDetector(1, 3, 0, cfg())
+	if dead := tick(d, 2); dead != nil {
+		t.Fatalf("2 intervals of silence: unexpected verdict %v", dead)
+	}
+	if got := d.View().Status[0]; got != Alive {
+		t.Fatalf("status after 2 intervals = %v, want alive", got)
+	}
+	if dead := tick(d, 1); dead != nil {
+		t.Fatalf("suspect threshold should not report dead, got %v", dead)
+	}
+	if got := d.View().Status[0]; got != Suspect {
+		t.Fatalf("status after 3 intervals = %v, want suspect", got)
+	}
+	dead := tick(d, 3)
+	if len(dead) != 1 || dead[0] != 0 {
+		t.Fatalf("dead verdict = %v, want [0]", dead)
+	}
+	if got := d.View().Status[0]; got != Dead {
+		t.Fatalf("status after 6 intervals = %v, want dead", got)
+	}
+	// Dead is sticky: further ticks and even direct beats change nothing.
+	if dead := tick(d, 4); dead != nil {
+		t.Fatalf("dead re-reported: %v", dead)
+	}
+	d.OnBeat(0, View{})
+	if got := d.View().Status[0]; got != Dead {
+		t.Fatalf("beat revived a dead node: %v", got)
+	}
+}
+
+func TestBeatClearsSuspicion(t *testing.T) {
+	d := NewDetector(1, 3, 0, cfg())
+	tick(d, 3)
+	if got := d.View().Status[0]; got != Suspect {
+		t.Fatalf("status = %v, want suspect", got)
+	}
+	d.OnBeat(0, View{})
+	if got := d.View().Status[0]; got != Alive {
+		t.Fatalf("beat did not clear suspicion: %v", got)
+	}
+	// The beat reset the timeout: 5 more silent intervals is only
+	// Suspect again, not Dead.
+	if dead := tick(d, 5); dead != nil {
+		t.Fatalf("beat did not reset the silence count: %v", dead)
+	}
+}
+
+func TestPulseCountsAsLife(t *testing.T) {
+	d := NewDetector(1, 3, 0, cfg())
+	tick(d, 3)
+	if got := d.View().Status[0]; got != Suspect {
+		t.Fatalf("status = %v, want suspect", got)
+	}
+	// Implicit traffic — a data message, not a heartbeat — clears the
+	// suspicion and resets the budget.
+	d.Pulse()
+	if got := d.View().Status[0]; got != Alive {
+		t.Fatalf("pulse did not clear suspicion: %v", got)
+	}
+	if dead := tick(d, 5); dead != nil {
+		t.Fatalf("pulse did not reset the silence count: %v", dead)
+	}
+	// Interleaved traffic keeps the predecessor alive indefinitely.
+	d.Pulse()
+	for i := 0; i < 50; i++ {
+		if dead := tick(d, 2); dead != nil {
+			t.Fatalf("round %d: verdict despite steady traffic: %v", i, dead)
+		}
+		d.Pulse()
+	}
+	if got := d.View().Status[0]; got != Alive {
+		t.Fatalf("status under steady traffic = %v, want alive", got)
+	}
+}
+
+func TestVersionMonotoneAndMergeConvergent(t *testing.T) {
+	d := NewDetector(2, 4, 1, cfg())
+	v0 := d.View().Version
+	tick(d, 3) // suspect 1
+	v1 := d.View().Version
+	if v1 <= v0 {
+		t.Fatalf("suspicion did not bump version: %d -> %d", v0, v1)
+	}
+	// Merge a remote view that knows node 0 is dead.
+	remote := View{Version: 41, Status: []Status{Dead, Alive, Alive, Alive}}
+	dead := d.OnBeat(1, remote)
+	if len(dead) != 1 || dead[0] != 0 {
+		t.Fatalf("merge verdicts = %v, want [0]", dead)
+	}
+	v := d.View()
+	if v.Status[0] != Dead {
+		t.Fatalf("merge lost the dead verdict: %v", v.Status)
+	}
+	if v.Version <= 41 {
+		t.Fatalf("merged version %d not past remote 41", v.Version)
+	}
+	// Re-merging the same view is a no-op: convergent, no re-report.
+	if dead := d.OnBeat(1, remote); dead != nil {
+		t.Fatalf("idempotent merge re-reported %v", dead)
+	}
+	// A stale view (node 0 alive again) cannot demote the verdict.
+	stale := View{Version: 1, Status: []Status{Alive, Alive, Alive, Alive}}
+	d.OnBeat(1, stale)
+	if got := d.View().Status[0]; got != Dead {
+		t.Fatalf("stale merge demoted dead to %v", got)
+	}
+}
+
+func TestSelfVerdictIgnoredOnMerge(t *testing.T) {
+	d := NewDetector(1, 3, 0, cfg())
+	remote := View{Version: 9, Status: []Status{Alive, Dead, Alive}}
+	if dead := d.OnBeat(0, remote); dead != nil {
+		t.Fatalf("merge declared self dead: %v", dead)
+	}
+	if got := d.View().Status[1]; got != Alive {
+		t.Fatalf("self status = %v, want alive", got)
+	}
+}
+
+func TestSetPredecessorResetsBudget(t *testing.T) {
+	d := NewDetector(2, 4, 1, cfg())
+	d.MarkDead(1)
+	tick(d, 4) // inert: the monitored node is already dead
+	d.SetPredecessor(0)
+	// The new predecessor gets a full timeout budget from the splice.
+	if dead := tick(d, 5); dead != nil {
+		t.Fatalf("fresh predecessor timed out early: %v", dead)
+	}
+	dead := tick(d, 1)
+	if len(dead) != 1 || dead[0] != 0 {
+		t.Fatalf("new predecessor never timed out: %v", dead)
+	}
+}
+
+func TestSelfLoopNeverTimesOut(t *testing.T) {
+	// Last survivor: its predecessor is itself; Tick must be inert.
+	d := NewDetector(0, 2, 0, cfg())
+	if dead := tick(d, 1000); dead != nil {
+		t.Fatalf("self-loop timed out: %v", dead)
+	}
+}
+
+func TestMarkDead(t *testing.T) {
+	d := NewDetector(0, 3, 2, cfg())
+	v0 := d.View().Version
+	if !d.MarkDead(1) {
+		t.Fatal("first MarkDead not news")
+	}
+	if d.MarkDead(1) {
+		t.Fatal("second MarkDead still news")
+	}
+	v := d.View()
+	if v.Status[1] != Dead || v.Version <= v0 {
+		t.Fatalf("MarkDead view = %+v", v)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.HeartbeatInterval <= 0 || c.SuspectAfter <= 0 || c.DeadAfter <= c.SuspectAfter {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+	c = Config{HeartbeatInterval: time.Second, SuspectAfter: 5, DeadAfter: 2}.WithDefaults()
+	if c.DeadAfter <= c.SuspectAfter {
+		t.Fatalf("DeadAfter not enforced past SuspectAfter: %+v", c)
+	}
+}

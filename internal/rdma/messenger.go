@@ -158,6 +158,45 @@ func (m *Messenger) SendEncoded(size int, encode func(dst []byte) int) error {
 	}
 }
 
+// TrySendEncoded is SendEncoded without the blocking region wait: if no
+// send region is free right now it returns ErrQueueFull immediately.
+// Control traffic that must never stall behind bulk data — the
+// membership heartbeat multiplexed onto the data link — uses this; a
+// pulse that cannot get a region is simply dropped (the next interval
+// sends another, and the failure detector tolerates missed beats by
+// design).
+func (m *Messenger) TrySendEncoded(size int, encode func(dst []byte) int) error {
+	if size > m.maxMsg {
+		return ErrTooLarge
+	}
+	if size < 0 {
+		return fmt.Errorf("rdma: negative message size %d", size)
+	}
+	var mr *MemoryRegion
+	select {
+	case mr = <-m.sendFree:
+		atomic.AddInt64(&m.poolAcquires, 1)
+	default:
+		return ErrQueueFull
+	}
+	defer func() { m.sendFree <- mr }()
+	n := encode(mr.Bytes()[:size])
+	if n < 0 || n > size {
+		return fmt.Errorf("rdma: encoder wrote %d bytes into a %d-byte window", n, size)
+	}
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	if err := m.qp.PostSend(mr, n); err != nil {
+		return err
+	}
+	select {
+	case c := <-m.qp.SendCompletions():
+		return c.Err
+	case <-m.qp.Done():
+		return ErrClosed
+	}
+}
+
 // SendVectored transmits one message gathered from several byte slices
 // — the batched-hop path. On a transport that supports vectored sends
 // (the TCP provider's writev-shaped PostSendVec), the parts go to the

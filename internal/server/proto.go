@@ -61,11 +61,25 @@ const (
 	CodeExec byte = 4
 )
 
-// Hello is the server's handshake response.
+// Hello is the server's handshake response. Beyond the fixed serving
+// parameters it carries the node's current membership view: the full
+// node address list and per-node liveness, stamped with the view
+// version. Clients keep it as a routing cache — when a connection
+// fails they retry onto a surviving node and refresh the cache from
+// that node's Hello.
 type Hello struct {
 	Node        int // ring position of the serving node
 	Ring        int // ring size
 	MaxInFlight int // admission slots at this node
+
+	// ViewVersion is the serving node's membership view version (0 when
+	// the ring runs without replication: the view never changes).
+	ViewVersion int64
+	// Addrs lists every ring node's listen address, in ring order.
+	// Empty when the server predates the membership protocol.
+	Addrs []string
+	// Alive flags each entry of Addrs live or declared dead.
+	Alive []bool
 }
 
 // RemoteError is a protocol-level failure reported by the server. The
@@ -132,31 +146,98 @@ func DecodeError(payload []byte) *RemoteError {
 	return &RemoteError{Code: payload[0], Msg: string(payload[1:])}
 }
 
-// helloSize is the fixed binary size of a Hello payload.
+// helloSize is the fixed binary prefix of a Hello payload. The
+// membership section that follows is variable-length:
+//
+//	u64 view version | u32 node count
+//	per node: 1 byte alive | u32 addrLen | addr bytes
+//
+// A payload of exactly helloSize bytes is the legacy handshake (no
+// membership section); DecodeHello accepts both.
 const helloSize = 24
 
-// EncodeHello encodes the handshake response as three little-endian
-// 64-bit fields: node, ring size, admission slots.
+// maxHelloAddr bounds a single address in the membership section, so a
+// corrupt count or length cannot amplify into huge allocations.
+const maxHelloAddr = 1 << 10
+
+// EncodeHello encodes the handshake response: three little-endian
+// 64-bit fields (node, ring size, admission slots) followed by the
+// membership section.
 func EncodeHello(h Hello) ([]byte, error) {
-	buf := make([]byte, helloSize)
+	if len(h.Addrs) != len(h.Alive) {
+		return nil, fmt.Errorf("server: hello has %d addrs for %d alive flags", len(h.Addrs), len(h.Alive))
+	}
+	size := helloSize + 8 + 4
+	for _, a := range h.Addrs {
+		if len(a) > maxHelloAddr {
+			return nil, fmt.Errorf("server: hello address %q exceeds %d bytes", a, maxHelloAddr)
+		}
+		size += 1 + 4 + len(a)
+	}
+	buf := make([]byte, helloSize, size)
 	le := binary.LittleEndian
 	le.PutUint64(buf[0:], uint64(h.Node))
 	le.PutUint64(buf[8:], uint64(h.Ring))
 	le.PutUint64(buf[16:], uint64(h.MaxInFlight))
+	var b8 [8]byte
+	le.PutUint64(b8[:], uint64(h.ViewVersion))
+	buf = append(buf, b8[:]...)
+	le.PutUint32(b8[:4], uint32(len(h.Addrs)))
+	buf = append(buf, b8[:4]...)
+	for i, a := range h.Addrs {
+		alive := byte(0)
+		if h.Alive[i] {
+			alive = 1
+		}
+		buf = append(buf, alive)
+		le.PutUint32(b8[:4], uint32(len(a)))
+		buf = append(buf, b8[:4]...)
+		buf = append(buf, a...)
+	}
 	return buf, nil
 }
 
-// DecodeHello parses a FrameHelloOK payload.
+// DecodeHello parses a FrameHelloOK payload, accepting both the legacy
+// fixed form and the membership-extended form.
 func DecodeHello(payload []byte) (Hello, error) {
-	if len(payload) != helloSize {
-		return Hello{}, fmt.Errorf("server: hello payload of %d bytes, want %d", len(payload), helloSize)
+	if len(payload) < helloSize {
+		return Hello{}, fmt.Errorf("server: hello payload of %d bytes, want at least %d", len(payload), helloSize)
 	}
 	le := binary.LittleEndian
-	return Hello{
+	h := Hello{
 		Node:        int(le.Uint64(payload[0:])),
 		Ring:        int(le.Uint64(payload[8:])),
 		MaxInFlight: int(le.Uint64(payload[16:])),
-	}, nil
+	}
+	if len(payload) == helloSize {
+		return h, nil // legacy handshake: no membership section
+	}
+	rest := payload[helloSize:]
+	if len(rest) < 12 {
+		return Hello{}, fmt.Errorf("server: truncated hello membership section (%d bytes)", len(rest))
+	}
+	h.ViewVersion = int64(le.Uint64(rest[0:]))
+	count := int(le.Uint32(rest[8:]))
+	if count < 0 || count > len(rest) {
+		return Hello{}, fmt.Errorf("server: implausible hello node count %d", count)
+	}
+	off := 12
+	h.Addrs = make([]string, count)
+	h.Alive = make([]bool, count)
+	for i := 0; i < count; i++ {
+		if off+5 > len(rest) {
+			return Hello{}, fmt.Errorf("server: truncated hello node entry %d", i)
+		}
+		h.Alive[i] = rest[off] != 0
+		addrLen := int(le.Uint32(rest[off+1:]))
+		off += 5
+		if addrLen > maxHelloAddr || addrLen > len(rest)-off {
+			return Hello{}, fmt.Errorf("server: hello address %d out of bounds", i)
+		}
+		h.Addrs[i] = string(rest[off : off+addrLen])
+		off += addrLen
+	}
+	return h, nil
 }
 
 // A FrameResult payload is the native codec applied column-at-a-time:

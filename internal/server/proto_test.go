@@ -1,6 +1,7 @@
 package server
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/bat"
@@ -8,7 +9,12 @@ import (
 )
 
 func TestHelloRoundtrip(t *testing.T) {
-	h := Hello{Node: 2, Ring: 5, MaxInFlight: 8}
+	h := Hello{
+		Node: 2, Ring: 5, MaxInFlight: 8,
+		ViewVersion: 7,
+		Addrs:       []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"},
+		Alive:       []bool{true, false, true},
+	}
 	payload, err := EncodeHello(h)
 	if err != nil {
 		t.Fatal(err)
@@ -17,11 +23,39 @@ func TestHelloRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != h {
+	if !reflect.DeepEqual(got, h) {
 		t.Fatalf("got %+v want %+v", got, h)
 	}
 	if _, err := DecodeHello(payload[:10]); err == nil {
 		t.Fatal("truncated hello accepted")
+	}
+	// Every truncation of the membership section must error, not panic.
+	for n := helloSize + 1; n < len(payload); n++ {
+		if _, err := DecodeHello(payload[:n]); err == nil {
+			t.Fatalf("truncated hello of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestHelloLegacyDecode(t *testing.T) {
+	// A bare 24-byte payload is the pre-membership handshake: it must
+	// decode with an empty routing cache.
+	full, err := EncodeHello(Hello{Node: 1, Ring: 3, MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHello(full[:helloSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != 1 || got.Ring != 3 || got.MaxInFlight != 4 {
+		t.Fatalf("legacy hello distorted: %+v", got)
+	}
+	if got.ViewVersion != 0 || got.Addrs != nil || got.Alive != nil {
+		t.Fatalf("legacy hello grew membership state: %+v", got)
+	}
+	if _, err := EncodeHello(Hello{Addrs: []string{"a"}, Alive: nil}); err == nil {
+		t.Fatal("mismatched addrs/alive accepted")
 	}
 }
 

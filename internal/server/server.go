@@ -103,6 +103,23 @@ type NodeStats struct {
 	PoolAcquires   int64
 	PoolWaits      int64
 
+	// Membership/failover counters of the served ring node (see
+	// live.MembershipStats): the failure detector's view, replica
+	// placement and lag, and the failover outcome counters. All zero
+	// when the ring runs without replication.
+	MembEnabled     bool
+	MembViewVersion int64
+	MembAlive       int
+	MembSuspect     int
+	MembDead        int
+	MembReplicas    int64
+	MembReplicaLag  int64
+	MembFailovers   int64
+	MembPromotions  int64
+	MembLostFrags   int64
+	MembBeatsSent   int64
+	MembBeatsRecv   int64
+
 	// Latency quantiles over completed queries (OK + Failed).
 	Count               int64
 	Mean, P50, P95, P99 time.Duration
@@ -282,12 +299,41 @@ func (s *Server) Stats(i int) NodeStats {
 	st.HopUnparked = hs.Unparked
 	st.PoolAcquires = hs.PoolAcquires
 	st.PoolWaits = hs.PoolWaits
+	ms := ns.node.MembershipStats()
+	st.MembEnabled = ms.Enabled
+	st.MembViewVersion = ms.ViewVersion
+	st.MembAlive = ms.Alive
+	st.MembSuspect = ms.Suspect
+	st.MembDead = ms.Dead
+	st.MembReplicas = ms.Replicas
+	st.MembReplicaLag = ms.ReplicaLag
+	st.MembFailovers = ms.Failovers
+	st.MembPromotions = ms.Promotions
+	st.MembLostFrags = ms.LostFrags
+	st.MembBeatsSent = ms.BeatsSent
+	st.MembBeatsRecv = ms.BeatsRecv
 	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
 	st.Mean = sec(ns.latency.Mean())
 	st.P50 = sec(ns.latency.Quantile(0.50))
 	st.P95 = sec(ns.latency.Quantile(0.95))
 	st.P99 = sec(ns.latency.Quantile(0.99))
 	return st
+}
+
+// KillNode crashes the service of node i: the ring node dies (silently,
+// as a real crash — survivors must detect it through missed heartbeats)
+// and its listener and open connections are torn down, so clients see
+// connection failures, not graceful errors. The rest of the server keeps
+// serving.
+func (s *Server) KillNode(i int) {
+	ns := s.nodes[i]
+	s.ring.KillNode(i)
+	ns.ln.Close()
+	ns.connMu.Lock()
+	for c := range ns.conns {
+		c.Close()
+	}
+	ns.connMu.Unlock()
 }
 
 // Close drains and shuts the server down: new queries are refused with
@@ -369,6 +415,9 @@ func (ns *nodeServer) handle(conn net.Conn) {
 		Node:        ns.nodeID,
 		Ring:        ns.srv.ring.Size(),
 		MaxInFlight: ns.srv.cfg.MaxInFlight,
+		ViewVersion: ns.node.MembershipStats().ViewVersion,
+		Addrs:       ns.srv.Addrs(),
+		Alive:       ns.srv.ring.AliveNodes(),
 	})
 	if err != nil {
 		return
@@ -404,6 +453,16 @@ func (ns *nodeServer) handle(conn net.Conn) {
 
 // serveQuery admits, executes, and answers one query.
 func (ns *nodeServer) serveQuery(bw *bufio.Writer, sql string) {
+	if !ns.srv.ring.Alive(ns.nodeID) {
+		// The ring declared this node dead (a failover it did not
+		// initiate): its fragments have been re-owned elsewhere and its
+		// ring links are cut, so any execution here would only produce
+		// "ring closed" errors. Answer as a draining server — clients
+		// treat that as "go ask a survivor" and fail over.
+		ns.drained.Inc()
+		WriteFrame(bw, FrameError, EncodeError(CodeDraining, "node declared dead by the ring"))
+		return
+	}
 	switch err := ns.adm.acquire(ns.srv.drain); err {
 	case nil:
 	case errRejected:

@@ -4,10 +4,13 @@ import (
 	"context"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/bat"
 	"repro/internal/dcclient"
 	"repro/internal/live"
+	"repro/internal/mal"
+	"repro/internal/membership"
 	"repro/internal/minisql"
 	"repro/internal/server"
 )
@@ -135,6 +138,86 @@ func TestGracefulDrain(t *testing.T) {
 	}
 	if st := s.Stats(0); st.InFlight != 0 {
 		t.Fatalf("in-flight after drain = %d", st.InFlight)
+	}
+}
+
+// TestClientFailsOverOnNodeDeath is the client-continuity half of the
+// elastic-membership contract, exercised through the network service:
+// a client homed on a node that dies mid-run retries onto a surviving
+// node from its routing cache, rehomes there, and keeps getting
+// correct answers once the ring has promoted the dead node's replicas.
+func TestClientFailsOverOnNodeDeath(t *testing.T) {
+	ringCfg := live.DefaultConfig()
+	ringCfg.Replicas = 1
+	ringCfg.Heartbeat = membership.Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      3,
+		DeadAfter:         8,
+	}
+	ringCfg.Core.ResendTimeout = 100 * time.Millisecond
+	r, s := servedRing(t, 3, ringCfg, server.DefaultConfig())
+
+	const sql = "select val from c where t_id >= 2 order by val"
+	want, err := r.Node(0).ExecSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := dcclient.Dial(s.Addr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(context.Background(), sql); err != nil {
+		t.Fatal(err)
+	}
+	if addrs, alive := cl.Peers(); len(addrs) != 3 || !alive[1] {
+		t.Fatalf("routing cache after handshake: addrs=%v alive=%v", addrs, alive)
+	}
+
+	// The home node crashes: ring node, listener, and connections die.
+	s.KillNode(1)
+
+	// The client must recover without intervention: pooled connections
+	// fail, the dial fails, and the failover path lands the query on a
+	// survivor. Early attempts may time out while the ring itself is
+	// still detecting the death and promoting replicas.
+	deadline := time.Now().Add(15 * time.Second)
+	var got *mal.ResultSet
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		got, err = cl.Query(ctx, sql)
+		cancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no correct answer after node death: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !reflect.DeepEqual(got.Rows(), want.Rows()) {
+		t.Fatalf("post-failover result differs:\nwant %v\ngot  %v", want.Rows(), got.Rows())
+	}
+	if cl.Addr() == s.Addr(1) {
+		t.Fatal("client still homed on the dead node")
+	}
+	// The rehomed handshake refreshed the routing cache; once the
+	// survivor's view has declared the death, the cache shows it.
+	for {
+		if _, alive := cl.Peers(); len(alive) == 3 && !alive[1] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("routing cache never learned of the death")
+		}
+		time.Sleep(10 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		cl.Refresh(ctx) // re-handshake with the rehomed node
+		cancel()
+	}
+	if st := s.Stats(2); !st.MembEnabled || st.MembFailovers == 0 {
+		t.Fatalf("served stats missed the failover: %+v", st)
 	}
 }
 

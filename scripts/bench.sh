@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # bench.sh — run the wire-codec benchmark suite, the fragment
-# granularity sweep, the hot-set cache repeat sweep, and the hop
-# batching sweep, recording the results.
+# granularity sweep, the hot-set cache repeat sweep, the hop batching
+# sweep, and the failover kill-and-recover sweep, recording the results.
 #
 # Usage:
 #   scripts/bench.sh          full run: 1s per benchmark, writes
 #                             BENCH_wire.json, BENCH_frag.json,
-#                             BENCH_cache.json, and BENCH_hop.json
+#                             BENCH_cache.json, BENCH_hop.json, and
+#                             BENCH_failover.json
 #   scripts/bench.sh -short   CI smoke: one iteration per benchmark and
 #                             small sweeps, still gating on codec/gob
 #                             equivalence, the fragmentation invariants,
 #                             the cache hit-rate / ≥5× pin-p99 gates,
-#                             and the ≥4× hop-message reduction gate
+#                             the ≥4× hop-message reduction gate, and
+#                             the zero-incorrect / bounded-recovery
+#                             failover gates
 #
 # The script fails if the codec-vs-gob equivalence tests fail (a wire
 # format regression can never produce a "fast but wrong" green run) or
@@ -94,4 +97,11 @@ if [ "$SHORT" -eq 1 ]; then
   go run ./cmd/dchop -short -out BENCH_hop.json
 else
   go run ./cmd/dchop -out BENCH_hop.json
+fi
+
+echo "== failover kill-and-recover sweep =="
+if [ "$SHORT" -eq 1 ]; then
+  go run ./cmd/dcfail -short -out BENCH_failover.json
+else
+  go run ./cmd/dcfail -out BENCH_failover.json
 fi
