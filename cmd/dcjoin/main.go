@@ -1,0 +1,150 @@
+// Command dcjoin runs the grow-the-ring sweep on the replicated live
+// ring served over the network query service and records the join
+// envelope (splice, transfer, newcomer's first answer, pre/post tail
+// latency) to a JSON snapshot, BENCH_join.json by default.
+// scripts/bench.sh invokes it; CI runs it with -short.
+//
+// The run is gated on the join protocol's promises: zero incorrect
+// answers, zero hard failures, the newcomer owning its full planned
+// share and answering for itself, a converged catalog, and join
+// completion dominated by the transfer (total under 2× transfer plus a
+// small fixed floor) — an admission or rebalancing regression can never
+// produce a quiet green run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// gateFactor bounds the whole join as a multiple of its transfer
+// phase: admission and splice-in must stay cheap next to moving data.
+// totalFloorMs absorbs fixed costs on runs whose transfer rounds to
+// nearly nothing.
+const (
+	gateFactor   = 2
+	totalFloorMs = 250
+)
+
+// p99Factor bounds a grown ring's post-join tail against the same-size
+// ring of the next run before its join (run N's post state and run
+// N+1's pre state are both an (N+1)-node ring under identical load).
+const p99Factor = 2
+
+func main() {
+	rows := flag.Int("rows", 1<<17, "lineitem rows")
+	clients := flag.Int("clients", 8, "concurrent network clients")
+	queries := flag.Int("queries", 300, "queries per ring size")
+	sizes := flag.String("sizes", "3,4", "comma-separated pre-join ring sizes; one node joins each")
+	out := flag.String("out", "BENCH_join.json", "output JSON path")
+	short := flag.Bool("short", false, "CI smoke: small data, few queries")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Parse()
+
+	if *short {
+		*rows = 1 << 15
+		*queries = 150
+	}
+	var ringSizes []int
+	for _, s := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 2 {
+			fatal("bad -sizes entry %q", s)
+		}
+		ringSizes = append(ringSizes, v)
+	}
+
+	fmt.Printf("== join sweep: %d rows, %d clients, %d queries, pre-join ring sizes %v ==\n",
+		*rows, *clients, *queries, ringSizes)
+	res, err := experiments.JoinSweep(*rows, *clients, *queries, ringSizes, *seed)
+	if err != nil {
+		fatal("sweep: %v", err)
+	}
+	fmt.Print(res)
+
+	if err := gate(res); err != nil {
+		fatal("gate: %v", err)
+	}
+
+	snapshot := struct {
+		Date  string `json:"date"`
+		Short bool   `json:"short"`
+		Suite string `json:"suite"`
+		*experiments.JoinResult
+	}{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Short:      *short,
+		Suite:      "join-sweep",
+		JoinResult: res,
+	}
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+	fmt.Printf("== wrote %s ==\n", *out)
+}
+
+// gate enforces the join invariants on every recorded run.
+func gate(res *experiments.JoinResult) error {
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		if run.Incorrect != 0 {
+			return fmt.Errorf("%d nodes: %d incorrect answers — correctness is absolute", run.Nodes, run.Incorrect)
+		}
+		if run.Failed != 0 {
+			return fmt.Errorf("%d nodes: %d hard query failures", run.Nodes, run.Failed)
+		}
+		if run.Migrated == 0 || run.Skipped != 0 || run.Migrated != run.Share {
+			return fmt.Errorf("%d nodes: newcomer owns %d of its %d-fragment share (%d skipped)",
+				run.Nodes, run.Migrated, run.Share, run.Skipped)
+		}
+		if !run.Converged {
+			return fmt.Errorf("%d nodes: catalog did not converge after the join", run.Nodes)
+		}
+		if run.Failovers != 0 {
+			// Nobody is killed in this sweep: any death verdict was a
+			// false positive, and the ring quietly papered over it with
+			// replica promotion. The numbers above would still look green
+			// — which is exactly why this is a hard failure.
+			return fmt.Errorf("%d nodes: %d false failovers during the run", run.Nodes, run.Failovers)
+		}
+		if run.NewcomerOKMs < 0 {
+			return fmt.Errorf("%d nodes: the newcomer never answered a query correctly", run.Nodes)
+		}
+		budget := gateFactor*run.TransferMs + totalFloorMs
+		if run.TotalMs > budget {
+			return fmt.Errorf("%d nodes: join took %dms, budget %dms (%d× the %dms transfer + %dms floor)",
+				run.Nodes, run.TotalMs, budget, gateFactor, run.TransferMs, totalFloorMs)
+		}
+		// Run N's grown ring and run N+1's pre-join ring are the same
+		// size under the same load: the grown ring's tail must not
+		// degrade against a ring born at that size.
+		for j := range res.Runs {
+			peer := &res.Runs[j]
+			if peer.Nodes != run.Nodes+1 || run.PostP99Micros == 0 || peer.PreP99Micros == 0 {
+				continue
+			}
+			if run.PostP99Micros > p99Factor*peer.PreP99Micros {
+				return fmt.Errorf("%d->%d join: post-join p99 %dus vs %dus on a born-%d-node ring (budget %d×)",
+					run.Nodes, run.Nodes+1, run.PostP99Micros, peer.PreP99Micros, peer.Nodes, p99Factor)
+			}
+		}
+	}
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dcjoin: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -103,6 +103,10 @@ type (
 	// HeartbeatConfig tunes the ring's failure detector
 	// (LiveConfig.Heartbeat; consulted when LiveConfig.Replicas > 0).
 	HeartbeatConfig = membership.Config
+	// JoinReport describes one runtime ring growth (LiveRing.Join):
+	// the admitted node, its splice-in neighbours, and how much of its
+	// fragment share the rebalancing transfer actually moved.
+	JoinReport = live.JoinReport
 )
 
 // Hot-set cache eviction policies (LiveConfig.CacheMode). The cache

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -38,11 +39,28 @@ type Config struct {
 	MaxIdle int
 	// MaxFrame bounds a single protocol frame (result sets included).
 	MaxFrame int
+	// FailoverRounds bounds how many full passes over surviving peers a
+	// failed query makes before surfacing the original error. The first
+	// pass is immediate; each further pass is preceded by an exponential
+	// backoff, so transient whole-ring outages (a restart, a rolling
+	// upgrade, a join in flight) get time to heal without the client
+	// spinning on dead sockets.
+	FailoverRounds int
+	// FailoverBackoff is the base delay before the second failover pass;
+	// pass k waits FailoverBackoff << (k-2), half-to-full jittered,
+	// capped at 2s.
+	FailoverBackoff time.Duration
 }
 
 // DefaultConfig suits loopback clients.
 func DefaultConfig() Config {
-	return Config{DialTimeout: 5 * time.Second, MaxIdle: 8, MaxFrame: server.DefaultMaxFrame}
+	return Config{
+		DialTimeout:     5 * time.Second,
+		MaxIdle:         8,
+		MaxFrame:        server.DefaultMaxFrame,
+		FailoverRounds:  3,
+		FailoverBackoff: 25 * time.Millisecond,
+	}
 }
 
 // ErrClosed is returned by operations on a closed client.
@@ -189,37 +207,81 @@ func (cl *Client) Query(ctx context.Context, sql string) (*mal.ResultSet, error)
 // and skipping nodes the membership view has declared dead. The first
 // peer whose handshake succeeds becomes the new home (its Hello also
 // refreshes the cache); a server-answered error from it settles the
-// query — the ring is alive, the query itself is the problem. If every
-// candidate is unreachable, the original failure stands.
+// query — the ring is alive, the query itself is the problem.
+//
+// Up to FailoverRounds full passes run; passes after the first wait an
+// exponentially growing, jittered backoff first, re-snapshot the
+// routing cache (a pass may have refreshed it via a handshake), and
+// also reconsider the original home — a restarted node is a survivor
+// too. If every pass comes up empty, the original failure stands.
 func (cl *Client) queryFailover(ctx context.Context, sql string, orig error) (*mal.ResultSet, error) {
-	cl.mu.Lock()
-	home := cl.addr
-	homeIdx := cl.hello.Node
-	addrs := append([]string(nil), cl.hello.Addrs...)
-	alive := append([]bool(nil), cl.hello.Alive...)
-	cl.mu.Unlock()
-	if len(addrs) == 0 {
-		return nil, orig // no routing cache: nothing to fail over to
+	rounds := cl.cfg.FailoverRounds
+	if rounds <= 0 {
+		rounds = 1
 	}
-	for k := 1; k <= len(addrs); k++ {
-		if ctx.Err() != nil {
+	for round := 0; round < rounds; round++ {
+		if round > 0 && !cl.backoff(ctx, round) {
 			return nil, orig
 		}
-		i := (homeIdx + k) % len(addrs)
-		if addrs[i] == home || !alive[i] {
-			continue
+		cl.mu.Lock()
+		home := cl.addr
+		homeIdx := cl.hello.Node
+		addrs := append([]string(nil), cl.hello.Addrs...)
+		alive := append([]bool(nil), cl.hello.Alive...)
+		cl.mu.Unlock()
+		if len(addrs) == 0 {
+			return nil, orig // no routing cache: nothing to fail over to
 		}
-		cn, err := cl.dialPeer(ctx, addrs[i])
-		if err != nil {
-			continue // unreachable too; try the next survivor
+		if homeIdx < 0 || homeIdx >= len(addrs) {
+			homeIdx = 0
 		}
-		cl.rehome(addrs[i])
-		rs, err, _, transport := cl.run(ctx, cn, sql)
-		if err == nil || !transport {
-			return rs, err
+		for k := 1; k <= len(addrs); k++ {
+			if ctx.Err() != nil {
+				return nil, orig
+			}
+			i := (homeIdx + k) % len(addrs)
+			if addrs[i] == home && round == 0 {
+				continue // the home just failed; give it a round to recover
+			}
+			if i < len(alive) && !alive[i] && addrs[i] != home {
+				continue
+			}
+			cn, err := cl.dialPeer(ctx, addrs[i])
+			if err != nil {
+				continue // unreachable too; try the next survivor
+			}
+			cl.rehome(addrs[i])
+			rs, err, _, transport := cl.run(ctx, cn, sql)
+			if err == nil || !transport {
+				return rs, err
+			}
 		}
 	}
 	return nil, orig
+}
+
+// backoff sleeps the exponential delay preceding failover pass `round`
+// (1-based over the waiting passes), honouring ctx. Half-to-full jitter
+// de-synchronizes the retry herd of clients that all lost the same
+// node. Reports false when ctx expired instead of the timer.
+func (cl *Client) backoff(ctx context.Context, round int) bool {
+	base := cl.cfg.FailoverBackoff
+	if base <= 0 {
+		base = DefaultConfig().FailoverBackoff
+	}
+	d := base << (round - 1)
+	if max := 2 * time.Second; d > max {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // run performs one round trip on cn, settling the connection (pooled on

@@ -5,11 +5,13 @@ import (
 	"context"
 	"net"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/bat"
 	"repro/internal/live"
+	"repro/internal/mal"
 	"repro/internal/minisql"
 	"repro/internal/server"
 )
@@ -259,10 +261,20 @@ func TestStatsFrame(t *testing.T) {
 		t.Fatalf("hit rate %v out of range", rate)
 	}
 	// Hop-transport counters crossed the wire too: answering the query
-	// made fragments hop, and every message shows up in the fill
-	// histogram.
-	if st.HopMsgs == 0 || st.HopFrags < st.HopMsgs {
-		t.Fatalf("stats carried no hop accounting: msgs=%d frags=%d", st.HopMsgs, st.HopFrags)
+	// made fragments hop. The serving node's own sends happen after the
+	// query answer (it forwards fragments onward asynchronously), so
+	// poll briefly for the counters to land.
+	for deadline := time.Now().Add(5 * time.Second); st.HopMsgs == 0; {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats carried no hop accounting: msgs=%d frags=%d", st.HopMsgs, st.HopFrags)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if st, err = cl.Stats(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.HopFrags < st.HopMsgs {
+		t.Fatalf("inconsistent hop accounting: msgs=%d frags=%d", st.HopMsgs, st.HopFrags)
 	}
 	var fill int64
 	for _, c := range st.HopFill {
@@ -274,5 +286,149 @@ func TestStatsFrame(t *testing.T) {
 	// The connection survives a stats exchange and keeps querying.
 	if _, err := cl.Query(ctx, "select val from t where id = 2"); err != nil {
 		t.Fatalf("query after stats frame: %v", err)
+	}
+}
+
+// TestFailoverBackoffRetriesLaterRound forces a two-failure sequence:
+// the home node is gone for good, and the only surviving peer slams the
+// door on its first connection. The immediate failover pass therefore
+// finds nobody — the client must back off and win on a later pass
+// instead of surfacing the home node's transport error.
+func TestFailoverBackoffRetriesLaterRound(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lnA.Close(); lnB.Close() })
+	addrA, addrB := lnA.Addr().String(), lnB.Addr().String()
+	hello := func(node int) []byte {
+		h, err := server.EncodeHello(server.Hello{
+			Node: node, Ring: 2,
+			Addrs: []string{addrA, addrB},
+			Alive: []bool{true, true},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		return h
+	}
+	handshake := func(conn net.Conn, node int) (*bufio.Reader, *bufio.Writer, bool) {
+		br, bw := bufio.NewReader(conn), bufio.NewWriter(conn)
+		if typ, _, err := server.ReadFrame(br, server.DefaultMaxFrame); err != nil || typ != server.FrameHello {
+			return nil, nil, false
+		}
+		server.WriteFrame(bw, server.FrameHelloOK, hello(node))
+		bw.Flush()
+		return br, bw, true
+	}
+
+	// Home node A: one good handshake, then gone for good.
+	go func() {
+		conn, err := lnA.Accept()
+		if err != nil {
+			return
+		}
+		handshake(conn, 0)
+		conn.Close()
+		lnA.Close()
+	}()
+
+	// Peer B: refuses its first connection (the forced second failure),
+	// then serves handshakes and one-row answers.
+	var attemptsB atomic.Int32
+	go func() {
+		for {
+			conn, err := lnB.Accept()
+			if err != nil {
+				return
+			}
+			if attemptsB.Add(1) == 1 {
+				conn.Close()
+				continue
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br, bw, ok := handshake(conn, 1)
+				if !ok {
+					return
+				}
+				for {
+					typ, _, err := server.ReadFrame(br, server.DefaultMaxFrame)
+					if err != nil || typ != server.FrameQuery {
+						return
+					}
+					payload, err := server.EncodeResult(&mal.ResultSet{
+						Names: []string{"val"},
+						Cols:  []*bat.BAT{bat.MakeInts("val", []int64{42})},
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					server.WriteFrame(bw, server.FrameResult, payload)
+					bw.Flush()
+				}
+			}(conn)
+		}
+	}()
+
+	cfg := DefaultConfig()
+	cfg.FailoverRounds = 3
+	cfg.FailoverBackoff = 5 * time.Millisecond
+	cl, err := DialConfig(addrA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	rs, err := cl.Query(ctx, "select val from t where id = 1")
+	if err != nil {
+		t.Fatalf("query should survive two failures via backoff: %v", err)
+	}
+	if rs.NumRows() != 1 {
+		t.Fatalf("peer answered %d rows, want 1", rs.NumRows())
+	}
+	if got := attemptsB.Load(); got < 2 {
+		t.Fatalf("peer saw %d connection attempts, want >= 2 (refused then served)", got)
+	}
+	if cl.Addr() != addrB {
+		t.Fatalf("client homed at %s, want rehomed to %s", cl.Addr(), addrB)
+	}
+	// The winning pass came after at least the jitter floor of one
+	// backoff (base/2), proving the retry waited rather than spun.
+	if waited := time.Since(start); waited < cfg.FailoverBackoff/2 {
+		t.Fatalf("failover returned in %s, under the backoff floor", waited)
+	}
+}
+
+// TestFailoverRoundsBounded checks the retry budget is a budget: with
+// everything down, the client gives up after its configured passes
+// instead of retrying forever.
+func TestFailoverRoundsBounded(t *testing.T) {
+	s := servedRing(t)
+	cfg := DefaultConfig()
+	cfg.FailoverRounds = 2
+	cfg.FailoverBackoff = 2 * time.Millisecond
+	cl, err := DialConfig(s.Addr(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := cl.Query(ctx, "select sum(val) from t"); err == nil {
+		t.Fatal("query against a fully dead ring succeeded")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("bounded retry took %s — budget not enforced", waited)
 	}
 }

@@ -69,10 +69,11 @@ func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 	// next Replicas live ring successors of the owner each get a copy,
 	// so a published intermediate survives its owner's death too.
 	if r.cfg.Replicas > 0 {
-		total := len(r.nodes)
+		nodes := r.nodeList()
+		total := len(nodes)
 		chain := make([]core.NodeID, 0, r.cfg.Replicas)
 		for k := 1; k <= total && len(chain) < r.cfg.Replicas; k++ {
-			rep := r.nodes[(int(n.id)+k)%total]
+			rep := nodes[(int(n.id)+k)%total]
 			if rep.id == n.id || r.isDead(rep.id) {
 				continue
 			}
@@ -207,7 +208,7 @@ func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error
 		for _, id := range ids {
 			for _, nid := range r.fragReplicas[id] {
 				if !r.deadNodes[nid] {
-					repNodes[id] = append(repNodes[id], r.nodes[nid])
+					repNodes[id] = append(repNodes[id], r.node(int(nid)))
 				}
 			}
 		}
@@ -276,7 +277,7 @@ func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error
 		if vp != nil {
 			vp.Store(int64(newVer))
 		}
-		for _, node := range r.nodes {
+		for _, node := range r.nodeList() {
 			if node.hot != nil {
 				node.hot.invalidateBelow(id, newVer)
 			}
@@ -315,7 +316,7 @@ func (r *Ring) Version(name string) (int, error) {
 // version.
 func (r *Ring) ownerOf(id core.BATID) *Node {
 	var deadOwner *Node
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		n.mu.Lock()
 		owns := n.rt.Owns(id)
 		n.mu.Unlock()
@@ -346,9 +347,10 @@ func (r *Ring) columnLock(name string) *sync.Mutex {
 // Submit executes sql after a nomadic phase (§6.1): every node bids its
 // current load (active queries) and the query settles on the cheapest.
 func (r *Ring) Submit(sql string) (*mal.ResultSet, error) {
-	best := r.nodes[0]
+	nodes := r.nodeList()
+	best := nodes[0]
 	bestBid := int64(1 << 62)
-	for _, n := range r.nodes {
+	for _, n := range nodes {
 		if bid := atomic.LoadInt64(&n.activeQueries); bid < bestBid {
 			bestBid = bid
 			best = n

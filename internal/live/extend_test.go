@@ -132,8 +132,6 @@ func TestConcurrentUpdatesSerialize(t *testing.T) {
 		t.Fatalf("version = %d, want %d (lost update?)", v, k)
 	}
 	// All k increments applied: id[0] went 1 -> 1+k.
-	id := r.nodes[0] // owner of t.id may be any node; fetch instead
-	_ = id
 	got, err := r.Node(1).Fetch("t.id")
 	if err != nil {
 		t.Fatal(err)

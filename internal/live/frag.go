@@ -129,7 +129,7 @@ func (r *Ring) MaxMessage() int { return r.maxMsgBytes }
 // on the ring so far.
 func (r *Ring) MaxHopBytes() int64 {
 	var max int64
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		if v := atomic.LoadInt64(&n.maxHopBytes); v > max {
 			max = v
 		}
@@ -140,7 +140,7 @@ func (r *Ring) MaxHopBytes() int64 {
 // HopBytes reports the total data bytes sent over all ring hops.
 func (r *Ring) HopBytes() int64 {
 	var total int64
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		total += atomic.LoadInt64(&n.hopBytes)
 	}
 	return total

@@ -302,7 +302,7 @@ func (n *Node) HopStats() HopStats {
 // HopStats sums the hop-transport counters over every node.
 func (r *Ring) HopStats() HopStats {
 	var total HopStats
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		s := n.HopStats()
 		total.Msgs += s.Msgs
 		total.Singles += s.Singles

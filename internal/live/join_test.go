@@ -1,0 +1,414 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/minisql"
+	"repro/internal/netsim"
+)
+
+// joinQuery is the correctness probe every join test runs before,
+// during, and after admission; joinRows is its fixed answer on the
+// fragmented join-test columns (t_id 1..24, 23 of them >= 2).
+const (
+	joinQuery = "select val from c where t_id >= 2"
+	joinRows  = 23
+)
+
+// newJoinRing builds a replicated ring over wide, finely fragmented
+// columns (24 rows, 4 per fragment -> 6 fragments per column, 24 ring
+// fragments total) so a join has a real share to migrate.
+func newJoinRing(t *testing.T, n, replicas int) *Ring {
+	t.Helper()
+	const rows = 24
+	ids := make([]int64, rows)
+	names := make([]string, rows)
+	tids := make([]int64, rows)
+	vals := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = int64(i + 1)
+		names[i] = fmt.Sprintf("n%d", i)
+		tids[i] = int64(i + 1)
+		vals[i] = int64(100 * i)
+	}
+	cols := map[string]*bat.BAT{
+		"t.id":   bat.MakeInts("t.id", ids),
+		"t.name": bat.MakeStrs("t.name", names),
+		"c.t_id": bat.MakeInts("c.t_id", tids),
+		"c.val":  bat.MakeInts("c.val", vals),
+	}
+	schema := minisql.MapSchema{
+		"t": {"id", "name"},
+		"c": {"t_id", "val"},
+	}
+	cfg := DefaultConfig()
+	cfg.FragmentRows = 4
+	cfg.Replicas = replicas
+	cfg.Heartbeat = fastHeartbeat()
+	cfg.Core.ResendTimeout = 100 * time.Millisecond
+	r, err := NewRing(n, cols, schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func checkAnswer(t *testing.T, n *Node, when string) {
+	t.Helper()
+	rs, err := n.ExecSQL(joinQuery)
+	if err != nil {
+		t.Fatalf("%s: node %d: %v", when, n.id, err)
+	}
+	if rs.NumRows() != joinRows {
+		t.Fatalf("%s: node %d: %d rows, want %d", when, n.id, rs.NumRows(), joinRows)
+	}
+}
+
+func ownedCount(r *Ring, id core.NodeID) int {
+	r.memMu.RLock()
+	defer r.memMu.RUnlock()
+	c := 0
+	for _, owner := range r.fragOwner {
+		if owner == id {
+			c++
+		}
+	}
+	return c
+}
+
+func TestJoinRequiresReplicas(t *testing.T) {
+	r := newTestRing(t, 3) // Replicas 0
+	defer r.Close()
+	if _, err := r.Join(); err == nil {
+		t.Fatal("join succeeded on a ring without elastic membership")
+	}
+	if r.Size() != 3 {
+		t.Fatalf("failed join grew the ring to %d", r.Size())
+	}
+}
+
+func TestJoinGrowsServingRing(t *testing.T) {
+	r := newJoinRing(t, 3, 1)
+	defer r.Close()
+	checkAnswer(t, r.Node(0), "pre-join")
+
+	rep, err := r.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Node != 3 || r.Size() != 4 {
+		t.Fatalf("join report %+v, ring size %d; want node 3 in a 4-ring", rep, r.Size())
+	}
+	if rep.Pred != 2 || rep.Succ != 0 {
+		t.Fatalf("splice-in neighbours pred=%d succ=%d, want 2 and 0", rep.Pred, rep.Succ)
+	}
+	if rep.Share == 0 || rep.Migrated == 0 {
+		t.Fatalf("no rebalancing happened: %+v", rep)
+	}
+	if got := ownedCount(r, 3); got != rep.Migrated {
+		t.Fatalf("newcomer owns %d fragments, report says %d", got, rep.Migrated)
+	}
+	if r.UnownedFragments() != 0 {
+		t.Fatalf("%d fragments without a live owner after join", r.UnownedFragments())
+	}
+	if r.Joins() != 1 || r.Migrations() != int64(rep.Migrated) {
+		t.Fatalf("counters joins=%d migrations=%d, want 1 and %d", r.Joins(), r.Migrations(), rep.Migrated)
+	}
+
+	// The grown view gossips to every node; everyone converges on a
+	// 4-wide all-alive view.
+	waitFor(t, "grown view on every node", 15*time.Second, func() bool {
+		for _, n := range r.nodeList() {
+			v := n.memb.View()
+			if len(v.Status) != 4 {
+				return false
+			}
+			if a, s, d := v.Counts(); a != 4 || s != 0 || d != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	// The newcomer heartbeats both ways (sends to succ 0, receives from
+	// pred 2).
+	joiner := r.Node(3)
+	waitFor(t, "newcomer heartbeats", 15*time.Second, func() bool {
+		return atomic.LoadInt64(&joiner.beatsSent) > 0 && atomic.LoadInt64(&joiner.beatsRecv) > 0
+	})
+
+	// Every node — including the newcomer — answers correctly, and the
+	// newcomer serves queries whose data it now owns.
+	for i := 0; i < 4; i++ {
+		checkAnswer(t, r.Node(i), "post-join")
+	}
+}
+
+func TestJoinedRingSurvivesLaterDeath(t *testing.T) {
+	r := newJoinRing(t, 3, 1)
+	defer r.Close()
+	if _, err := r.Join(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill an original node after the join settles: the 4-ring must fail
+	// over exactly like a boot-time 4-ring, including fragments whose
+	// replica chains were rebuilt by the migration.
+	r.KillNode(1)
+	waitFor(t, "post-join failover", 15*time.Second, func() bool {
+		return r.isDead(1) && r.UnownedFragments() == 0
+	})
+	for _, i := range []int{0, 2, 3} {
+		checkAnswer(t, r.Node(i), "post-join post-failover")
+	}
+}
+
+func TestJoinUnderConcurrentQueries(t *testing.T) {
+	r := newJoinRing(t, 3, 1)
+	defer r.Close()
+
+	var (
+		wg     sync.WaitGroup
+		stop   = make(chan struct{})
+		failed atomic.Int64
+		ok     atomic.Int64
+	)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := r.Node(w % 3) // originals only: the joiner may not exist yet
+				rs, err := n.ExecSQL(joinQuery)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if rs.NumRows() != joinRows {
+					t.Errorf("mid-join answer: %d rows, want %d", rs.NumRows(), joinRows)
+					return
+				}
+				ok.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	rep, err := r.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no queries completed during the join window")
+	}
+	if failed.Load() != 0 {
+		// In-process joins swap no listeners; queries must not even error.
+		t.Fatalf("%d queries failed during a clean join (report %+v)", failed.Load(), rep)
+	}
+	for i := 0; i <= 3; i++ {
+		checkAnswer(t, r.Node(i), "settled")
+	}
+}
+
+// TestDonorKilledMidJoin is the kill-during-join satellite: a node dies
+// while donating state to the joiner. The join must skip what the dead
+// donor still held, failover must re-own it from replicas, and every
+// answer stays correct.
+func TestDonorKilledMidJoin(t *testing.T) {
+	r := newJoinRing(t, 3, 1)
+	defer r.Close()
+	checkAnswer(t, r.Node(0), "pre-join")
+
+	// Stretch each migration so the kill lands inside the transfer
+	// window: ~8ms per fragment against a plan of several fragments.
+	faults := netsim.NewFaults()
+	faults.SetDelay(8 * time.Millisecond)
+	r.cfg.JoinFaults = faults
+
+	joinDone := make(chan JoinReport, 1)
+	go func() {
+		rep, err := r.Join()
+		if err != nil {
+			t.Errorf("join with a dying donor should still admit the node: %v", err)
+		}
+		joinDone <- rep
+	}()
+	// Let a couple of migrations land, then murder a donor mid-stream.
+	time.Sleep(12 * time.Millisecond)
+	r.KillNode(1)
+
+	rep := <-joinDone
+	waitFor(t, "donor death converges", 15*time.Second, func() bool {
+		return r.isDead(1) && r.UnownedFragments() == 0
+	})
+	if t.Failed() {
+		return
+	}
+	if rep.Migrated == 0 {
+		t.Fatalf("nothing migrated before the kill: %+v", rep)
+	}
+	// Ring of 3 live nodes (0, 2, joiner 3): everything answers, no
+	// fragment lost.
+	if s := r.MembershipStats(); s.LostFrags != 0 {
+		t.Fatalf("%d fragments lost (stats %+v)", s.LostFrags, s)
+	}
+	for _, i := range []int{0, 2, 3} {
+		checkAnswer(t, r.Node(i), "post-kill")
+	}
+}
+
+// TestJoinerKilledMidTransfer kills the newcomer itself mid-transfer:
+// the join aborts, every already-migrated fragment is promoted back off
+// the joiner's replica chains, and the ring answers exactly as before
+// the join attempt.
+func TestJoinerKilledMidTransfer(t *testing.T) {
+	r := newJoinRing(t, 3, 1)
+	defer r.Close()
+	checkAnswer(t, r.Node(0), "pre-join")
+	preOwned := make(map[int]int, 3)
+	for i := 0; i < 3; i++ {
+		preOwned[i] = ownedCount(r, core.NodeID(i))
+	}
+
+	faults := netsim.NewFaults()
+	faults.SetDelay(8 * time.Millisecond)
+	r.cfg.JoinFaults = faults
+
+	joinErr := make(chan error, 1)
+	go func() {
+		_, err := r.Join()
+		joinErr <- err
+	}()
+	waitFor(t, "joiner admitted", 15*time.Second, func() bool { return r.Size() == 4 })
+	time.Sleep(12 * time.Millisecond)
+	r.KillNode(3)
+
+	err := <-joinErr
+	waitFor(t, "joiner death converges", 15*time.Second, func() bool {
+		return r.isDead(3) && r.UnownedFragments() == 0
+	})
+	if err == nil {
+		// A fast transfer may have finished before the kill landed; then
+		// this is simply a post-join death, which the previous tests
+		// cover. Either way the catalog must have converged above.
+		t.Log("transfer completed before the kill; converged via ordinary failover")
+	}
+	if s := r.MembershipStats(); s.LostFrags != 0 {
+		t.Fatalf("%d fragments lost (stats %+v)", s.LostFrags, s)
+	}
+	// All fragments are back on live original nodes.
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += ownedCount(r, core.NodeID(i))
+	}
+	want := preOwned[0] + preOwned[1] + preOwned[2]
+	if total != want {
+		t.Fatalf("live originals own %d fragments, want all %d back", total, want)
+	}
+	for i := 0; i < 3; i++ {
+		checkAnswer(t, r.Node(i), "post-abort")
+	}
+}
+
+// TestJoinWithDroppedTransfers drops part of the donation stream: the
+// dropped fragments stay at their donors (skipped, not lost) and the
+// catalog stays consistent.
+func TestJoinWithDroppedTransfers(t *testing.T) {
+	r := newJoinRing(t, 3, 1)
+	defer r.Close()
+
+	faults := netsim.NewFaults()
+	faults.DropEvery(2) // every second donation vanishes
+	r.cfg.JoinFaults = faults
+
+	rep, err := r.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped == 0 {
+		t.Fatalf("DropEvery(2) skipped nothing: %+v", rep)
+	}
+	if rep.Migrated+rep.Skipped != rep.Share {
+		t.Fatalf("migrated %d + skipped %d != share %d", rep.Migrated, rep.Skipped, rep.Share)
+	}
+	if got := ownedCount(r, 3); got != rep.Migrated {
+		t.Fatalf("newcomer owns %d, report migrated %d", got, rep.Migrated)
+	}
+	if r.UnownedFragments() != 0 {
+		t.Fatalf("%d fragments without a live owner", r.UnownedFragments())
+	}
+	for i := 0; i <= 3; i++ {
+		checkAnswer(t, r.Node(i), "post-join")
+	}
+}
+
+// TestJoinPartitionedTransferLeavesPreJoinCatalog: a full partition of
+// the join traffic migrates nothing — the ring returns to (stays at)
+// its pre-join catalog, the "or" branch of the convergence contract.
+func TestJoinPartitionedTransferLeavesPreJoinCatalog(t *testing.T) {
+	r := newJoinRing(t, 3, 1)
+	defer r.Close()
+
+	faults := netsim.NewFaults()
+	faults.Partition(true)
+	r.cfg.JoinFaults = faults
+
+	rep, err := r.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Migrated != 0 || rep.Skipped != rep.Share {
+		t.Fatalf("partitioned transfer still migrated: %+v", rep)
+	}
+	if got := ownedCount(r, 3); got != 0 {
+		t.Fatalf("newcomer owns %d fragments across a partition", got)
+	}
+	// The node is admitted (membership grew) even though rebalancing
+	// yielded nothing; healing the partition and re-running the transfer
+	// is a policy decision above this layer.
+	if r.Size() != 4 {
+		t.Fatalf("ring size %d, want 4", r.Size())
+	}
+	for i := 0; i <= 3; i++ {
+		checkAnswer(t, r.Node(i), "post-partitioned-join")
+	}
+}
+
+// TestSequentialJoins grows 3 -> 4 -> 5, the sweep shape the benchmark
+// gates on.
+func TestSequentialJoins(t *testing.T) {
+	r := newJoinRing(t, 3, 1)
+	defer r.Close()
+	for want := 4; want <= 5; want++ {
+		rep, err := r.Join()
+		if err != nil {
+			t.Fatalf("join to %d: %v", want, err)
+		}
+		if r.Size() != want {
+			t.Fatalf("ring size %d, want %d", r.Size(), want)
+		}
+		if rep.Migrated == 0 {
+			t.Fatalf("join to %d migrated nothing: %+v", want, rep)
+		}
+		for i := 0; i < want; i++ {
+			checkAnswer(t, r.Node(i), fmt.Sprintf("ring of %d", want))
+		}
+	}
+	if r.Joins() != 2 {
+		t.Fatalf("joins = %d, want 2", r.Joins())
+	}
+}

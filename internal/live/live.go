@@ -19,6 +19,7 @@ import (
 	"repro/internal/mal"
 	"repro/internal/membership"
 	"repro/internal/minisql"
+	"repro/internal/netsim"
 	"repro/internal/rdma"
 	"repro/internal/wirebuf"
 )
@@ -90,6 +91,12 @@ type Config struct {
 	// suspicion and death thresholds). Zero fields take membership
 	// defaults; only consulted when Replicas > 0.
 	Heartbeat membership.Config
+	// JoinFaults, when non-nil, injects faults into join state
+	// transfer: every migrated fragment's wire bytes consult the
+	// injector, so tests drop or delay the donation stream (the same
+	// netsim.Faults policy that drives the simulated links). Production
+	// rings leave it nil.
+	JoinFaults *netsim.Faults
 	// placeFragment overrides the round-robin fragment placement
 	// (test hook: shuffled placements exercise adverse arrival orders).
 	placeFragment func(frag, nodes int) int
@@ -116,7 +123,15 @@ func DefaultConfig() Config {
 // pairs, with the database columns fragmented and partitioned over the
 // nodes.
 type Ring struct {
-	nodes []*Node
+	// nodes is the ring's node list, published as an immutable snapshot:
+	// readers (stats, placement, failover scans, the pin paths) load the
+	// current slice without a lock, and Join publishes a grown copy with
+	// a single atomic store — the copy-on-write analogue of the
+	// membership view's monotone growth. Node ids are stable slice
+	// indices; entries are never removed or reordered (a dead node stays
+	// in place, marked dead in the membership view). Growth is
+	// serialized by failMu.
+	nodes atomic.Pointer[[]*Node]
 	cfg   Config
 	// name -> ordered fragment ids, global catalog agreed by all nodes.
 	// Guarded by idsMu because Publish extends it at runtime (§6.2).
@@ -159,7 +174,17 @@ type Ring struct {
 	failovers  int64 // atomic: nodes declared dead and failed over
 	promotions int64 // atomic: fragments re-owned from replicas
 	lostFrags  int64 // atomic: fragments dead with no surviving replica
+	joins      int64 // atomic: nodes admitted at runtime
+	migrations int64 // atomic: fragments re-owned toward a joiner
 }
+
+// nodeList loads the current node snapshot. The slice is immutable —
+// Join publishes growth by storing a longer copy — so callers may
+// iterate it without holding any lock.
+func (r *Ring) nodeList() []*Node { return *r.nodes.Load() }
+
+// node returns ring position i from the current snapshot.
+func (r *Ring) node(i int) *Node { return (*r.nodes.Load())[i] }
 
 // Node is one live ring participant.
 type Node struct {
@@ -257,6 +282,14 @@ type Node struct {
 
 	beatsSent int64 // atomic: heartbeat pulses sent
 	beatsRecv int64 // atomic: heartbeat pulses received
+
+	// recvParked is 1 while dataLoop is blocked in Recv awaiting
+	// traffic — the only state in which predecessor silence is real
+	// evidence. The failure detector ticks are gated on it: a node
+	// that is busy processing (or waiting on its own locks) is not
+	// listening, so the silence it observes is self-inflicted and must
+	// not turn into a death verdict against an innocent predecessor.
+	recvParked int32 // atomic
 
 	// killOnce makes node shutdown idempotent: KillNode (simulated
 	// crash), failover (authoritative death), and Ring.Close may each
@@ -449,7 +482,9 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 	r.dataDepth = dataDepth
 	hbCfg := cfg.Heartbeat.WithDefaults()
 
-	// Nodes and transports.
+	// Nodes and transports. Built into a local slice and published once
+	// at the end; Join later publishes grown copies the same way.
+	nodes := make([]*Node, 0, n)
 	for i := 0; i < n; i++ {
 		node := &Node{
 			ring:       r,
@@ -477,7 +512,7 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 			node.memb = membership.NewDetector(i, n, (i-1+n)%n, hbCfg)
 		}
 		node.rt = core.New(node.id, (*liveEnv)(node), cfg.Core)
-		r.nodes = append(r.nodes, node)
+		nodes = append(nodes, node)
 	}
 	for i := 0; i < n; i++ {
 		succ := (i + 1) % n
@@ -493,8 +528,8 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		if err != nil {
 			return nil, err
 		}
-		r.nodes[i].dataOut = mA
-		r.nodes[succ].dataIn = mB
+		nodes[i].dataOut = mA
+		nodes[succ].dataIn = mB
 
 		reqA, reqB, err := newQueuePair(cfg.Transport)
 		if err != nil {
@@ -509,8 +544,8 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 			return nil, err
 		}
 		pred := (i - 1 + n) % n
-		r.nodes[i].reqOut = rA
-		r.nodes[pred].reqIn = rB
+		nodes[i].reqOut = rA
+		nodes[pred].reqIn = rB
 	}
 
 	// Partition ownership round-robin over fragments, so one column's
@@ -522,7 +557,7 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 	}
 	for i, fe := range frags {
 		pos := place(i, n) % n
-		owner := r.nodes[pos]
+		owner := nodes[pos]
 		owner.store[fe.id] = fe.b
 		owner.rt.AddOwned(fe.id, fe.b.Bytes())
 		r.fragOwner[fe.id] = owner.id
@@ -532,7 +567,7 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 			// can recompute from the fragment id alone.
 			chain := make([]core.NodeID, 0, cfg.Replicas)
 			for k := 1; k <= cfg.Replicas; k++ {
-				rep := r.nodes[(pos+k)%n]
+				rep := nodes[(pos+k)%n]
 				rep.replicas[fe.id] = &replicaFrag{b: fe.b}
 				chain = append(chain, rep.id)
 			}
@@ -540,35 +575,46 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 		}
 	}
 
+	r.nodes.Store(&nodes)
+
 	// Start receive loops, the hop scheduler, heartbeats, and runtime
 	// tickers.
-	for _, node := range r.nodes {
-		node.rt.Start()
-		r.wg.Add(2)
-		go node.dataLoop(&r.wg)
-		go node.reqLoop(&r.wg)
-		if node.hop != nil {
-			r.wg.Add(1)
-			go node.hopLoop(&r.wg)
-		}
-		if node.memb != nil {
-			r.wg.Add(1)
-			go node.beatLoop(&r.wg)
-		}
+	for _, node := range nodes {
+		node.startLoops()
 	}
 	return r, nil
 }
 
-// Node returns node i.
-func (r *Ring) Node(i int) *Node { return r.nodes[i] }
+// startLoops starts the node's runtime ticker, receive loops, and the
+// optional hop/beat goroutines — the boot sequence shared by NewRing
+// and the runtime join path. The node's links must be wired first.
+func (n *Node) startLoops() {
+	r := n.ring
+	n.rt.Start()
+	r.wg.Add(2)
+	go n.dataLoop(&r.wg)
+	go n.reqLoop(&r.wg)
+	if n.hop != nil {
+		r.wg.Add(1)
+		go n.hopLoop(&r.wg)
+	}
+	if n.memb != nil {
+		r.wg.Add(1)
+		go n.beatLoop(&r.wg)
+	}
+}
 
-// Size reports the ring size.
-func (r *Ring) Size() int { return len(r.nodes) }
+// Node returns node i.
+func (r *Ring) Node(i int) *Node { return r.node(i) }
+
+// Size reports the ring size (including dead positions — ids are
+// stable; use AliveNodes for the live census).
+func (r *Ring) Size() int { return len(r.nodeList()) }
 
 // Close shuts the ring down. Nodes already killed (KillNode, failover)
 // are skipped by their kill-once guard.
 func (r *Ring) Close() {
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		n.kill()
 	}
 	r.wg.Wait()
@@ -595,7 +641,9 @@ func (n *Node) dataLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
 		in := n.linkDataIn()
+		atomic.StoreInt32(&n.recvParked, 1)
 		data, err := in.Recv()
+		atomic.StoreInt32(&n.recvParked, 0)
 		if err != nil {
 			select {
 			case <-n.closed:
@@ -1287,7 +1335,7 @@ func (n *Node) CacheStats() CacheStats {
 // CacheStats aggregates the hot-set cache counters over every node.
 func (r *Ring) CacheStats() CacheStats {
 	var total CacheStats
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		s := n.CacheStats()
 		total.Hits += s.Hits
 		total.Misses += s.Misses
@@ -1311,7 +1359,7 @@ func (r *Ring) Quiesce(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		idle := true
-		for _, n := range r.nodes {
+		for _, n := range r.nodeList() {
 			if n.ActiveQueries() > 0 || n.InterpRunning() > 0 {
 				idle = false
 				break

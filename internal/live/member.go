@@ -120,6 +120,17 @@ func (n *Node) beatLoop(wg *sync.WaitGroup) {
 		}); err == nil {
 			atomic.AddInt64(&n.beatsSent, 1)
 		}
+		// Silence is evidence only while this node is actually listening:
+		// the tick is skipped unless dataLoop is parked in Recv. A parked
+		// receiver on an empty link that still hears nothing has a truly
+		// silent predecessor; a receiver that is busy processing — or
+		// blocked on its own locks behind a fragment-load storm — has
+		// manufactured the silence itself, and counting it would let a
+		// stalled node kill a healthy neighbour (observed as cascading
+		// false deaths on a 1M-row ring under client load).
+		if atomic.LoadInt32(&n.recvParked) == 0 {
+			continue
+		}
 		for _, dead := range n.memb.Tick() {
 			go n.ring.failover(core.NodeID(dead))
 		}
@@ -168,7 +179,7 @@ func (n *Node) kill() {
 // close, its goroutines exit. Nothing is announced — survivors must
 // notice through missed heartbeats, exactly as with a real crash.
 func (r *Ring) KillNode(i int) {
-	r.nodes[i].kill()
+	r.node(i).kill()
 }
 
 // isDead reports whether the ring has declared id dead.
@@ -189,9 +200,10 @@ func (r *Ring) Alive(i int) bool {
 // AliveNodes reports per-node liveness in ring order — the membership
 // view the server layer hands to clients as a routing cache.
 func (r *Ring) AliveNodes() []bool {
-	out := make([]bool, len(r.nodes))
+	nodes := r.nodeList()
+	out := make([]bool, len(nodes))
 	r.memMu.RLock()
-	for i := range r.nodes {
+	for i := range nodes {
 		out[i] = !r.deadNodes[core.NodeID(i)]
 	}
 	r.memMu.RUnlock()
@@ -201,7 +213,7 @@ func (r *Ring) AliveNodes() []bool {
 // nextAlive returns the first live ring successor of id (id itself if
 // everyone else is dead). Callers must not hold a node's mu.
 func (r *Ring) nextAlive(id core.NodeID) core.NodeID {
-	n := len(r.nodes)
+	n := len(r.nodeList())
 	r.memMu.RLock()
 	defer r.memMu.RUnlock()
 	for k := 1; k <= n; k++ {
@@ -215,7 +227,7 @@ func (r *Ring) nextAlive(id core.NodeID) core.NodeID {
 
 // prevAlive returns the first live ring predecessor of id.
 func (r *Ring) prevAlive(id core.NodeID) core.NodeID {
-	n := len(r.nodes)
+	n := len(r.nodeList())
 	r.memMu.RLock()
 	defer r.memMu.RUnlock()
 	for k := 1; k <= n; k++ {
@@ -244,7 +256,7 @@ func (r *Ring) failover(dead core.NodeID) {
 		return
 	}
 	survivors := 0
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		if !r.deadNodes[n.id] && n.id != dead {
 			survivors++
 		}
@@ -263,12 +275,12 @@ func (r *Ring) failover(dead core.NodeID) {
 	// even if it was merely slow (there is no rejoin — a restarted
 	// process joins as a new ring), so the catalog can never end up
 	// with two live owners of one fragment.
-	r.nodes[dead].kill()
+	r.node(int(dead)).kill()
 
 	// Authoritative view update on every survivor; the gossiped beats
 	// then only confirm it. This also bumps every view version past the
 	// pre-death view, which is what client routing caches key on.
-	for _, s := range r.nodes {
+	for _, s := range r.nodeList() {
 		if s.id != dead && s.memb != nil {
 			s.memb.MarkDead(int(dead))
 		}
@@ -283,7 +295,7 @@ func (r *Ring) failover(dead core.NodeID) {
 	// fragment never re-enters orbit. Every survivor assumes the worst
 	// for its in-flight fragments; outstanding requests re-admit them
 	// within one resend timeout (see Runtime.SuspectOrbit).
-	for _, s := range r.nodes {
+	for _, s := range r.nodeList() {
 		if s.id == dead {
 			continue
 		}
@@ -305,8 +317,8 @@ func (r *Ring) failover(dead core.NodeID) {
 // closed — a receive loop whose Recv fails re-checks the current link
 // pointer and resumes on the replacement (dataLoop/reqLoop).
 func (r *Ring) splice(dead core.NodeID) {
-	p := r.nodes[r.prevAlive(dead)]
-	s := r.nodes[r.nextAlive(dead)]
+	p := r.node(int(r.prevAlive(dead)))
+	s := r.node(int(r.nextAlive(dead)))
 
 	if dataA, dataB, err := newQueuePair(r.cfg.Transport); err == nil {
 		mA, errA := rdma.NewMessengerDepth(dataA, r.maxMsgBytes, r.dataDepth)
@@ -342,7 +354,7 @@ func (r *Ring) splice(dead core.NodeID) {
 // owner are counted lost (k deaths within one detection window exceed
 // a k-replica budget by construction).
 func (r *Ring) promote(dead core.NodeID) {
-	dn := r.nodes[dead]
+	dn := r.node(int(dead))
 	dn.mu.Lock()
 	owned := dn.rt.OwnedBATs()
 	dn.mu.Unlock()
@@ -379,11 +391,19 @@ func (r *Ring) promote(dead core.NodeID) {
 // UpdateColumn) and no node mu held.
 func (r *Ring) promoteFrag(dead core.NodeID, id core.BATID) {
 	r.memMu.RLock()
+	if r.fragOwner[id] != dead {
+		// Ownership moved while promote waited on the column lock — a
+		// join migration re-owned the fragment toward a live node. The
+		// catalog is already repaired; promoting on top of it would
+		// install a second owner.
+		r.memMu.RUnlock()
+		return
+	}
 	chain := r.fragReplicas[id]
 	var heir *Node
 	for _, nid := range chain {
 		if !r.deadNodes[nid] {
-			heir = r.nodes[nid]
+			heir = r.node(int(nid))
 			break
 		}
 	}
@@ -492,7 +512,7 @@ func (n *Node) MembershipStats() MembershipStats {
 func (r *Ring) MembershipStats() MembershipStats {
 	var total MembershipStats
 	first := true
-	for _, n := range r.nodes {
+	for _, n := range r.nodeList() {
 		if r.isDead(n.id) {
 			continue
 		}

@@ -95,7 +95,7 @@ func TestReplicaPlacementOnSuccessors(t *testing.T) {
 			t.Fatalf("fragment %d owned by %d: replica at %d, want successor %d",
 				id, owner, chain[0], want)
 		}
-		rep := r.nodes[chain[0]]
+		rep := r.node(int(chain[0]))
 		rep.mu.Lock()
 		rp := rep.replicas[id]
 		rep.mu.Unlock()
@@ -112,7 +112,7 @@ func TestHeartbeatsFlow(t *testing.T) {
 	r := newReplicaRing(t, 3, 1)
 	defer r.Close()
 	waitFor(t, "heartbeats on every node", 2*time.Second, func() bool {
-		for _, n := range r.nodes {
+		for _, n := range r.nodeList() {
 			if atomic.LoadInt64(&n.beatsSent) == 0 || atomic.LoadInt64(&n.beatsRecv) == 0 {
 				return false
 			}
@@ -435,5 +435,52 @@ func TestBeatCodecRoundTrip(t *testing.T) {
 	buf[3] = envKindData
 	if isBeatMsg(buf) {
 		t.Fatal("kind mismatch accepted")
+	}
+}
+
+// A node that stops draining its data receive loop — here stalled
+// behind its own mu, exactly what a fragment-load storm does at scale —
+// manufactures its own silence. The detector must not convert that
+// self-inflicted silence into a death verdict against its healthy
+// predecessor: ticks only count while dataLoop is parked in Recv.
+// Regression for the cascading false deaths observed on a served
+// 1M-row ring, where the load storm stalled every dataLoop at once and
+// the survivors declared each other dead within seconds.
+func TestStalledReceiverDoesNotAccusePredecessor(t *testing.T) {
+	r := newJoinRing(t, 3, 1)
+	defer r.Close()
+	checkAnswer(t, r.Node(0), "before stall")
+
+	// Background queries keep envelopes flowing into the stalled node,
+	// so its dataLoop is demonstrably blocked mid-processing rather
+	// than parked; mid-stall errors and stalls are expected and fine.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Node(2).ExecSQL(joinQuery)
+		}
+	}()
+
+	n := r.Node(1)
+	hold := 8 * r.cfg.Heartbeat.WithDefaults().DeadTimeout()
+	n.mu.Lock()
+	time.Sleep(hold)
+	n.mu.Unlock()
+	close(stop)
+	wg.Wait()
+
+	if got := atomic.LoadInt64(&r.failovers); got != 0 {
+		t.Fatalf("stalled receiver triggered %d failovers, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		checkAnswer(t, r.Node(i), "after stall")
 	}
 }

@@ -139,6 +139,11 @@ type Detector struct {
 
 	beats  int64 // direct heartbeats observed
 	merges int64 // remote views merged
+
+	// pendingDead accumulates positions a merge newly declared Dead,
+	// drained by the public entry points (OnBeat, Adopt) after the
+	// version bump so callers see deaths exactly once.
+	pendingDead []int
 }
 
 // NewDetector builds the detector for ring position self of n nodes,
@@ -218,28 +223,102 @@ func (d *Detector) OnBeat(from int, remote View) (newlyDead []int) {
 			changed = true
 		}
 	}
-	if len(remote.Status) == len(d.view.Status) {
-		d.merges++
-		for i, rs := range remote.Status {
-			if i == d.self {
-				continue // nobody else's view outranks ours about ourselves
-			}
-			if rs > d.view.Status[i] {
-				if rs == Dead {
-					newlyDead = append(newlyDead, i)
-				}
-				d.view.Status[i] = rs
-				changed = true
-			}
-		}
-		if remote.Version > d.view.Version {
-			d.view.Version = remote.Version
-		}
+	if d.mergeLocked(remote) {
+		changed = true
 	}
 	if changed {
 		d.view.Version++
 	}
-	return newlyDead
+	return d.drainNewlyDead()
+}
+
+// mergeLocked folds a remote view into the local one: grow first if the
+// remote is longer (a join extended the ring — new positions start with
+// whatever the remote says about them), then merge the common prefix by
+// element-wise status maximum and adopt the version maximum. A remote
+// that is *shorter* is the same ring before the newcomer was admitted;
+// its prefix still carries valid evidence, so it merges too — growth is
+// monotone and never retracted. Reports whether any status changed.
+// Statuses that newly became Dead are queued in pendingDead for the
+// caller to drain. d.mu must be held.
+func (d *Detector) mergeLocked(remote View) (changed bool) {
+	if len(remote.Status) == 0 {
+		return false
+	}
+	if len(remote.Status) > len(d.view.Status) {
+		d.growLocked(len(remote.Status))
+		changed = true
+	}
+	d.merges++
+	n := len(remote.Status)
+	if n > len(d.view.Status) {
+		n = len(d.view.Status)
+	}
+	for i := 0; i < n; i++ {
+		rs := remote.Status[i]
+		if i == d.self {
+			continue // nobody else's view outranks ours about ourselves
+		}
+		if rs > d.view.Status[i] {
+			if rs == Dead {
+				d.pendingDead = append(d.pendingDead, i)
+			}
+			d.view.Status[i] = rs
+			changed = true
+		}
+	}
+	if remote.Version > d.view.Version {
+		d.view.Version = remote.Version
+	}
+	return changed
+}
+
+// growLocked extends the view to n ring positions; new positions start
+// Alive (a joiner is admitted alive and earns its own verdicts). The
+// version bump is the caller's responsibility. d.mu must be held.
+func (d *Detector) growLocked(n int) {
+	for len(d.view.Status) < n {
+		d.view.Status = append(d.view.Status, Alive)
+	}
+}
+
+// drainNewlyDead returns and clears the deaths queued by mergeLocked.
+// d.mu must be held.
+func (d *Detector) drainNewlyDead() []int {
+	nd := d.pendingDead
+	d.pendingDead = nil
+	return nd
+}
+
+// Grow extends the membership view to n ring positions (monotone — a
+// smaller n is a no-op). The ring's admission path calls it on every
+// live detector when a joiner is accepted, the way failover calls
+// MarkDead: the authoritative event lands everywhere at once and gossip
+// only confirms. It reports whether the view actually grew.
+func (d *Detector) Grow(n int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n <= len(d.view.Status) {
+		return false
+	}
+	d.growLocked(n)
+	d.view.Version++
+	return true
+}
+
+// Adopt seeds the detector from a remote view out of band — the join
+// handshake hands the newcomer the sponsor's current view before any
+// beats flow. Unlike OnBeat it counts no heartbeat and resets no
+// silence; it is a pure state merge. It returns the nodes the merge
+// newly declared Dead (the seed may already carry death verdicts the
+// caller must honour).
+func (d *Detector) Adopt(remote View) (newlyDead []int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.mergeLocked(remote) {
+		d.view.Version++
+	}
+	return d.drainNewlyDead()
 }
 
 // Tick marks one heartbeat interval of silence elapsed and evaluates

@@ -185,3 +185,88 @@ func TestWithDefaults(t *testing.T) {
 		t.Fatalf("DeadAfter not enforced past SuspectAfter: %+v", c)
 	}
 }
+
+func TestGrowExtendsViewMonotonically(t *testing.T) {
+	d := NewDetector(1, 3, 0, cfg())
+	v0 := d.View().Version
+	if !d.Grow(4) {
+		t.Fatal("Grow(4) on a 3-view reported no growth")
+	}
+	v := d.View()
+	if len(v.Status) != 4 {
+		t.Fatalf("view length = %d, want 4", len(v.Status))
+	}
+	if v.Status[3] != Alive {
+		t.Fatalf("new position status = %v, want alive", v.Status[3])
+	}
+	if v.Version <= v0 {
+		t.Fatalf("version %d did not advance past %d", v.Version, v0)
+	}
+	// Monotone: shrinking or same-size Grow is a no-op.
+	if d.Grow(3) || d.Grow(4) {
+		t.Fatal("Grow to a not-larger size reported growth")
+	}
+	if got := d.View().Version; got != v.Version {
+		t.Fatalf("no-op Grow bumped version %d -> %d", v.Version, got)
+	}
+}
+
+func TestOnBeatGrowsForLongerRemoteView(t *testing.T) {
+	d := NewDetector(1, 3, 0, cfg())
+	// A beat carrying a 4-wide view (the sender already admitted a
+	// joiner) grows the local view and merges the remote statuses.
+	remote := View{Version: 9, Status: []Status{Alive, Alive, Alive, Alive}}
+	if dead := d.OnBeat(0, remote); dead != nil {
+		t.Fatalf("unexpected deaths: %v", dead)
+	}
+	v := d.View()
+	if len(v.Status) != 4 {
+		t.Fatalf("view length after longer beat = %d, want 4", len(v.Status))
+	}
+	if v.Version <= 9 {
+		t.Fatalf("version = %d, want > 9 (max then bump)", v.Version)
+	}
+	// A longer view may carry a death verdict for the new position.
+	remote = View{Version: 20, Status: []Status{Alive, Alive, Alive, Alive, Dead}}
+	dead := d.OnBeat(0, remote)
+	if len(dead) != 1 || dead[0] != 4 {
+		t.Fatalf("newlyDead = %v, want [4]", dead)
+	}
+	if got := d.View().Status[4]; got != Dead {
+		t.Fatalf("grown position status = %v, want dead", got)
+	}
+}
+
+func TestOnBeatMergesShorterRemotePrefix(t *testing.T) {
+	d := NewDetector(3, 4, 2, cfg()) // the joiner: 4-wide view
+	// A straggler still gossiping the pre-join 3-wide view carries a
+	// valid death verdict in its prefix; it must merge, not be dropped.
+	remote := View{Version: 5, Status: []Status{Dead, Alive, Alive}}
+	dead := d.OnBeat(2, remote)
+	if len(dead) != 1 || dead[0] != 0 {
+		t.Fatalf("newlyDead = %v, want [0]", dead)
+	}
+	v := d.View()
+	if len(v.Status) != 4 {
+		t.Fatalf("shorter remote shrank the view to %d", len(v.Status))
+	}
+	if v.Status[0] != Dead {
+		t.Fatalf("prefix verdict not merged: %v", v.Status[0])
+	}
+}
+
+func TestAdoptSeedsJoinerView(t *testing.T) {
+	d := NewDetector(3, 4, 2, cfg())
+	seed := View{Version: 17, Status: []Status{Alive, Dead, Alive, Alive}}
+	dead := d.Adopt(seed)
+	if len(dead) != 1 || dead[0] != 1 {
+		t.Fatalf("adopt newlyDead = %v, want [1]", dead)
+	}
+	v := d.View()
+	if v.Status[1] != Dead || v.Version < 17 {
+		t.Fatalf("adopt did not seed: %+v", v)
+	}
+	if b := d.Beats(); b != 0 {
+		t.Fatalf("adopt counted %d beats, want 0", b)
+	}
+}

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Faults is a network fault injector: a deterministic drop/delay/
+// partition policy that both layers of the stack consult. The
+// sim-driven Link applies it to every message (SetFaults), and the live
+// ring's admission path consults it on join state transfer
+// (live.Config.JoinFaults) — the same injector drives the simulated
+// wire and the real in-process transport, so a fault scenario written
+// for one reproduces on the other.
+//
+// Policies are deterministic by design (every k-th message drops, a
+// fixed added delay, an on/off partition): fault tests must fail the
+// same way every run. Faults is concurrency-safe; the zero value
+// injects nothing.
+type Faults struct {
+	mu        sync.Mutex
+	dropEvery int           // every k-th message is dropped (0 = never)
+	delay     time.Duration // added to every delivery
+	partition bool          // drop everything while set
+
+	seen    int64
+	dropped int64
+}
+
+// NewFaults returns an injector with no active faults.
+func NewFaults() *Faults { return &Faults{} }
+
+// DropEvery makes every k-th message vanish (k <= 0 disables dropping).
+func (f *Faults) DropEvery(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if k < 0 {
+		k = 0
+	}
+	f.dropEvery = k
+}
+
+// SetDelay adds d to every delivery (propagation-jitter injection).
+func (f *Faults) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	f.delay = d
+}
+
+// Partition turns total loss on or off: while partitioned, every
+// message is dropped.
+func (f *Faults) Partition(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partition = on
+}
+
+// Apply evaluates the policy for one message of the given wire size and
+// returns the delay to add and whether the message must be dropped. A
+// dropped message still counts toward the drop cadence.
+func (f *Faults) Apply(size int) (delay time.Duration, drop bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seen++
+	if f.partition {
+		f.dropped++
+		return 0, true
+	}
+	if f.dropEvery > 0 && f.seen%int64(f.dropEvery) == 0 {
+		f.dropped++
+		return 0, true
+	}
+	return f.delay, false
+}
+
+// Stats reports how many messages the injector has seen and dropped.
+func (f *Faults) Stats() (seen, dropped int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen, f.dropped
+}
+
+// SetFaults attaches an injector to the link; nil detaches it. Faulted
+// sends are evaluated before the DropTail queue: a dropped message
+// never occupies queue bytes, and a delayed one arrives late but in
+// FIFO order (the delay is added to the propagation leg).
+func (l *Link) SetFaults(f *Faults) { l.faults = f }

@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/sim"
+)
+
+type testMsg struct{ size int }
+
+func (m testMsg) WireSize() int { return m.size }
+
+func TestFaultsDropEveryAndPartition(t *testing.T) {
+	f := NewFaults()
+	f.DropEvery(3)
+	drops := 0
+	for i := 0; i < 9; i++ {
+		if _, drop := f.Apply(100); drop {
+			drops++
+		}
+	}
+	if drops != 3 {
+		t.Fatalf("DropEvery(3): %d drops in 9 sends, want 3", drops)
+	}
+	f.DropEvery(0)
+	f.Partition(true)
+	if _, drop := f.Apply(100); !drop {
+		t.Fatal("partitioned injector let a message through")
+	}
+	f.Partition(false)
+	if _, drop := f.Apply(100); drop {
+		t.Fatal("healed partition still dropping")
+	}
+	seen, dropped := f.Stats()
+	if seen != 11 || dropped != 4 {
+		t.Fatalf("stats = (%d seen, %d dropped), want (11, 4)", seen, dropped)
+	}
+}
+
+func TestLinkAppliesFaults(t *testing.T) {
+	s := sim.New()
+	delivered := 0
+	l := NewLink(s, LinkConfig{Bandwidth: 1e9}, func(Message) { delivered++ })
+	f := NewFaults()
+	f.SetDelay(10 * time.Millisecond)
+	l.SetFaults(f)
+	if !l.Send(testMsg{100}, false) {
+		t.Fatal("delayed send rejected")
+	}
+	// The delay postpones arrival but must not lose the message.
+	for s.Step() {
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if got := s.Now(); got < sim.Time(10*time.Millisecond) {
+		t.Fatalf("arrival at %v, want >= the injected 10ms delay", got)
+	}
+	f.Partition(true)
+	if l.Send(testMsg{100}, false) {
+		t.Fatal("partitioned link accepted a send")
+	}
+	if st := l.Stats(); st.Dropped != 1 {
+		t.Fatalf("link dropped = %d, want 1", st.Dropped)
+	}
+}
+
+// TestDelayedHeartbeatsNeverDead is the tick-contract regression test:
+// heartbeats that are delayed — by more than the Suspect threshold but
+// still *delivered* every interval — must never produce a Dead verdict.
+// The detector counts silence in ticks, and a pipeline of delayed beats
+// keeps resetting the counter: only genuine loss (DeadAfter consecutive
+// intervals with nothing arriving) may kill a node.
+func TestDelayedHeartbeatsNeverDead(t *testing.T) {
+	cfg := membership.Config{
+		HeartbeatInterval: 50 * time.Millisecond,
+		SuspectAfter:      3,
+		DeadAfter:         6,
+	}
+	s := sim.New()
+	d := membership.NewDetector(1, 2, 0, cfg)
+
+	// The monitored node's beats travel a link whose injected delay is 4
+	// intervals: past SuspectAfter (so suspicion must arise and clear),
+	// well within a pipeline that still delivers one beat per interval.
+	f := NewFaults()
+	f.SetDelay(4 * cfg.HeartbeatInterval)
+	var deadVerdicts [][]int
+	link := NewLink(s, LinkConfig{Bandwidth: 1e12}, func(m Message) {
+		deadVerdicts = append(deadVerdicts, d.OnBeat(0, membership.View{Status: []membership.Status{membership.Alive, membership.Alive}}))
+	})
+	link.SetFaults(f)
+
+	const intervals = 100
+	suspected := false
+	for i := 0; i < intervals; i++ {
+		at := sim.Time(i) * sim.Time(cfg.HeartbeatInterval)
+		s.ScheduleAt(at, func() { link.Send(testMsg{26}, false) })
+		// The monitor's tick fires just before the next send slot, the
+		// worst phase alignment for the receiver.
+		s.ScheduleAt(at+sim.Time(cfg.HeartbeatInterval)-1, func() {
+			if dead := d.Tick(); len(dead) > 0 {
+				deadVerdicts = append(deadVerdicts, dead)
+			}
+			if d.View().Status[0] == membership.Suspect {
+				suspected = true
+			}
+		})
+	}
+	for s.Step() {
+	}
+
+	for _, dv := range deadVerdicts {
+		if len(dv) > 0 {
+			t.Fatalf("delayed heartbeats produced a Dead verdict: %v", dv)
+		}
+	}
+	if got := d.View().Status[0]; got == membership.Dead {
+		t.Fatalf("final status = %v: delay alone must never kill", got)
+	}
+	if !suspected {
+		t.Fatal("4-interval delay never triggered Suspect — the scenario is not exercising the threshold")
+	}
+	if got := d.View().Status[0]; got != membership.Alive {
+		t.Fatalf("steady-state pipeline of beats should settle Alive, got %v", got)
+	}
+}

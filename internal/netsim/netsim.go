@@ -61,6 +61,10 @@ type Link struct {
 	queued    int // bytes waiting or being serialized
 	busyUntil sim.Time
 	stats     Stats
+
+	// faults, when attached, is consulted before every send (see
+	// SetFaults in faults.go). Nil injects nothing.
+	faults *Faults
 }
 
 // NewLink creates a link that hands arriving messages to deliver.
@@ -99,6 +103,15 @@ func (l *Link) Send(m Message, force bool) bool {
 	if size < 0 {
 		panic(fmt.Sprintf("netsim: negative wire size %d", size))
 	}
+	var faultDelay time.Duration
+	if l.faults != nil {
+		delay, drop := l.faults.Apply(size)
+		if drop {
+			l.stats.Dropped++
+			return false
+		}
+		faultDelay = delay
+	}
 	if !force && l.cfg.QueueCap > 0 && l.queued+size > l.cfg.QueueCap {
 		l.stats.Dropped++
 		return false
@@ -117,7 +130,7 @@ func (l *Link) Send(m Message, force bool) bool {
 	ser := l.SerializationTime(size)
 	done := start.Add(ser)
 	l.busyUntil = done
-	arrive := done.Add(l.cfg.Delay)
+	arrive := done.Add(l.cfg.Delay + faultDelay)
 	l.sim.ScheduleAt(done, func() { l.queued -= size })
 	l.sim.ScheduleAt(arrive, func() {
 		l.stats.Delivered++

@@ -158,13 +158,17 @@ func (m *Messenger) SendEncoded(size int, encode func(dst []byte) int) error {
 	}
 }
 
-// TrySendEncoded is SendEncoded without the blocking region wait: if no
-// send region is free right now it returns ErrQueueFull immediately.
-// Control traffic that must never stall behind bulk data — the
-// membership heartbeat multiplexed onto the data link — uses this; a
-// pulse that cannot get a region is simply dropped (the next interval
-// sends another, and the failure detector tolerates missed beats by
-// design).
+// TrySendEncoded is SendEncoded without any blocking wait: if no send
+// region is free right now, or another sender holds the wire, it
+// returns ErrQueueFull immediately. Control traffic that must never
+// stall behind bulk data — the membership heartbeat multiplexed onto
+// the data link — uses this; a pulse that cannot get through is simply
+// dropped (the next interval sends another, and the failure detector
+// tolerates missed beats by design). The wire TryLock matters as much
+// as the region check: a multi-megabyte send in flight holds sendMu
+// until its completion, and a heartbeat that queued behind it would
+// inherit that latency — long enough, on a loaded single-core box, for
+// the silent sender to be declared dead.
 func (m *Messenger) TrySendEncoded(size int, encode func(dst []byte) int) error {
 	if size > m.maxMsg {
 		return ErrTooLarge
@@ -184,7 +188,9 @@ func (m *Messenger) TrySendEncoded(size int, encode func(dst []byte) int) error 
 	if n < 0 || n > size {
 		return fmt.Errorf("rdma: encoder wrote %d bytes into a %d-byte window", n, size)
 	}
-	m.sendMu.Lock()
+	if !m.sendMu.TryLock() {
+		return ErrQueueFull
+	}
 	defer m.sendMu.Unlock()
 	if err := m.qp.PostSend(mr, n); err != nil {
 		return err

@@ -147,8 +147,12 @@ func (s NodeStats) String() string {
 type Server struct {
 	cfg   Config
 	ring  *live.Ring
-	nodes []*nodeServer
 	drain chan struct{}
+
+	// nodesMu guards nodes: the slice grows at runtime when ServeNode
+	// brings a joined ring node online (live.Ring.Join).
+	nodesMu sync.RWMutex
+	nodes   []*nodeServer
 
 	wg        sync.WaitGroup // accept loops + connection handlers
 	closeOnce sync.Once
@@ -249,20 +253,86 @@ func nodeAddr(base string, i int) (string, error) {
 }
 
 // Addr reports the bound address of node i's listener.
-func (s *Server) Addr(i int) string { return s.nodes[i].ln.Addr().String() }
+func (s *Server) Addr(i int) string {
+	s.nodesMu.RLock()
+	defer s.nodesMu.RUnlock()
+	return s.nodes[i].ln.Addr().String()
+}
 
 // Addrs reports every node's bound address, in ring order.
 func (s *Server) Addrs() []string {
+	s.nodesMu.RLock()
+	defer s.nodesMu.RUnlock()
 	out := make([]string, len(s.nodes))
-	for i := range s.nodes {
-		out[i] = s.Addr(i)
+	for i, ns := range s.nodes {
+		out[i] = ns.ln.Addr().String()
 	}
 	return out
 }
 
+// nodeServers snapshots the per-node listener list.
+func (s *Server) nodeServers() []*nodeServer {
+	s.nodesMu.RLock()
+	defer s.nodesMu.RUnlock()
+	return append([]*nodeServer(nil), s.nodes...)
+}
+
+// ServeNode starts a listener for ring node i, a node admitted after
+// Serve by live.Ring.Join. Listeners must be added in ring order (node
+// i right after node i-1); the bound address is returned. Subsequent
+// handshakes on every node advertise the grown address list, so
+// clients learn the newcomer on their next natural refresh.
+func (s *Server) ServeNode(i int) (string, error) {
+	s.nodesMu.Lock()
+	defer s.nodesMu.Unlock()
+	// Checked under nodesMu: Close snapshots the node list under the
+	// same lock, so a node added here is either seen by Close's
+	// teardown or refused below — never leaked.
+	select {
+	case <-s.drain:
+		return "", fmt.Errorf("server: draining")
+	default:
+	}
+	if i < 0 || i >= s.ring.Size() {
+		return "", fmt.Errorf("server: no ring node %d", i)
+	}
+	if i < len(s.nodes) {
+		return "", fmt.Errorf("server: node %d already served", i)
+	}
+	if i != len(s.nodes) {
+		return "", fmt.Errorf("server: node %d out of order (next is %d)", i, len(s.nodes))
+	}
+	addr, err := nodeAddr(s.cfg.Addr, i)
+	if err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: node %d: %w", i, err)
+	}
+	node := s.ring.Node(i)
+	ns := &nodeServer{
+		srv:     s,
+		node:    node,
+		nodeID:  i,
+		schema:  node.Schema(),
+		ln:      ln,
+		adm:     newAdmission(s.cfg.MaxInFlight, s.cfg.MaxQueue),
+		cache:   newPlanCache(s.cfg.PlanCacheSize),
+		conns:   map[net.Conn]struct{}{},
+		latency: metrics.NewSyncHistogram(fmt.Sprintf("node%d.latency", i), 0.0001),
+	}
+	s.nodes = append(s.nodes, ns)
+	s.wg.Add(1)
+	go ns.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
 // Stats snapshots node i's serving counters.
 func (s *Server) Stats(i int) NodeStats {
+	s.nodesMu.RLock()
 	ns := s.nodes[i]
+	s.nodesMu.RUnlock()
 	hits, misses := ns.cache.stats()
 	st := NodeStats{
 		Accepted:        ns.accepted.Get(),
@@ -326,7 +396,9 @@ func (s *Server) Stats(i int) NodeStats {
 // connection failures, not graceful errors. The rest of the server keeps
 // serving.
 func (s *Server) KillNode(i int) {
+	s.nodesMu.RLock()
 	ns := s.nodes[i]
+	s.nodesMu.RUnlock()
 	s.ring.KillNode(i)
 	ns.ln.Close()
 	ns.connMu.Lock()
@@ -343,13 +415,14 @@ func (s *Server) KillNode(i int) {
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.drain)
-		for _, ns := range s.nodes {
+		nodes := s.nodeServers()
+		for _, ns := range nodes {
 			ns.ln.Close()
 		}
 		deadline := time.Now().Add(s.cfg.DrainTimeout)
 		for time.Now().Before(deadline) {
 			busy := false
-			for _, ns := range s.nodes {
+			for _, ns := range nodes {
 				// Admission slots, not the stats gauge: the slot is held
 				// from the admit operation itself until the response is
 				// flushed, so no just-admitted query can slip past drain.
@@ -363,7 +436,7 @@ func (s *Server) Close() error {
 			}
 			time.Sleep(2 * time.Millisecond)
 		}
-		for _, ns := range s.nodes {
+		for _, ns := range nodes {
 			ns.connMu.Lock()
 			for c := range ns.conns {
 				c.Close()

@@ -238,3 +238,87 @@ func TestQueryContextTimeout(t *testing.T) {
 		t.Fatalf("query after cancellation: %v", err)
 	}
 }
+
+// TestServeJoinedNode grows a served ring at runtime: Join admits a new
+// ring node, ServeNode brings its listener online, and clients learn
+// the grown ring from their next handshake — the newcomer both serves
+// queries directly and shows up in every routing cache.
+func TestServeJoinedNode(t *testing.T) {
+	ringCfg := live.DefaultConfig()
+	ringCfg.Replicas = 1
+	ringCfg.Heartbeat = membership.Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      3,
+		DeadAfter:         8,
+	}
+	ringCfg.Core.ResendTimeout = 100 * time.Millisecond
+	r, s := servedRing(t, 3, ringCfg, server.DefaultConfig())
+
+	const sql = "select val from c where t_id >= 2 order by val"
+	want, err := r.Node(0).ExecSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := dcclient.Dial(s.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(context.Background(), sql); err != nil {
+		t.Fatal(err)
+	}
+	if addrs, _ := cl.Peers(); len(addrs) != 3 {
+		t.Fatalf("pre-join routing cache: %v", addrs)
+	}
+
+	rep, err := r.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinAddr, err := s.ServeNode(rep.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Addr(rep.Node); got != joinAddr {
+		t.Fatalf("Addr(%d) = %s, want %s", rep.Node, got, joinAddr)
+	}
+	if _, err := s.ServeNode(rep.Node); err == nil {
+		t.Fatal("double ServeNode succeeded")
+	}
+
+	// The newcomer answers over the wire, with its Hello reporting the
+	// grown ring.
+	jcl, err := dcclient.Dial(joinAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jcl.Close()
+	got, err := jcl.Query(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows(), want.Rows()) {
+		t.Fatalf("joined node answer differs:\nwant %v\ngot  %v", want.Rows(), got.Rows())
+	}
+	if h := jcl.Node(); h.Node != rep.Node || h.Ring != 4 {
+		t.Fatalf("joined node hello = %+v, want node %d in a 4-ring", h, rep.Node)
+	}
+
+	// The old client's next handshake advertises the grown address list.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cl.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	addrs, alive := cl.Peers()
+	if len(addrs) != 4 || addrs[rep.Node] != joinAddr {
+		t.Fatalf("refreshed routing cache: addrs=%v", addrs)
+	}
+	if len(alive) != 4 || !alive[rep.Node] {
+		t.Fatalf("refreshed routing cache: alive=%v", alive)
+	}
+	if st := s.Stats(rep.Node); st.OK == 0 {
+		t.Fatalf("joined node's served stats missed its query: %+v", st)
+	}
+}

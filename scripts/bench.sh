@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
 # bench.sh — run the wire-codec benchmark suite, the fragment
 # granularity sweep, the hot-set cache repeat sweep, the hop batching
-# sweep, and the failover kill-and-recover sweep, recording the results.
+# sweep, the failover kill-and-recover sweep, and the grow-the-ring
+# join sweep, recording the results.
 #
 # Usage:
 #   scripts/bench.sh          full run: 1s per benchmark, writes
 #                             BENCH_wire.json, BENCH_frag.json,
 #                             BENCH_cache.json, BENCH_hop.json, and
-#                             BENCH_failover.json
+#                             BENCH_failover.json, and BENCH_join.json
 #   scripts/bench.sh -short   CI smoke: one iteration per benchmark and
 #                             small sweeps, still gating on codec/gob
 #                             equivalence, the fragmentation invariants,
 #                             the cache hit-rate / ≥5× pin-p99 gates,
 #                             the ≥4× hop-message reduction gate, and
 #                             the zero-incorrect / bounded-recovery
-#                             failover gates
+#                             failover gates, and the zero-incorrect /
+#                             full-share / transfer-dominated join gates
 #
 # The script fails if the codec-vs-gob equivalence tests fail (a wire
 # format regression can never produce a "fast but wrong" green run) or
@@ -104,4 +106,11 @@ if [ "$SHORT" -eq 1 ]; then
   go run ./cmd/dcfail -short -out BENCH_failover.json
 else
   go run ./cmd/dcfail -out BENCH_failover.json
+fi
+
+echo "== grow-the-ring join sweep =="
+if [ "$SHORT" -eq 1 ]; then
+  go run ./cmd/dcjoin -short -out BENCH_join.json
+else
+  go run ./cmd/dcjoin -out BENCH_join.json
 fi
