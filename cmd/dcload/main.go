@@ -19,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/dcclient"
 	"repro/internal/live"
 	"repro/internal/tpch"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -52,6 +54,7 @@ func main() {
 		kill      = flag.Duration("kill", 0, "kill one node this long into the run (selfserve failover drill)")
 		killnode  = flag.Int("killnode", 1, "node to kill in -kill mode")
 		memstats  = flag.Bool("memstats", false, "report membership stats: view, liveness, replicas, failovers")
+		zipf      = flag.Float64("zipf", 0, "Zipf θ skew for query selection over the mix (0 = round-robin)")
 	)
 	flag.Parse()
 
@@ -106,7 +109,7 @@ func main() {
 		mix = []string{*sql}
 	}
 
-	res := drive(targets, mix, *clients, *queries, *timeout)
+	res := drive(targets, mix, *clients, *queries, *timeout, *zipf, *seed)
 
 	fmt.Printf("\n%d clients x %d queries against %d node(s) in %.2fs\n",
 		*clients, *queries, len(targets), res.wall.Seconds())
@@ -369,10 +372,12 @@ func (r *result) quantile(q float64) time.Duration {
 }
 
 // drive fires total queries from `clients` concurrent sessions spread
-// round-robin over the target addresses and the query mix. The first
-// successful answer for each distinct SQL text becomes the reference;
-// every later answer must match it exactly (zero-incorrect guarantee).
-func drive(targets, mix []string, clients, total int, timeout time.Duration) *result {
+// round-robin over the target addresses and the query mix — or, with
+// zipfTheta > 0, drawing each query from a seeded Zipf(θ) over the mix
+// so the load skews onto a hot head. The first successful answer for
+// each distinct SQL text becomes the reference; every later answer
+// must match it exactly (zero-incorrect guarantee).
+func drive(targets, mix []string, clients, total int, timeout time.Duration, zipfTheta float64, seed int64) *result {
 	var (
 		res     result
 		mu      sync.Mutex // guards lats, errors, references
@@ -403,6 +408,12 @@ func drive(targets, mix []string, clients, total int, timeout time.Duration) *re
 				return
 			}
 			defer cl.Close()
+			var pick func(*rand.Rand) int
+			var rng *rand.Rand
+			if zipfTheta > 0 {
+				pick = workload.ZipfPick(len(mix), zipfTheta)
+				rng = rand.New(rand.NewSource(seed + int64(w)))
+			}
 			var local []time.Duration
 			for {
 				n := atomic.AddInt64(&next, 1)
@@ -410,6 +421,9 @@ func drive(targets, mix []string, clients, total int, timeout time.Duration) *re
 					break
 				}
 				sql := mix[int(n)%len(mix)]
+				if pick != nil {
+					sql = mix[pick(rng)]
+				}
 				ctx, cancel := context.WithTimeout(context.Background(), timeout)
 				start := time.Now()
 				rs, err := cl.Query(ctx, sql)

@@ -1,0 +1,75 @@
+// dctier runs the hot/cold tier sweep: the same seeded Zipf access
+// stream against a single wide ring and against the routed two-tier
+// runtime, plus the flash-crowd promotion probe. It writes the result
+// as JSON (BENCH_tier.json) and, with -gate, exits non-zero unless the
+// three tier contracts hold: zero incorrect answers, hot revolution
+// below cold, flash promotion within one cold revolution.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	short := flag.Bool("short", false, "CI-sized sweep")
+	cols := flag.Int("cols", 0, "distinct columns (0 = preset)")
+	rows := flag.Int("rows", 0, "rows per column (0 = preset)")
+	accesses := flag.Int("accesses", 0, "fetches in the stream (0 = preset)")
+	theta := flag.Float64("theta", -1, "Zipf skew (negative = preset)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	out := flag.String("out", "BENCH_tier.json", "result file (empty = stdout only)")
+	gate := flag.Bool("gate", true, "exit non-zero if the tier gates fail")
+	flag.Parse()
+
+	opts := experiments.DefaultTierOpts()
+	if *short {
+		opts = opts.Short()
+	}
+	if *cols > 0 {
+		opts.Columns = *cols
+	}
+	if *rows > 0 {
+		opts.Rows = *rows
+	}
+	if *accesses > 0 {
+		opts.Accesses = *accesses
+	}
+	if *theta >= 0 {
+		opts.Theta = *theta
+	}
+	opts.Seed = *seed
+
+	res, err := experiments.TierSweep(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dctier:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dctier:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dctier:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if err := res.Gate(); err != nil {
+		fmt.Fprintln(os.Stderr, "dctier:", err)
+		if *gate {
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println("tier gates: ok")
+	}
+}

@@ -298,6 +298,22 @@ func (rt *Runtime) PendingLoads() int { return len(rt.pendingFIFO) }
 // OutstandingRequests reports the S2 size.
 func (rt *Runtime) OutstandingRequests() int { return len(rt.s2) }
 
+// HasRequest reports whether b has an outstanding S2 request on this
+// node — live interest that has not yet been delivered or cancelled.
+// Cross-ring migration drains on this: a fragment leaves a ring only
+// once no node of that ring still awaits it.
+func (rt *Runtime) HasRequest(b BATID) bool {
+	_, ok := rt.s2[b]
+	return ok
+}
+
+// Parked reports whether owned BAT b is currently held at this owner by
+// LOI-gated pacing (ParkIdleCycles), awaiting a fresh interest signal.
+func (rt *Runtime) Parked(b BATID) bool {
+	o, ok := rt.s1[b]
+	return ok && o.parked
+}
+
 // AddOwned registers b in the node's S1 catalog (the random upfront
 // partitioning of §4). The BAT starts cold, on the local disk.
 func (rt *Runtime) AddOwned(b BATID, size int) {

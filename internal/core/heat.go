@@ -1,0 +1,47 @@
+package core
+
+// Promotion heat: the routing layer's analogue of the circulating LOI.
+// A fragment's level of interest is measured *in flight* — copies per
+// hop, averaged over revolutions (hotSetManagement). A fragment that is
+// parked, or that lives on another ring entirely, shows no circulating
+// interest at all; what the router can observe instead is the stream of
+// pin dispatches it routes. Heat is that observation: a decayed access
+// counter with the same recency bias as the LOI economy (every scan
+// halves it, every access raises it), plus a per-window count that
+// detects a flash crowd — a burst of first interest in data that was
+// stone cold a moment ago.
+
+// Heat is one fragment's decayed access counter. It is not
+// concurrency-safe; callers serialize access (the router holds its heat
+// lock).
+type Heat struct {
+	level  float64 // decayed accesses — compared against tier thresholds
+	window int     // accesses since the last decay scan (flash-crowd burst)
+}
+
+// Bump records one routed access.
+func (h *Heat) Bump() {
+	h.level++
+	h.window++
+}
+
+// Decay ages the counter by the given factor (0 < factor < 1) and
+// resets the flash-crowd window: interest must keep arriving to keep a
+// fragment hot, exactly as a circulating BAT must keep collecting
+// copies to keep its LOI above the LOIT.
+func (h *Heat) Decay(factor float64) {
+	h.level *= factor
+	h.window = 0
+}
+
+// Level reports the decayed access level — what tier thresholds
+// (promote/demote) compare against.
+func (h *Heat) Level() float64 { return h.level }
+
+// Window reports accesses since the last decay scan — what the
+// flash-crowd trigger compares against.
+func (h *Heat) Window() int { return h.window }
+
+// Cold reports whether the counter has decayed to noise and can be
+// forgotten.
+func (h *Heat) Cold() bool { return h.level < 0.01 }

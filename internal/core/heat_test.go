@@ -1,0 +1,55 @@
+package core
+
+import "testing"
+
+func TestHeatBumpDecay(t *testing.T) {
+	var h Heat
+	if h.Level() != 0 || h.Window() != 0 || !h.Cold() {
+		t.Fatalf("zero Heat not cold: level=%v window=%d", h.Level(), h.Window())
+	}
+	for i := 0; i < 4; i++ {
+		h.Bump()
+	}
+	if h.Level() != 4 || h.Window() != 4 {
+		t.Fatalf("after 4 bumps: level=%v window=%d, want 4/4", h.Level(), h.Window())
+	}
+	h.Decay(0.5)
+	if h.Level() != 2 {
+		t.Fatalf("after decay: level=%v, want 2", h.Level())
+	}
+	if h.Window() != 0 {
+		t.Fatalf("decay must reset the flash-crowd window, got %d", h.Window())
+	}
+	if h.Cold() {
+		t.Fatal("level 2 must not be cold")
+	}
+	for i := 0; i < 16; i++ {
+		h.Decay(0.5)
+	}
+	if !h.Cold() {
+		t.Fatalf("16 decays must cool the counter, level=%v", h.Level())
+	}
+}
+
+func TestHasRequestAndParked(t *testing.T) {
+	env := &mockEnv{queueCap: 1000}
+	rt := New(0, env, DefaultConfig())
+	rt.AddOwned(1, 100)
+	if rt.HasRequest(2) {
+		t.Fatal("no request registered yet")
+	}
+	rt.Request(7, 2)
+	if !rt.HasRequest(2) {
+		t.Fatal("Request must create an S2 entry")
+	}
+	rt.CancelQuery(7, []BATID{2})
+	if rt.HasRequest(2) {
+		t.Fatal("CancelQuery must drop the S2 entry")
+	}
+	if rt.Parked(1) {
+		t.Fatal("freshly owned BAT is not parked")
+	}
+	if rt.Parked(99) {
+		t.Fatal("unowned BAT is not parked")
+	}
+}

@@ -1,0 +1,357 @@
+package experiments
+
+// Hot/cold tier sweep: the measurement behind the routed multi-ring
+// runtime. One wide ring forces every fragment to share a revolution
+// time; the two-tier runtime gives the Zipf head a small fast ring and
+// leaves the tail on the wide cold one, migrating fragments as their
+// observed interest crosses the thresholds. The sweep runs the same
+// seeded Zipf access stream against a single-ring baseline and the
+// tiered runtime and records:
+//
+//   - correctness: every fetched column is checksummed against the
+//     generator (zero incorrect answers, whichever tier served it);
+//   - latency: p50/p99 over the stream, and for the tiered run the
+//     split between accesses that found their column hot-homed versus
+//     cold-homed;
+//   - the tiers themselves: measured revolution time per ring, the
+//     migration counters, and residency;
+//   - the flash-crowd path: after the stream, a still-cold column is
+//     hit with a burst and the wall-clock from the burst's first
+//     access to the observed home flip is compared against one cold
+//     revolution (the promotion must land before the cold ring could
+//     even bring the fragment around).
+//
+// Gate() turns the three contracts into a CI check.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/live"
+	"repro/internal/workload"
+)
+
+// TierOpts sizes the sweep.
+type TierOpts struct {
+	Columns  int     // distinct columns (the Zipf key space)
+	Rows     int     // rows per column (single-fragment sized)
+	Accesses int     // fetches in the measured stream
+	Theta    float64 // Zipf skew
+	Seed     int64
+	Router   live.RouterConfig // tiered topology; Tiers forced to 2
+}
+
+// DefaultTierOpts is the full sweep; Short shrinks it to CI size.
+func DefaultTierOpts() TierOpts {
+	return TierOpts{
+		Columns:  24,
+		Rows:     8 << 10,
+		Accesses: 600,
+		Theta:    1.1,
+		Seed:     1,
+		Router:   live.DefaultRouterConfig(),
+	}
+}
+
+// Short returns the CI-sized variant of o.
+func (o TierOpts) Short() TierOpts {
+	o.Columns = 10
+	o.Rows = 2 << 10
+	o.Accesses = 220
+	o.Router.TierScan = 25 * time.Millisecond
+	return o
+}
+
+// TierRun is one side of the comparison.
+type TierRun struct {
+	Label     string `json:"label"`
+	Accesses  int    `json:"accesses"`
+	Incorrect int    `json:"incorrect"`
+	P50Micros int64  `json:"p50_us"`
+	P99Micros int64  `json:"p99_us"`
+	// Tiered run only: the latency split by the column's home ring at
+	// fetch time.
+	HotServed     int   `json:"hot_served,omitempty"`
+	HotP50Micros  int64 `json:"hot_p50_us,omitempty"`
+	ColdP50Micros int64 `json:"cold_p50_us,omitempty"`
+}
+
+// TierResult is the whole sweep.
+type TierResult struct {
+	Columns  int     `json:"columns"`
+	Rows     int     `json:"rows"`
+	Theta    float64 `json:"theta"`
+	Accesses int     `json:"accesses"`
+
+	Baseline TierRun        `json:"baseline"`
+	Tiered   TierRun        `json:"tiered"`
+	Stats    live.TierStats `json:"tier_stats"`
+
+	// Flash-crowd probe: wall-clock from the burst's first access to
+	// the observed cold→hot home flip, against the one-cold-revolution
+	// bound (the measured cold revolution when available, else the cold
+	// fetch p99 as a conservative proxy — a cold fetch waits for at
+	// most one revolution).
+	FlashPromoteMicros int64 `json:"flash_promote_us"`
+	FlashBoundMicros   int64 `json:"flash_bound_us"`
+	ColdRevMeasured    bool  `json:"cold_rev_measured"`
+	FlashProbed        bool  `json:"flash_probed"`
+}
+
+// tierColName names column k (every column is its own single-fragment
+// table entry).
+func tierColName(k int) string { return fmt.Sprintf("t.c%03d", k) }
+
+// tierColumns builds the dataset and its per-column checksums.
+func tierColumns(cols, rows int, seed int64) (map[string]*bat.BAT, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	columns := make(map[string]*bat.BAT, cols)
+	sums := make([]int64, cols)
+	for k := 0; k < cols; k++ {
+		vals := make([]int64, rows)
+		var sum int64
+		for i := range vals {
+			vals[i] = rng.Int63n(1 << 20)
+			sum += vals[i]
+		}
+		columns[tierColName(k)] = bat.MakeInts("c", vals)
+		sums[k] = sum
+	}
+	return columns, sums
+}
+
+// TierSweep runs the baseline-versus-tiered comparison and the
+// flash-crowd probe.
+func TierSweep(o TierOpts) (*TierResult, error) {
+	if o.Columns < 2 || o.Rows < 1 || o.Accesses < 1 {
+		return nil, fmt.Errorf("tier sweep: bad sizes %+v", o)
+	}
+	res := &TierResult{
+		Columns:  o.Columns,
+		Rows:     o.Rows,
+		Theta:    o.Theta,
+		Accesses: o.Accesses,
+	}
+
+	// Baseline: one standalone ring built through the Tiers=1 gate, in
+	// the cold ring's configuration and at the cold ring's node count —
+	// the wide capacity ring every fragment shares when there is no hot
+	// tier. (A cache big enough to swallow the whole dataset would hide
+	// exactly the constraint the tiering addresses.)
+	base := o.Router
+	base.Tiers = 1
+	columns, sums := tierColumns(o.Columns, o.Rows, o.Seed)
+	rtr, err := live.NewRouter(columns, nil, base)
+	if err != nil {
+		return nil, err
+	}
+	run, _, err := tierStream("single-ring", rtr, o, sums)
+	rtr.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = run
+
+	// Tiered: the same dataset and the same seeded access stream
+	// against the two-tier runtime.
+	tiered := o.Router
+	tiered.Tiers = 2
+	columns, sums = tierColumns(o.Columns, o.Rows, o.Seed)
+	rtr, err = live.NewRouter(columns, nil, tiered)
+	if err != nil {
+		return nil, err
+	}
+	defer rtr.Close()
+	run, coldP99, err := tierStream("tiered", rtr, o, sums)
+	if err != nil {
+		return nil, err
+	}
+	res.Tiered = run
+
+	// The flash-crowd probe, before reading the final stats.
+	if err := tierFlashProbe(rtr, o, sums, res, coldP99); err != nil {
+		return nil, err
+	}
+	res.Stats = rtr.TierStats()
+	if res.Stats.ColdRevolutionMicros > 0 {
+		res.FlashBoundMicros = res.Stats.ColdRevolutionMicros
+		res.ColdRevMeasured = true
+	} else {
+		res.FlashBoundMicros = coldP99
+	}
+	return res, nil
+}
+
+// tierStream fires the seeded Zipf access stream at the runtime,
+// checksumming every answer. It returns the run and the p99 of the
+// accesses that found their column cold-homed (the revolution proxy
+// the flash bound falls back to).
+func tierStream(label string, rtr *live.Router, o TierOpts, sums []int64) (TierRun, int64, error) {
+	z := workload.NewZipf(o.Columns, o.Theta)
+	rng := rand.New(rand.NewSource(o.Seed + 1))
+	run := TierRun{Label: label, Accesses: o.Accesses}
+	var all, hotLat, coldLat []time.Duration
+	for i := 0; i < o.Accesses; i++ {
+		k := z.Draw(rng)
+		hot := false
+		if rtr.Tiers() > 1 {
+			if homes, ok := rtr.Homes(tierColName(k)); ok && homes[0] == live.HotRing {
+				hot = true
+			}
+		}
+		start := time.Now()
+		b, err := rtr.Fetch(tierColName(k))
+		lat := time.Since(start)
+		if err != nil {
+			return run, 0, fmt.Errorf("%s: fetch %s: %w", label, tierColName(k), err)
+		}
+		var sum int64
+		for j := 0; j < b.Len(); j++ {
+			sum += b.Tail().Int(j)
+		}
+		if sum != sums[k] || b.Len() != o.Rows {
+			run.Incorrect++
+		}
+		all = append(all, lat)
+		if hot {
+			hotLat = append(hotLat, lat)
+		} else {
+			coldLat = append(coldLat, lat)
+		}
+	}
+	run.P50Micros = quantileMicros(all, 0.50)
+	run.P99Micros = quantileMicros(all, 0.99)
+	if rtr.Tiers() > 1 {
+		run.HotServed = len(hotLat)
+		run.HotP50Micros = quantileMicros(hotLat, 0.50)
+		run.ColdP50Micros = quantileMicros(coldLat, 0.50)
+	}
+	return run, quantileMicros(coldLat, 0.99), nil
+}
+
+// tierFlashProbe picks a still-cold column, hits it with a
+// FlashCrowdHits burst, and clocks the cold→hot home flip.
+func tierFlashProbe(rtr *live.Router, o TierOpts, sums []int64, res *TierResult, coldP99 int64) error {
+	victim := -1
+	for k := o.Columns - 1; k >= 0; k-- {
+		if homes, ok := rtr.Homes(tierColName(k)); ok && homes[0] == live.ColdRing {
+			victim = k
+			break
+		}
+	}
+	if victim < 0 {
+		return nil // everything already promoted; the probe has nothing to show
+	}
+	name := tierColName(victim)
+	burst := o.Router.FlashCrowdHits
+	if burst <= 0 {
+		burst = 3
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := rtr.Fetch(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var sum int64
+			for j := 0; j < b.Len(); j++ {
+				sum += b.Tail().Int(j)
+			}
+			if sum != sums[victim] {
+				errs[i] = fmt.Errorf("flash probe: bad checksum for %s", name)
+			}
+		}(i)
+	}
+	// The flip is what the flash path promises within one cold
+	// revolution; poll for it while the burst drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if homes, ok := rtr.Homes(name); ok && homes[0] == live.HotRing {
+			res.FlashPromoteMicros = time.Since(start).Microseconds()
+			res.FlashProbed = true
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if !res.FlashProbed {
+		return fmt.Errorf("flash probe: %s never promoted (burst %d)", name, burst)
+	}
+	_ = coldP99
+	return nil
+}
+
+// Gate enforces the tier-bench smoke contracts:
+//
+//	(a) zero incorrect answers on both sides;
+//	(b) the hot ring revolves measurably faster than the cold one
+//	    (falling back to the hot/cold latency split when a revolution
+//	    went unmeasured);
+//	(c) the flash-crowd promotion landed within one cold revolution.
+func (r *TierResult) Gate() error {
+	if n := r.Baseline.Incorrect + r.Tiered.Incorrect; n > 0 {
+		return fmt.Errorf("tier gate: %d incorrect answers", n)
+	}
+	hot, cold := r.Stats.HotRevolutionMicros, r.Stats.ColdRevolutionMicros
+	switch {
+	case hot > 0 && cold > 0:
+		if hot >= cold {
+			return fmt.Errorf("tier gate: hot revolution %dus not below cold %dus", hot, cold)
+		}
+	case r.Tiered.HotServed > 0 && r.Tiered.ColdP50Micros > 0:
+		if r.Tiered.HotP50Micros >= r.Tiered.ColdP50Micros {
+			return fmt.Errorf("tier gate: hot-homed p50 %dus not below cold-homed p50 %dus (revolutions unmeasured)",
+				r.Tiered.HotP50Micros, r.Tiered.ColdP50Micros)
+		}
+	default:
+		return fmt.Errorf("tier gate: no hot-versus-cold evidence (hot rev %dus, cold rev %dus, hot served %d)",
+			hot, cold, r.Tiered.HotServed)
+	}
+	if !r.FlashProbed {
+		return fmt.Errorf("tier gate: flash-crowd probe did not run")
+	}
+	if r.FlashBoundMicros > 0 && r.FlashPromoteMicros > r.FlashBoundMicros {
+		return fmt.Errorf("tier gate: flash promotion %dus exceeded one cold revolution (%dus)",
+			r.FlashPromoteMicros, r.FlashBoundMicros)
+	}
+	return nil
+}
+
+func (r *TierResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hot/cold tier sweep — %d columns x %d rows, Zipf θ=%.2f, %d accesses\n",
+		r.Columns, r.Rows, r.Theta, r.Accesses)
+	fmt.Fprintf(&b, "%12s %9s %9s %10s %11s %11s %10s\n",
+		"run", "p50_us", "p99_us", "incorrect", "hot_served", "hot_p50us", "cold_p50us")
+	for _, run := range []TierRun{r.Baseline, r.Tiered} {
+		fmt.Fprintf(&b, "%12s %9d %9d %10d %11d %11d %10d\n",
+			run.Label, run.P50Micros, run.P99Micros, run.Incorrect,
+			run.HotServed, run.HotP50Micros, run.ColdP50Micros)
+	}
+	s := r.Stats
+	fmt.Fprintf(&b, "tiers: %d hot / %d cold resident; %d promotions (%d flash), %d demotions, %d remote fetches\n",
+		s.HotResident, s.ColdResident, s.Promotions, s.FlashPromotions, s.Demotions, s.RemoteFetches)
+	fmt.Fprintf(&b, "revolutions: hot %dus, cold %dus\n", s.HotRevolutionMicros, s.ColdRevolutionMicros)
+	bound := "cold p99 proxy"
+	if r.ColdRevMeasured {
+		bound = "measured cold revolution"
+	}
+	fmt.Fprintf(&b, "flash crowd: promoted in %dus (bound %dus, %s)\n",
+		r.FlashPromoteMicros, r.FlashBoundMicros, bound)
+	return b.String()
+}

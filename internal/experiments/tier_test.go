@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+// TestTierSweepGates is the tier-bench smoke: a CI-sized sweep whose
+// Gate() enforces (a) zero incorrect answers, (b) hot ring measurably
+// faster than cold, (c) flash-crowd promotion within one cold
+// revolution.
+func TestTierSweepGates(t *testing.T) {
+	res, err := TierSweep(DefaultTierOpts().Short())
+	if err != nil {
+		t.Fatalf("tier sweep: %v", err)
+	}
+	t.Logf("\n%s", res)
+	if err := res.Gate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+}

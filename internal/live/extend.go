@@ -48,6 +48,17 @@ func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 			name, wire, n.ring.MaxMessage())
 	}
 	r := n.ring
+	if rtr := r.router; rtr != nil {
+		// Routed runtime: the catalog maps are shared by every tier
+		// ring, so the extension happens once under all rings' catalog
+		// locks, and the new fragment is homed on the publishing ring.
+		id, err := rtr.publish(r, name)
+		if err != nil {
+			return 0, err
+		}
+		n.installPublished(id, b)
+		return id, nil
+	}
 	r.idsMu.Lock()
 	if _, exists := r.cols[name]; exists {
 		r.idsMu.Unlock()
@@ -59,6 +70,15 @@ func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 	r.fragVer[id] = &atomic.Int64{}
 	r.fragCol[id] = name
 	r.idsMu.Unlock()
+	n.installPublished(id, b)
+	return id, nil
+}
+
+// installPublished stores a freshly published fragment at its owner and
+// installs its replica chain — the half of Publish shared by the
+// standalone and routed paths, run after the catalog already names id.
+func (n *Node) installPublished(id core.BATID, b *bat.BAT) {
+	r := n.ring
 
 	n.mu.Lock()
 	n.store[id] = b
@@ -91,7 +111,6 @@ func (n *Node) Publish(name string, b *bat.BAT) (core.BATID, error) {
 		r.fragOwner[id] = n.id
 		r.memMu.Unlock()
 	}
-	return id, nil
 }
 
 // Fetch retrieves a column by name through the normal Data Cyclotron
@@ -115,6 +134,12 @@ func (n *Node) Fetch(name string) (*bat.BAT, error) {
 	}()
 	n.mu.Lock()
 	for _, id := range ids {
+		// Remote-homed fragments are dispatched through the router at
+		// pin time; local interest would dangle (same rule as
+		// queryDC.Request).
+		if rtr := n.ring.router; rtr != nil && rtr.homeOf(id) != n.ring.id {
+			continue
+		}
 		n.rt.Request(q, id)
 	}
 	n.mu.Unlock()
@@ -144,6 +169,12 @@ func (n *Node) Fetch(name string) (*bat.BAT, error) {
 // its own owner. It returns the new version number (base data is
 // version 0).
 func (r *Ring) UpdateColumn(name string, fn func(*bat.BAT) *bat.BAT) (int, error) {
+	if r.router != nil {
+		// Routed runtime: a column's fragments may be homed on several
+		// rings, so the update runs at the router, which owns the
+		// cross-ring critical section.
+		return r.router.UpdateColumn(name, fn)
+	}
 	ids, ok := r.Fragments(name)
 	if !ok {
 		return 0, fmt.Errorf("live: unknown column %q", name)
@@ -333,7 +364,14 @@ func (r *Ring) ownerOf(id core.BATID) *Node {
 }
 
 // columnLock returns the per-column update mutex, creating it lazily.
+// In a routed runtime the lock lives at the router — one mutex per
+// column across all tier rings, so updates, failover promotion, join
+// rebalancing, and tier migration all serialize on the same lock
+// whichever ring they run on.
 func (r *Ring) columnLock(name string) *sync.Mutex {
+	if r.router != nil {
+		return r.router.columnLock(name)
+	}
 	r.updMuMu.Lock()
 	defer r.updMuMu.Unlock()
 	l := r.updMu[name]

@@ -179,7 +179,18 @@ const maxSnapshotRetries = 64
 // abort (nil for single pins) abandons the wait with errPinAborted.
 func (d *queryDC) acquireFrag(id core.BATID, abort <-chan struct{}) (b *bat.BAT, ver int, viaRing bool, err error) {
 	n := d.n
-	if n.hot != nil {
+	remote := false
+	if rtr := n.ring.router; rtr != nil {
+		// Routed runtime: resolve the fragment's home ring at pin time,
+		// holding the access counter for the duration of the
+		// acquisition — a cross-ring migration drains on that counter
+		// before the source copy is released, so a pin dispatched here
+		// always finds a serving owner on the ring it resolved to.
+		home, release := rtr.beginAccess(id)
+		defer release()
+		remote = home != n.ring.id
+	}
+	if n.hot != nil && !remote {
 		// Fragments this node owns are served synchronously from the
 		// store: no cache entry exists for them (dataLoop skips own
 		// fragments), so consulting the cache would only count a miss
@@ -189,14 +200,57 @@ func (d *queryDC) acquireFrag(id core.BATID, abort <-chan struct{}) (b *bat.BAT,
 		owned := n.rt.Owns(id)
 		n.mu.Unlock()
 		if owned {
-			b, ver, err = d.ringPin(id, abort)
+			b, ver, err = d.ringPin(id, abort, 0)
 			return b, ver, true, err
 		}
 	}
 	for {
 		if n.hot == nil {
-			b, ver, err = d.ringPin(id, abort)
-			return b, ver, true, err
+			if n.ring.router == nil {
+				b, ver, err = d.ringPin(id, abort, 0)
+				return b, ver, true, err
+			}
+			// Cache-less node on a routed ring: the circulation path can
+			// hand back a stale orbit copy (Deliver serves transit and
+			// cached payloads without a version guard), so validate
+			// against the catalog and retry until the owner's refresh
+			// pass catches the orbit up — the same stale-version chase
+			// as the cached leader paths below.
+			cur := n.ring.fragVersion(id)
+			if remote || n.ring.router.homeOf(id) != n.ring.id {
+				// Either the access resolved to another ring, or the
+				// fragment migrated away while an earlier round of this
+				// loop was waiting — re-resolving every round keeps the
+				// acquisition chasing the fragment's current home
+				// instead of a ring it has left.
+				b, ver, err = d.remotePin(id, abort)
+				if err == nil && ver < cur {
+					continue
+				}
+				return b, ver, false, err
+			}
+			b, ver, err = d.ringPin(id, abort, routedRingWait)
+			if err == nil && ver >= cur {
+				return b, ver, true, nil
+			}
+			if err == nil {
+				// Stale orbit copy: drop the pin before falling back.
+				n.mu.Lock()
+				n.rt.Unpin(d.q, id)
+				n.mu.Unlock()
+			} else if err != errRingWaitTimeout {
+				return nil, 0, false, err
+			}
+			// A parked orbit copy refreshes only when a pass takes it
+			// through the owner, so chasing the ring again may never
+			// terminate — and a migration race can wedge the request
+			// entirely. Take the bytes from the owner's store instead:
+			// versions advance under the owner lock, so the store is
+			// catalog-current by construction.
+			if ob, over, ok := ownerStoreRead(n.ring, id); ok && over >= cur {
+				return ob, over, false, nil
+			}
+			continue
 		}
 		cur := n.ring.fragVersion(id)
 		if b := n.hot.get(id, cur); b != nil {
@@ -212,10 +266,46 @@ func (d *queryDC) acquireFrag(id core.BATID, abort <-chan struct{}) (b *bat.BAT,
 		}
 		fl, leader := n.hot.joinFlight(id, cur)
 		if leader {
-			b, ver, err = d.ringPin(id, abort)
+			if remote {
+				// Cross-ring acquisition through the same singleflight:
+				// concurrent pins of one cold fragment share a single
+				// delegate dispatch, and the result seeds the local
+				// cache so repeat pins stay node-local until the
+				// version moves.
+				b, ver, err = d.remotePin(id, abort)
+				if err != nil {
+					n.hot.finishFlight(id, cur, fl, nil, 0)
+					return nil, 0, false, err
+				}
+				if ver < cur {
+					// Stale orbit copy on the home ring: the catalog
+					// advanced before the pin, so this payload predates
+					// what the caller is entitled to. Retry — the home
+					// owner's next pass refreshes the orbit from its
+					// store (see SendData), bounding the chase to one
+					// revolution.
+					n.hot.finishFlight(id, cur, fl, nil, 0)
+					continue
+				}
+				n.hot.finishFlight(id, cur, fl, b, ver)
+				n.hot.put(id, ver, b)
+				return b, ver, false, nil
+			}
+			b, ver, err = d.ringPin(id, abort, 0)
 			if err != nil {
 				n.hot.finishFlight(id, cur, fl, nil, 0)
 				return nil, 0, false, err
+			}
+			if n.ring.router != nil && ver < cur {
+				// Same stale-version retry as the remote path. Gated on
+				// routed mode so a standalone ring keeps its original
+				// behavior unchanged (a stale orbit copy may serve one
+				// last pin while the owner pass refreshes it).
+				n.mu.Lock()
+				n.rt.Unpin(d.q, id)
+				n.mu.Unlock()
+				n.hot.finishFlight(id, cur, fl, nil, 0)
+				continue
 			}
 			n.hot.finishFlight(id, cur, fl, b, ver)
 			return b, ver, true, nil
@@ -241,11 +331,43 @@ func (d *queryDC) acquireFrag(id core.BATID, abort <-chan struct{}) (b *bat.BAT,
 	}
 }
 
+// ownerStoreRead reads a fragment straight from its owner's store on
+// ring r — the stale-orbit fallback for cache-less routed rings. The
+// returned BAT is immutable and GC-owned; the caller holds no runtime
+// refs on it.
+func ownerStoreRead(r *Ring, id core.BATID) (*bat.BAT, int, bool) {
+	owner := r.ownerOf(id)
+	if owner == nil {
+		return nil, 0, false
+	}
+	owner.mu.Lock()
+	b := owner.store[id]
+	ver := owner.versions[id]
+	owner.mu.Unlock()
+	if b == nil {
+		return nil, 0, false
+	}
+	return b, ver, true
+}
+
+// routedRingWait bounds a circulation wait on a routed cache-less
+// ring: long enough to cover several cold revolutions, short enough
+// that a pin wedged by a migration race (the fragment left the ring,
+// or its orbit copy died without reaching us) falls back to the owner
+// store promptly.
+const routedRingWait = 250 * time.Millisecond
+
+// errRingWaitTimeout marks a bounded ring wait that expired; it never
+// surfaces to callers — acquireFrag falls back or retries.
+var errRingWaitTimeout = errors.New("live: ring wait timed out")
+
 // ringPin is the circulation path: register a waiter, announce the pin,
 // and block until delivery. Only time actually spent blocked counts as
 // ring wait — a synchronous delivery (owner store, or a payload another
-// local pin already holds) involves no circulation and no wait.
-func (d *queryDC) ringPin(id core.BATID, abort <-chan struct{}) (*bat.BAT, int, error) {
+// local pin already holds) involves no circulation and no wait. A
+// non-zero timeout bounds the blocked wait (routed rings only): on
+// expiry the pin is abandoned and errRingWaitTimeout returned.
+func (d *queryDC) ringPin(id core.BATID, abort <-chan struct{}, timeout time.Duration) (*bat.BAT, int, error) {
 	n := d.n
 	ch := make(chan delivered, 1)
 	n.mu.Lock()
@@ -260,6 +382,12 @@ func (d *queryDC) ringPin(id core.BATID, abort <-chan struct{}) (*bat.BAT, int, 
 		return dv.b, dv.ver, nil
 	default:
 	}
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
 	start := time.Now()
 	select {
 	case dv := <-ch:
@@ -269,6 +397,9 @@ func (d *queryDC) ringPin(id core.BATID, abort <-chan struct{}) (*bat.BAT, int, 
 			return nil, 0, fmt.Errorf("live: BAT %d does not exist", id)
 		}
 		return dv.b, dv.ver, nil
+	case <-expired: // nil without a timeout: blocks forever
+		d.abandonPin(id, ch)
+		return nil, 0, errRingWaitTimeout
 	case <-d.cancel: // nil for uncancellable callers: blocks forever
 		d.abandonPin(id, ch)
 		return nil, 0, mal.ErrCancelled
@@ -279,6 +410,30 @@ func (d *queryDC) ringPin(id core.BATID, abort <-chan struct{}) (*bat.BAT, int, 
 		d.abandonPin(id, ch)
 		return nil, 0, errPinAborted
 	}
+}
+
+// remotePin acquires a fragment homed on another ring: the router
+// dispatches the pin to a delegate node on the home ring, which runs
+// the real circulation machinery there (request, waiter, ring wait) and
+// hands back the payload with its version label. The origin node holds
+// no runtime refs on the result — like a cache hit, the payload is an
+// immutable GC-owned view — and any ring interest this query announced
+// locally (before the fragment migrated away) is withdrawn so its
+// resend timer dies.
+func (d *queryDC) remotePin(id core.BATID, abort <-chan struct{}) (*bat.BAT, int, error) {
+	n := d.n
+	rtr := n.ring.router
+	if rtr == nil {
+		return nil, 0, fmt.Errorf("live: remote pin of %d without a router", id)
+	}
+	b, ver, err := rtr.fetchRemote(id, d.cancel, abort)
+	if err != nil {
+		return nil, 0, err
+	}
+	n.mu.Lock()
+	n.rt.CancelQuery(d.q, []core.BATID{id})
+	n.mu.Unlock()
+	return b, ver, nil
 }
 
 // ---------------------------------------------------------------------
@@ -324,7 +479,12 @@ func (d *queryDC) pinParts(ids []core.BATID, fn func(mal.Value) (mal.Value, erro
 	if err != nil {
 		return nil, err
 	}
-	if d.n.hot != nil && len(ids) > 1 {
+	// A routed runtime can straddle a version even without the cache:
+	// one fragment of a column may be acquired through its old home
+	// while a sibling is already served post-update elsewhere, so the
+	// snapshot reconciliation guards multi-ring merges too — a merged
+	// result never mixes versions, whichever tier each part came from.
+	if (d.n.hot != nil || d.n.ring.router != nil) && len(ids) > 1 {
 		if err := d.reconcileVersions(ids, fn, results, vers); err != nil {
 			return nil, err
 		}

@@ -124,6 +124,7 @@ type hotCache struct {
 	mu      sync.Mutex
 	mode    CacheMode
 	budget  int64
+	decay   float64 // eviction-scan LOI divisor (Config.CacheDecay)
 	bytes   int64
 	seq     int64
 	entries map[core.BATID]*hotEntry
@@ -137,10 +138,14 @@ type hotCache struct {
 	coalesced metrics.Counter
 }
 
-func newHotCache(budget int, mode CacheMode) *hotCache {
+func newHotCache(budget int, mode CacheMode, decay float64) *hotCache {
+	if decay <= 1 {
+		decay = 2 // the pre-knob default: halve every eviction scan
+	}
 	return &hotCache{
 		mode:    mode,
 		budget:  int64(budget),
+		decay:   decay,
 		entries: map[core.BATID]*hotEntry{},
 		flights: map[flightKey]*flight{},
 	}
@@ -232,7 +237,7 @@ func (h *hotCache) evictLocked(keep core.BATID) {
 	h.evictions.Inc()
 	if h.mode == CacheLOI {
 		for _, e := range h.entries {
-			e.loi /= 2
+			e.loi /= h.decay
 		}
 	}
 }

@@ -208,6 +208,9 @@ func (r *Ring) admit() (*Node, JoinReport, error) {
 	seed := sponsorNode.memb.View()
 
 	hbCfg := r.cfg.Heartbeat.WithDefaults()
+	if r.cfg.router != nil {
+		hbCfg.Ring = r.id.String()
+	}
 	node := &Node{
 		ring:       r,
 		id:         core.NodeID(newID),
@@ -225,7 +228,7 @@ func (r *Ring) admit() (*Node, JoinReport, error) {
 		closed:     make(chan struct{}),
 	}
 	if r.cfg.CacheBytes > 0 {
-		node.hot = newHotCache(r.cfg.CacheBytes, r.cfg.CacheMode)
+		node.hot = newHotCache(r.cfg.CacheBytes, r.cfg.CacheMode, r.cfg.CacheDecay)
 	}
 	if r.cfg.HopBatchBytes > 0 {
 		node.hop = newHopScheduler(r.cfg.HopBatchBytes, r.cfg.HopBatchLinger)

@@ -67,6 +67,11 @@ type Config struct {
 	CacheBytes int
 	// CacheMode selects the cache eviction policy (default CacheLOI).
 	CacheMode CacheMode
+	// CacheDecay is the divisor applied to every resident entry's
+	// interest score on each eviction scan (CacheLOI mode). Larger
+	// values forget faster. 0 takes the default (2 — halve per scan),
+	// keeping the pre-knob behavior byte-identical.
+	CacheDecay float64
 	// HopBatchBytes budgets the batched hop transport: co-resident
 	// outbound fragments coalesce into one multi-payload batch envelope
 	// of at most this many wire bytes (see hop.go). 0 disables batching
@@ -100,6 +105,18 @@ type Config struct {
 	// placeFragment overrides the round-robin fragment placement
 	// (test hook: shuffled placements exercise adverse arrival orders).
 	placeFragment func(frag, nodes int) int
+	// ringID and router are set by NewRouter when this ring is one tier
+	// of a multi-ring runtime: the id makes the ring addressable, the
+	// back-pointer routes pins whose fragments are homed on another
+	// ring. Both stay zero for a standalone ring — every routed code
+	// path gates on router being nil, so Tiers=0 keeps the single ring
+	// byte-identical.
+	ringID RingID
+	router *Router
+	// minMsgBytes floors the computed ring message limit: a tier ring
+	// built empty must still size its RDMA regions for the largest
+	// fragment that can migrate onto it from another tier.
+	minMsgBytes int
 }
 
 // DefaultConfig suits in-process rings.
@@ -110,6 +127,7 @@ func DefaultConfig() Config {
 		Workers:        4,
 		FragmentRows:   64 << 10,
 		CacheBytes:     64 << 20,
+		CacheDecay:     2,
 		HopBatchBytes:  1 << 20,
 		HopBatchLinger: 200 * time.Microsecond,
 	}
@@ -133,6 +151,11 @@ type Ring struct {
 	// serialized by failMu.
 	nodes atomic.Pointer[[]*Node]
 	cfg   Config
+	// id names this ring within a multi-ring runtime (always 0 for a
+	// standalone ring); router is the routing layer in front, nil when
+	// the ring stands alone (the Tiers=0 compatibility gate).
+	id     RingID
+	router *Router
 	// name -> ordered fragment ids, global catalog agreed by all nodes.
 	// Guarded by idsMu because Publish extends it at runtime (§6.2).
 	idsMu sync.RWMutex
@@ -257,6 +280,14 @@ type Node struct {
 	// cache is enabled, so off-vs-on runs compare directly.
 	ringWaits     int64
 	ringWaitNanos int64
+
+	// Revolution-time accounting: when one of this node's own fragments
+	// returns full circle, the gap since its previous return is folded
+	// into an EWMA (atomic revNanos) — the measured revolution time of
+	// the ring this node sits on, the quantity the hot/cold tier split
+	// trades against. lastSelfSeen is guarded by mu.
+	lastSelfSeen map[core.BATID]int64
+	revNanos     int64
 
 	// wireCache holds the marshalled bytes of each fragment version so
 	// forwarding an unchanged fragment does not pay bat.Marshal again.
@@ -408,6 +439,8 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 	}
 	r := &Ring{
 		cfg:          cfg,
+		id:           cfg.ringID,
+		router:       cfg.router,
 		cols:         map[string]*colFrags{},
 		updMu:        map[string]*sync.Mutex{},
 		fragVer:      map[core.BATID]*atomic.Int64{},
@@ -478,9 +511,20 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 			maxBytes = bs
 		}
 	}
+	if cfg.minMsgBytes > maxBytes {
+		// Tier rings admit fragments migrated from sibling rings: the
+		// regions must fit the largest fragment of the whole runtime,
+		// not just of the columns this ring was born with.
+		maxBytes = cfg.minMsgBytes
+	}
 	r.maxMsgBytes = maxBytes
 	r.dataDepth = dataDepth
 	hbCfg := cfg.Heartbeat.WithDefaults()
+	if cfg.router != nil {
+		// Per-ring detectors: each tier runs its own failure-detection
+		// domain, labelled so verdicts stay attributable.
+		hbCfg.Ring = cfg.ringID.String()
+	}
 
 	// Nodes and transports. Built into a local slice and published once
 	// at the end; Join later publishes grown copies the same way.
@@ -502,7 +546,7 @@ func NewRing(n int, columns map[string]*bat.BAT, schema minisql.Schema, cfg Conf
 			closed:     make(chan struct{}),
 		}
 		if cfg.CacheBytes > 0 {
-			node.hot = newHotCache(cfg.CacheBytes, cfg.CacheMode)
+			node.hot = newHotCache(cfg.CacheBytes, cfg.CacheMode, cfg.CacheDecay)
 		}
 		if cfg.HopBatchBytes > 0 {
 			node.hop = newHopScheduler(cfg.HopBatchBytes, cfg.HopBatchLinger)
@@ -606,6 +650,29 @@ func (n *Node) startLoops() {
 
 // Node returns node i.
 func (r *Ring) Node(i int) *Node { return r.node(i) }
+
+// ID reports this ring's identity within a multi-ring runtime (0 for a
+// standalone ring).
+func (r *Ring) ID() RingID { return r.id }
+
+// RevolutionTime reports the measured ring revolution time: the mean of
+// every node's owner-side EWMA of the gap between successive returns of
+// its own fragments. Zero until at least one fragment has come full
+// circle twice.
+func (r *Ring) RevolutionTime() time.Duration {
+	var total int64
+	var count int64
+	for _, n := range r.nodeList() {
+		if v := atomic.LoadInt64(&n.revNanos); v > 0 {
+			total += v
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return time.Duration(total / count)
+}
 
 // Size reports the ring size (including dead positions — ids are
 // stable; use AliveNodes for the live census).
@@ -737,6 +804,25 @@ func (n *Node) handleData(hdr core.BATMsg, ver int, rawPayload []byte) {
 		n.hot.put(hdr.BAT, ver, payload)
 	}
 	n.mu.Lock()
+	if hdr.Owner == n.id {
+		// One of our own fragments came full circle: the gap since its
+		// previous return is one measured ring revolution. EWMA with a
+		// 1/4 step — smooth enough to read, fresh enough to follow a
+		// linger change within a few revolutions.
+		now := time.Now().UnixNano()
+		if n.lastSelfSeen == nil {
+			n.lastSelfSeen = map[core.BATID]int64{}
+		}
+		if last, ok := n.lastSelfSeen[hdr.BAT]; ok && now > last {
+			d := now - last
+			if old := atomic.LoadInt64(&n.revNanos); old == 0 {
+				atomic.StoreInt64(&n.revNanos, d)
+			} else {
+				atomic.StoreInt64(&n.revNanos, old+(d-old)/4)
+			}
+		}
+		n.lastSelfSeen[hdr.BAT] = now
+	}
 	if rp, ok := n.replicas[hdr.BAT]; ok {
 		// Replica-aware LOI accounting: remember the interest the
 		// fragment shows while circulating, so a promotion after the
@@ -802,7 +888,7 @@ func (n *Node) reqLoop(wg *sync.WaitGroup) {
 			// request here stops it orbiting the repaired ring.
 			continue
 		}
-		if n.memb != nil && req.Origin == n.id && n.ring.fragKnown(req.BAT) {
+		if (n.memb != nil || n.ring.router != nil) && req.Origin == n.id && n.ring.fragKnown(req.BAT) {
 			// Full circle, but the catalog still lists the fragment: no
 			// live owner absorbed the request because ownership is mid-
 			// promotion (or the re-owned fragment has not re-entered
@@ -810,6 +896,9 @@ func (n *Node) reqLoop(wg *sync.WaitGroup) {
 			// means the BAT does not exist — would error every blocked
 			// pin with a false negative. Swallow it instead: the resend
 			// timer keeps the interest alive until the new owner answers.
+			// The same window exists in a routed runtime while a fragment
+			// is mid-migration between rings, so the router gate joins
+			// the membership one.
 			continue
 		}
 		n.mu.Lock()
@@ -835,14 +924,17 @@ func (e *liveEnv) SendData(m core.BATMsg) {
 	n := e.node()
 	var payload *bat.BAT
 	var ver int
-	if n.hot != nil && m.Owner == n.id {
+	if (n.hot != nil || n.ring.router != nil) && m.Owner == n.id {
 		// Cache mode, forwarding our own fragment: send the store's
 		// current version rather than the circulating copy, so an
 		// UpdateColumn reaches the ring within one owner pass and the
 		// superseded bytes die here instead of rotating until the LOI
 		// decays (the invalidation half of the version-validation
 		// contract). Without the cache the circulating copy is
-		// forwarded as before.
+		// forwarded as before — except on a routed ring, where remote
+		// delegates rely on the owner pass refreshing the orbit (their
+		// stale-version retry would otherwise chase a copy that never
+		// catches up).
 		if b, ok := n.store[m.BAT]; ok {
 			payload, ver = b, n.versions[m.BAT]
 			m.Size = b.Bytes()
@@ -1063,6 +1155,14 @@ func (d *queryDC) Request(schema, table, column string) (mal.Value, error) {
 	d.mu.Unlock()
 	d.n.mu.Lock()
 	for _, id := range ids {
+		// A fragment homed on another ring never circulates here: its
+		// pin dispatches through the router to a delegate on the home
+		// ring, so announcing local interest would only leave an S2
+		// entry nobody delivers. (If the fragment migrates here before
+		// the pin, core.Runtime.Pin re-announces on its own.)
+		if rtr := d.n.ring.router; rtr != nil && rtr.homeOf(id) != d.n.ring.id {
+			continue
+		}
 		// A fragment resident in the hot-set cache at the catalog's
 		// current version will be served node-locally at pin time:
 		// skip the ring request entirely, so fully-hot repeat queries

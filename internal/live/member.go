@@ -461,18 +461,19 @@ func (r *Ring) promoteFrag(dead core.NodeID, id core.BATID) {
 // MembershipStats is the membership/failover snapshot, shaped like
 // HopStats/CacheStats: per node, or ring-wide via Ring.MembershipStats.
 type MembershipStats struct {
-	Enabled     bool  // Replicas > 0
-	ViewVersion int64 // membership view version (max over live nodes)
-	Alive       int   // nodes alive in that view
-	Suspect     int   // nodes under suspicion
-	Dead        int   // nodes declared dead
-	Replicas    int64 // replica copies held
-	ReplicaLag  int64 // replicas behind the catalog version
-	Failovers   int64 // deaths failed over
-	Promotions  int64 // fragments re-owned from replicas
-	LostFrags   int64 // fragments lost (all replicas dead)
-	BeatsSent   int64 // heartbeat pulses sent
-	BeatsRecv   int64 // heartbeat pulses received
+	Enabled     bool   // Replicas > 0
+	Ring        string // ring label in a multi-ring runtime ("hot", "cold")
+	ViewVersion int64  // membership view version (max over live nodes)
+	Alive       int    // nodes alive in that view
+	Suspect     int    // nodes under suspicion
+	Dead        int    // nodes declared dead
+	Replicas    int64  // replica copies held
+	ReplicaLag  int64  // replicas behind the catalog version
+	Failovers   int64  // deaths failed over
+	Promotions  int64  // fragments re-owned from replicas
+	LostFrags   int64  // fragments lost (all replicas dead)
+	BeatsSent   int64  // heartbeat pulses sent
+	BeatsRecv   int64  // heartbeat pulses received
 }
 
 // MembershipStats snapshots this node's membership state.
@@ -482,6 +483,7 @@ func (n *Node) MembershipStats() MembershipStats {
 		return s
 	}
 	s.Enabled = true
+	s.Ring = n.memb.Ring()
 	v := n.memb.View()
 	s.ViewVersion = v.Version
 	s.Alive, s.Suspect, s.Dead = v.Counts()
@@ -521,6 +523,7 @@ func (r *Ring) MembershipStats() MembershipStats {
 			continue
 		}
 		total.Enabled = true
+		total.Ring = s.Ring
 		if first || s.ViewVersion > total.ViewVersion {
 			total.ViewVersion = s.ViewVersion
 			total.Alive, total.Suspect, total.Dead = s.Alive, s.Suspect, s.Dead

@@ -59,6 +59,61 @@ func TestHelloLegacyDecode(t *testing.T) {
 	}
 }
 
+func TestHelloRingsRoundtrip(t *testing.T) {
+	h := Hello{
+		Node: 1, Ring: 4, MaxInFlight: 8,
+		ViewVersion: 3,
+		Addrs:       []string{"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003", "127.0.0.1:9004"},
+		Alive:       []bool{true, true, true, false},
+		Rings:       []string{"hot", "hot", "cold", "cold"},
+	}
+	payload, err := EncodeHello(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("got %+v want %+v", got, h)
+	}
+	// A single-ring payload (no ring section) must decode with nil
+	// labels — and be byte-identical to what the pre-tiering encoder
+	// produced, which the existing round-trip tests pin down.
+	plain := h
+	plain.Rings = nil
+	payloadPlain, err := EncodeHello(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloadPlain) >= len(payload) {
+		t.Fatal("ring section added no bytes")
+	}
+	gotPlain, err := DecodeHello(payloadPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPlain.Rings != nil {
+		t.Fatalf("plain hello grew ring labels: %+v", gotPlain)
+	}
+	// Every truncation of the ring entries must error, not panic. (Cuts
+	// inside the leading count word leave fewer than 4 trailing bytes,
+	// which decode as a plain hello — the same lenience that keeps old
+	// decoders compatible.)
+	for n := len(payloadPlain) + 4; n < len(payload); n++ {
+		if _, err := DecodeHello(payload[:n]); err == nil {
+			t.Fatalf("truncated ring section of %d bytes accepted", n)
+		}
+	}
+	// Label count must match the node count on both sides.
+	if _, err := EncodeHello(Hello{
+		Addrs: []string{"a", "b"}, Alive: []bool{true, true}, Rings: []string{"hot"},
+	}); err == nil {
+		t.Fatal("mismatched ring label count accepted")
+	}
+}
+
 func TestResultRoundtrip(t *testing.T) {
 	rs := &mal.ResultSet{
 		Names: []string{"id", "name", "score", "flag"},

@@ -143,11 +143,17 @@ func (s NodeStats) String() string {
 		s.P50, s.P95, s.P99)
 }
 
-// Server serves every node of a live ring.
+// Server serves every node of a live ring — or, via ServeRouter, every
+// node of every ring of a tiered runtime.
 type Server struct {
 	cfg   Config
 	ring  *live.Ring
-	drain chan struct{}
+	// router is set only by ServeRouter: the listener list then spans
+	// all tiers (hot ring first) and the handshake advertises each
+	// node's ring label. nil for a plain single-ring server, whose
+	// handshake stays byte-identical to earlier releases.
+	router *live.Router
+	drain  chan struct{}
 
 	// nodesMu guards nodes: the slice grows at runtime when ServeNode
 	// brings a joined ring node online (live.Ring.Join).
@@ -161,13 +167,20 @@ type Server struct {
 
 // nodeServer is the per-node listener and its serving state.
 type nodeServer struct {
-	srv    *Server
-	node   *live.Node
-	nodeID int
-	schema minisql.Schema
-	ln     net.Listener
-	adm    *admission
-	cache  *planCache
+	srv  *Server
+	node *live.Node
+	// ring is the ring this node circulates on (srv.ring for a plain
+	// server, the owning tier for ServeRouter); liveness checks go
+	// through it, never through srv.ring, so a cold-ring node answers
+	// for its own ring's failure detector.
+	ring      *live.Ring
+	ringLabel string // "" on a single-ring server, else "hot"/"cold"
+	nodeID    int    // position on ring
+	globalID  int    // position in the server's listener list
+	schema    minisql.Schema
+	ln        net.Listener
+	adm       *admission
+	cache     *planCache
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -185,6 +198,46 @@ type nodeServer struct {
 // queries arriving at node i's address execute on node i (and fragments
 // flow to it around the ring as usual).
 func Serve(ring *live.Ring, cfg Config) (*Server, error) {
+	s := &Server{cfg: normalizeConfig(cfg), ring: ring, drain: make(chan struct{})}
+	for i := 0; i < ring.Size(); i++ {
+		if err := s.addNode(ring, "", i, i); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ServeRouter starts one TCP listener per node of every ring of a
+// tiered runtime. Listener addresses are allocated in tier order — the
+// hot (query) ring's nodes first, then the cold ring's — so address i
+// in the handshake's Addrs list serves global node i, exactly as on a
+// single ring. The handshake additionally labels every address with
+// its ring, letting clients fail over to a same-ring peer first. A
+// runtime built with Tiers < 2 degenerates to the plain single-ring
+// server.
+func ServeRouter(rtr *live.Router, cfg Config) (*Server, error) {
+	if rtr.Tiers() < 2 {
+		return Serve(rtr.QueryRing(), cfg)
+	}
+	s := &Server{cfg: normalizeConfig(cfg), ring: rtr.QueryRing(), router: rtr, drain: make(chan struct{})}
+	global := 0
+	for t := 0; t < rtr.Tiers(); t++ {
+		ring := rtr.Tier(live.RingID(t))
+		label := live.RingID(t).String()
+		for i := 0; i < ring.Size(); i++ {
+			if err := s.addNode(ring, label, i, global); err != nil {
+				s.Close()
+				return nil, err
+			}
+			global++
+		}
+	}
+	return s, nil
+}
+
+// normalizeConfig fills config defaults.
+func normalizeConfig(cfg Config) Config {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
@@ -203,35 +256,40 @@ func Serve(ring *live.Ring, cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = DefaultConfig().DrainTimeout
 	}
-	s := &Server{cfg: cfg, ring: ring, drain: make(chan struct{})}
-	for i := 0; i < ring.Size(); i++ {
-		addr, err := nodeAddr(cfg.Addr, i)
-		if err != nil {
-			s.Close()
-			return nil, err
-		}
-		ln, err := net.Listen("tcp", addr)
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("server: node %d: %w", i, err)
-		}
-		node := ring.Node(i)
-		ns := &nodeServer{
-			srv:     s,
-			node:    node,
-			nodeID:  i,
-			schema:  node.Schema(),
-			ln:      ln,
-			adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-			cache:   newPlanCache(cfg.PlanCacheSize),
-			conns:   map[net.Conn]struct{}{},
-			latency: metrics.NewSyncHistogram(fmt.Sprintf("node%d.latency", i), 0.0001),
-		}
-		s.nodes = append(s.nodes, ns)
-		s.wg.Add(1)
-		go ns.acceptLoop()
+	return cfg
+}
+
+// addNode binds a listener for node nodeID of ring and starts its
+// accept loop. global is the node's position in the server-wide
+// listener list (== nodeID on a single ring).
+func (s *Server) addNode(ring *live.Ring, label string, nodeID, global int) error {
+	addr, err := nodeAddr(s.cfg.Addr, global)
+	if err != nil {
+		return err
 	}
-	return s, nil
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: node %d: %w", global, err)
+	}
+	node := ring.Node(nodeID)
+	ns := &nodeServer{
+		srv:       s,
+		node:      node,
+		ring:      ring,
+		ringLabel: label,
+		nodeID:    nodeID,
+		globalID:  global,
+		schema:    node.Schema(),
+		ln:        ln,
+		adm:       newAdmission(s.cfg.MaxInFlight, s.cfg.MaxQueue),
+		cache:     newPlanCache(s.cfg.PlanCacheSize),
+		conns:     map[net.Conn]struct{}{},
+		latency:   metrics.NewSyncHistogram(fmt.Sprintf("node%d.latency", global), 0.0001),
+	}
+	s.nodes = append(s.nodes, ns)
+	s.wg.Add(1)
+	go ns.acceptLoop()
+	return nil
 }
 
 // nodeAddr derives node i's listen address from the base address: an
@@ -293,6 +351,11 @@ func (s *Server) ServeNode(i int) (string, error) {
 		return "", fmt.Errorf("server: draining")
 	default:
 	}
+	if s.router != nil {
+		// Joins target a specific ring; the global listener ordering
+		// (hot block then cold block) cannot absorb a mid-list insert.
+		return "", fmt.Errorf("server: ServeNode is not supported on a routed server")
+	}
 	if i < 0 || i >= s.ring.Size() {
 		return "", fmt.Errorf("server: no ring node %d", i)
 	}
@@ -302,30 +365,10 @@ func (s *Server) ServeNode(i int) (string, error) {
 	if i != len(s.nodes) {
 		return "", fmt.Errorf("server: node %d out of order (next is %d)", i, len(s.nodes))
 	}
-	addr, err := nodeAddr(s.cfg.Addr, i)
-	if err != nil {
+	if err := s.addNode(s.ring, "", i, i); err != nil {
 		return "", err
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("server: node %d: %w", i, err)
-	}
-	node := s.ring.Node(i)
-	ns := &nodeServer{
-		srv:     s,
-		node:    node,
-		nodeID:  i,
-		schema:  node.Schema(),
-		ln:      ln,
-		adm:     newAdmission(s.cfg.MaxInFlight, s.cfg.MaxQueue),
-		cache:   newPlanCache(s.cfg.PlanCacheSize),
-		conns:   map[net.Conn]struct{}{},
-		latency: metrics.NewSyncHistogram(fmt.Sprintf("node%d.latency", i), 0.0001),
-	}
-	s.nodes = append(s.nodes, ns)
-	s.wg.Add(1)
-	go ns.acceptLoop()
-	return ln.Addr().String(), nil
+	return s.nodes[len(s.nodes)-1].ln.Addr().String(), nil
 }
 
 // Stats snapshots node i's serving counters.
@@ -399,7 +442,7 @@ func (s *Server) KillNode(i int) {
 	s.nodesMu.RLock()
 	ns := s.nodes[i]
 	s.nodesMu.RUnlock()
-	s.ring.KillNode(i)
+	ns.ring.KillNode(ns.nodeID)
 	ns.ln.Close()
 	ns.connMu.Lock()
 	for c := range ns.conns {
@@ -484,14 +527,7 @@ func (ns *nodeServer) handle(conn net.Conn) {
 		bw.Flush()
 		return
 	}
-	hello, err := EncodeHello(Hello{
-		Node:        ns.nodeID,
-		Ring:        ns.srv.ring.Size(),
-		MaxInFlight: ns.srv.cfg.MaxInFlight,
-		ViewVersion: ns.node.MembershipStats().ViewVersion,
-		Addrs:       ns.srv.Addrs(),
-		Alive:       ns.srv.ring.AliveNodes(),
-	})
+	hello, err := EncodeHello(ns.buildHello())
 	if err != nil {
 		return
 	}
@@ -524,9 +560,36 @@ func (ns *nodeServer) handle(conn net.Conn) {
 	}
 }
 
+// buildHello assembles the handshake response. A plain server
+// advertises its single ring exactly as it always has; a routed server
+// reports the global listener list with per-node ring labels and
+// liveness read from each node's own ring.
+func (ns *nodeServer) buildHello() Hello {
+	h := Hello{
+		Node:        ns.globalID,
+		MaxInFlight: ns.srv.cfg.MaxInFlight,
+		ViewVersion: ns.node.MembershipStats().ViewVersion,
+		Addrs:       ns.srv.Addrs(),
+	}
+	if ns.srv.router == nil {
+		h.Ring = ns.srv.ring.Size()
+		h.Alive = ns.srv.ring.AliveNodes()
+		return h
+	}
+	peers := ns.srv.nodeServers()
+	h.Ring = len(peers)
+	h.Alive = make([]bool, len(peers))
+	h.Rings = make([]string, len(peers))
+	for i, p := range peers {
+		h.Alive[i] = p.ring.Alive(p.nodeID)
+		h.Rings[i] = p.ringLabel
+	}
+	return h
+}
+
 // serveQuery admits, executes, and answers one query.
 func (ns *nodeServer) serveQuery(bw *bufio.Writer, sql string) {
-	if !ns.srv.ring.Alive(ns.nodeID) {
+	if !ns.ring.Alive(ns.nodeID) {
 		// The ring declared this node dead (a failover it did not
 		// initiate): its fragments have been re-owned elsewhere and its
 		// ring links are cut, so any execution here would only produce
@@ -586,7 +649,7 @@ func (ns *nodeServer) serveQuery(bw *bufio.Writer, sql string) {
 // counters. Stats reads bypass admission: they are cheap, read-only,
 // and most useful exactly when the admission queue is saturated.
 func (ns *nodeServer) serveStats(bw *bufio.Writer) {
-	payload, err := json.Marshal(ns.srv.Stats(ns.nodeID))
+	payload, err := json.Marshal(ns.srv.Stats(ns.globalID))
 	if err != nil {
 		WriteFrame(bw, FrameError, EncodeError(CodeExec, err.Error()))
 		return

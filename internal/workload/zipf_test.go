@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfShape checks the empirical head mass of a skewed draw
+// against the analytic CDF: the top 1% of keys must carry their
+// analytic share of the accesses within a small tolerance, and a
+// θ=0 draw must stay uniform.
+func TestZipfShape(t *testing.T) {
+	const n, draws = 1000, 200_000
+	for _, theta := range []float64{0, 0.8, 1.0, 1.2} {
+		z := NewZipf(n, theta)
+		rng := rand.New(rand.NewSource(42))
+		top := n / 100 // top 1%
+		hits := 0
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			k := z.Draw(rng)
+			if k < 0 || k >= n {
+				t.Fatalf("theta=%v: draw %d out of range", theta, k)
+			}
+			counts[k]++
+			if k < top {
+				hits++
+			}
+		}
+		want := z.Mass(top)
+		got := float64(hits) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("theta=%v: top-1%% mass %.4f, want %.4f ±0.01", theta, got, want)
+		}
+		// Monotone head: with real skew the hottest key must beat the
+		// median key by a wide margin.
+		if theta >= 0.8 && counts[0] < 5*counts[n/2] {
+			t.Errorf("theta=%v: head %d not dominating median %d", theta, counts[0], counts[n/2])
+		}
+	}
+}
+
+// TestZipfDeterministic pins the generator to its seed: same seed,
+// same stream — the reproducibility contract every experiment relies
+// on.
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(500, 1.1)
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if x, y := z.Draw(a), z.Draw(b); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestZipfEdges exercises the clamps: tiny key spaces, negative theta,
+// and the Mass bounds.
+func TestZipfEdges(t *testing.T) {
+	z := NewZipf(0, -1)
+	if z.N() != 1 {
+		t.Fatalf("n clamp: got %d", z.N())
+	}
+	rng := rand.New(rand.NewSource(1))
+	if k := z.Draw(rng); k != 0 {
+		t.Fatalf("single-key draw: got %d", k)
+	}
+	if z.Mass(0) != 0 || z.Mass(10) != 1 {
+		t.Fatalf("mass bounds: %v %v", z.Mass(0), z.Mass(10))
+	}
+	// Uniform check: theta=0 gives Mass(m) = m/n exactly.
+	u := NewZipf(100, 0)
+	if got := u.Mass(25); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("uniform mass: got %v", got)
+	}
+}

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # bench.sh — run the wire-codec benchmark suite, the fragment
 # granularity sweep, the hot-set cache repeat sweep, the hop batching
-# sweep, the failover kill-and-recover sweep, and the grow-the-ring
-# join sweep, recording the results.
+# sweep, the failover kill-and-recover sweep, the grow-the-ring
+# join sweep, and the hot/cold tier Zipf sweep, recording the results.
 #
 # Usage:
 #   scripts/bench.sh          full run: 1s per benchmark, writes
 #                             BENCH_wire.json, BENCH_frag.json,
-#                             BENCH_cache.json, BENCH_hop.json, and
-#                             BENCH_failover.json, and BENCH_join.json
+#                             BENCH_cache.json, BENCH_hop.json,
+#                             BENCH_failover.json, BENCH_join.json,
+#                             and BENCH_tier.json
 #   scripts/bench.sh -short   CI smoke: one iteration per benchmark and
 #                             small sweeps, still gating on codec/gob
 #                             equivalence, the fragmentation invariants,
@@ -113,4 +114,11 @@ if [ "$SHORT" -eq 1 ]; then
   go run ./cmd/dcjoin -short -out BENCH_join.json
 else
   go run ./cmd/dcjoin -out BENCH_join.json
+fi
+
+echo "== hot/cold tier Zipf sweep =="
+if [ "$SHORT" -eq 1 ]; then
+  go run ./cmd/dctier -short -out BENCH_tier.json
+else
+  go run ./cmd/dctier -out BENCH_tier.json
 fi
