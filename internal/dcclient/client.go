@@ -573,6 +573,13 @@ func (cl *Client) dialAddr(ctx context.Context, addr string) (*conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dcclient: dial %s: %w", addr, err)
 	}
+	// The protocol is strict request/response — the client stalls on
+	// every reply — so Nagle-delaying a small query frame costs an RTT
+	// per round trip. Disable coalescing explicitly rather than relying
+	// on Go's default, mirroring the server's accept side.
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 	cr := &countingReader{r: c}
 	cn := &conn{c: c, cr: cr, br: bufio.NewReader(cr), bw: bufio.NewWriter(c)}
 	if d, ok := ctx.Deadline(); ok {

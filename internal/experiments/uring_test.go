@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/rdma"
+)
+
+// TestUringSweepSmoke runs a miniature wire-backend sweep end to end:
+// both backends must answer every query with identical digests, each
+// run must be labeled with the backend that actually carried it (no
+// silent fallback), and the syscall-layer counters must be live. On a
+// kernel without io_uring the sweep must still produce the tcp
+// baseline and record why the uring pass was skipped.
+func TestUringSweepSmoke(t *testing.T) {
+	res, err := UringSweep(40_000, 3, 3, 4096, []string{"tcp", "uring"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := res.Run("tcp")
+	if tcp == nil {
+		t.Fatal("sweep lost the tcp baseline")
+	}
+	if tcp.WireSyscalls == 0 || tcp.SyscallsPerHop <= 0 {
+		t.Fatalf("tcp wire counters dead: %+v", tcp)
+	}
+	supported, note := rdma.UringSupported()
+	uring := res.Run("uring")
+	if !supported {
+		if uring != nil {
+			t.Fatalf("unsupported kernel but a uring run was recorded (note %q)", note)
+		}
+		if res.Supported || res.SupportNote == "" {
+			t.Fatalf("skip not recorded: supported=%v note=%q", res.Supported, res.SupportNote)
+		}
+		return
+	}
+	if uring == nil {
+		t.Fatal("io_uring supported but the sweep recorded no uring run")
+	}
+	if uring.Fallback != "" {
+		t.Fatalf("uring run fell back: %s", uring.Fallback)
+	}
+	if uring.WireSyscalls == 0 || uring.WireSubmits == 0 {
+		t.Fatalf("uring wire counters dead: %+v", uring)
+	}
+	if !res.Match || uring.ResultDigest != tcp.ResultDigest {
+		t.Fatalf("backends disagree: tcp %s vs uring %s", tcp.ResultDigest, uring.ResultDigest)
+	}
+	if uring.SyscallsPerHop >= tcp.SyscallsPerHop {
+		t.Fatalf("uring did not reduce syscalls/hop: %.2f vs tcp %.2f",
+			uring.SyscallsPerHop, tcp.SyscallsPerHop)
+	}
+}

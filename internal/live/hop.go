@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rdma"
 )
 
 // HopStats counts ring-hop transport work on one node (or summed over a
@@ -55,6 +56,30 @@ type HopStats struct {
 	// counters: waits > 0 means concurrent sends outran the pool.
 	PoolAcquires int64
 	PoolWaits    int64
+	// Backend names the wire engine carrying the data links ("tcp",
+	// "uring", or "inproc"); BackendFallback is non-empty when a uring
+	// selection degraded to tcp and says why (kernel probe or per-link
+	// setup failure).
+	Backend         string
+	BackendFallback string
+	// WireSyscalls/WireSubmits count syscall-layer work on the node's
+	// data-link endpoints (out + in): write/read calls for the tcp
+	// engine (a lower bound — netpoller wakeups come on top), or
+	// io_uring_enter calls (and how many of them submitted SQEs) for
+	// uring. WireSyscalls/Msgs is the syscalls-per-hop figure the
+	// io_uring backend is gated on. Zero on the in-process transport.
+	WireSyscalls int64
+	WireSubmits  int64
+	// CqeBatch histograms completions reaped per io_uring_enter (1, 2,
+	// 3-4, 5-8, ..., >64 — same buckets as Fill): the right-heavier the
+	// histogram, the more queued hops each syscall covered.
+	CqeBatch [8]int64
+	// WireSQPoll reports that at least one data-link endpoint ran an
+	// SQPOLL send ring (kernel-thread submission, no enter per chain).
+	// The syscalls-per-hop gate is tiered on this: without SQPOLL the
+	// structural floor is ~1 enter to send + ~1 enter to receive each
+	// message, which caps the achievable reduction against tcp.
+	WireSQPoll bool
 }
 
 // fillBucket maps a batch entry count onto a Fill histogram index.
@@ -98,10 +123,6 @@ type hopScheduler struct {
 
 	// wake (capacity 1) tells the flush loop the queue went non-empty.
 	wake chan struct{}
-
-	// hdrBuf is the flush loop's reusable header block: batch header +
-	// one v2 data header per entry. Only the flush loop touches it.
-	hdrBuf []byte
 }
 
 func newHopScheduler(budget int, linger time.Duration) *hopScheduler {
@@ -109,7 +130,6 @@ func newHopScheduler(budget int, linger time.Duration) *hopScheduler {
 		budget: budget,
 		linger: linger,
 		wake:   make(chan struct{}, 1),
-		hdrBuf: make([]byte, batchHdrSize+maxHopBatchFrags*dataHdrSize),
 	}
 }
 
@@ -204,20 +224,30 @@ func (n *Node) drainHopQueue() {
 	}
 }
 
-// flushHopBatch sends one batch and releases its entries. A one-entry
-// batch goes out as the exact v2 single-fragment message — the batched
-// and unbatched configurations differ only when batching actually
-// coalesced something, which is what makes HopBatchBytes=0
+// flushHopBatch posts one batch to the wire and arranges for its
+// entries to be released when the transport is done with them. A
+// one-entry batch goes out as the exact v2 single-fragment message —
+// the batched and unbatched configurations differ only when batching
+// actually coalesced something, which is what makes HopBatchBytes=0
 // byte-identical to the pre-batching ring.
+//
+// The sends are asynchronous (SendVectoredAsync / SendEncodedAsync):
+// the flush loop keeps posting while earlier envelopes are still on
+// the wire, so a revolution's worth of traffic pipelines through the
+// messenger's bounded send window and the io_uring backend can fold
+// the queued run into one submission chain per enter. The release of
+// the wire-cache references moves into the completion callback — the
+// payload slices stay pinned until the transport reports them written.
 func (n *Node) flushHopBatch(batch []hopEntry) {
-	defer func() {
+	release := func(error) {
 		for _, e := range batch {
 			atomic.AddInt64(&n.outBytes, -int64(e.m.Size))
 			e.ent.release()
 		}
-	}()
+	}
 	select {
 	case <-n.closed:
+		release(nil)
 		return
 	default:
 	}
@@ -226,14 +256,19 @@ func (n *Node) flushHopBatch(batch []hopEntry) {
 		e := batch[0]
 		wire = int64(dataHdrSize + len(e.ent.raw))
 		n.countHopMsg(wire, 1)
-		n.linkDataOut().SendEncoded(int(wire), func(dst []byte) int {
+		err := n.linkDataOut().SendEncodedAsync(int(wire), func(dst []byte) int {
 			encodeDataHdr(dst, e.m, e.ver, len(e.ent.raw))
 			return dataHdrSize + copy(dst[dataHdrSize:], e.ent.raw)
-		})
+		}, release)
+		if err != nil {
+			release(err)
+		}
 		return
 	}
-	hs := n.hop
-	hdr := hs.hdrBuf[:batchHdrSize+len(batch)*dataHdrSize]
+	// The header block is per-batch (not a reused scratch buffer): with
+	// pipelined sends several envelopes are in flight at once, and each
+	// owns its headers until its completion callback runs.
+	hdr := make([]byte, batchHdrSize+len(batch)*dataHdrSize)
 	hdr[0], hdr[1], hdr[2], hdr[3] = envMagic0, envMagic1, envVersionBatch, envKindBatch
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(batch)))
 	var zeros [8]byte
@@ -249,10 +284,9 @@ func (n *Node) flushHopBatch(batch []hopEntry) {
 		wire += int64(pad8(len(e.ent.raw)))
 	}
 	n.countHopMsg(wire, len(batch))
-	// One vectored send: header block and cached payloads go to the wire
-	// in a single gather write; SendVectored returns only after the
-	// transport is done with the parts, so the deferred releases are safe.
-	n.linkDataOut().SendVectored(parts)
+	if err := n.linkDataOut().SendVectoredAsync(parts, release); err != nil {
+		release(err)
+	}
 }
 
 // countHopMsg records one outbound data message of the given wire size
@@ -296,6 +330,19 @@ func (n *Node) HopStats() HopStats {
 	s.ParkedTotal = int64(st.BATsParked)
 	s.Unparked = int64(st.BATsUnparked)
 	s.PoolAcquires, s.PoolWaits = n.linkDataOut().PoolStats()
+	s.Backend, s.BackendFallback = n.ring.backendInfo()
+	// Each endpoint is counted at exactly one node (out at the sender,
+	// in at the receiver), so the ring-wide sum has no double counting.
+	for _, m := range []*rdma.Messenger{n.linkDataOut(), n.linkDataIn()} {
+		if wc, ok := m.WireCounters(); ok {
+			s.WireSyscalls += wc.Syscalls
+			s.WireSubmits += wc.Submits
+			for i := range s.CqeBatch {
+				s.CqeBatch[i] += wc.CqeBatch[i]
+			}
+			s.WireSQPoll = s.WireSQPoll || wc.SQPoll
+		}
+	}
 	return s
 }
 
@@ -320,6 +367,13 @@ func (r *Ring) HopStats() HopStats {
 		total.Unparked += s.Unparked
 		total.PoolAcquires += s.PoolAcquires
 		total.PoolWaits += s.PoolWaits
+		total.WireSyscalls += s.WireSyscalls
+		total.WireSubmits += s.WireSubmits
+		for i := range total.CqeBatch {
+			total.CqeBatch[i] += s.CqeBatch[i]
+		}
+		total.WireSQPoll = total.WireSQPoll || s.WireSQPoll
 	}
+	total.Backend, total.BackendFallback = r.backendInfo()
 	return total
 }

@@ -20,10 +20,19 @@ type Messenger struct {
 
 	// sendFree is the ring of registered send regions. Encoding happens
 	// into a region with no lock held, so concurrent SendEncoded calls
-	// only serialize on the wire itself (sendMu pairs each PostSend with
-	// its completion — the completion queue is shared FIFO).
+	// only serialize on the post itself (sendMu orders PostSend against
+	// the ticket FIFO — the completion queue is shared FIFO).
 	sendFree chan *MemoryRegion
 	sendMu   sync.Mutex
+
+	// sendWindow bounds in-flight posted sends; sendPend carries one
+	// ticket per posted send, in post order, for the dispatcher to pair
+	// with wire completions. The window is what lets a burst of hop
+	// envelopes queue at the transport — the uring backend folds queued
+	// messages into one linked submission chain, so one io_uring_enter
+	// covers the whole burst instead of one enter per message.
+	sendWindow chan struct{}
+	sendPend   chan sendTicket
 
 	poolAcquires int64 // atomic: send-region acquisitions
 	poolWaits    int64 // atomic: acquisitions that had to block
@@ -45,6 +54,23 @@ const MessengerDepth = 8
 // additionally capped so total registered send bytes stay bounded
 // (maxSendPoolBytes) when messages are large.
 const MessengerSendRegions = 4
+
+// MessengerSendWindow is how many posted sends may be in flight on the
+// wire at once. Deeper than one so back-to-back hop envelopes pipeline
+// (and batch at the submission layer); bounded so a slow link applies
+// backpressure before unbounded memory queues behind it. Must not
+// exceed any backend's internal send queue capacity, or a post could
+// block while holding the order lock.
+const MessengerSendWindow = 8
+
+// sendTicket is one in-flight posted send: the dispatcher runs cleanup
+// (send-region recycling) and then done when the send's wire completion
+// arrives. Every backend delivers send completions in post order, so a
+// FIFO of tickets pairs them correctly.
+type sendTicket struct {
+	cleanup func()
+	done    func(error)
+}
 
 // maxSendPoolBytes caps the total registered send-buffer bytes per
 // messenger: registration is the expensive, pinned resource (§2.3), so
@@ -74,9 +100,22 @@ func NewMessengerDepth(qp QueuePair, maxMsg, depth int) (*Messenger, error) {
 	if regions < 1 {
 		regions = 1
 	}
+	pool := make([]*MemoryRegion, regions)
+	for i := range pool {
+		pool[i] = m.dev.RegisterMemory(maxMsg)
+	}
+	// A backend that can pin caller buffers with the kernel (the uring
+	// provider's IORING_REGISTER_BUFFERS) gets the whole pool up front,
+	// before any traffic: every SendEncoded then goes out as a
+	// fixed-buffer write straight from the region. If registration fails
+	// (memlock limits), the backend's plain-send path still works — the
+	// pool is just not kernel-pinned.
+	if br, ok := qp.(BufferRegistrar); ok {
+		_ = br.RegisterBuffers(pool)
+	}
 	m.sendFree = make(chan *MemoryRegion, regions)
-	for i := 0; i < regions; i++ {
-		m.sendFree <- m.dev.RegisterMemory(maxMsg)
+	for _, mr := range pool {
+		m.sendFree <- mr
 	}
 	for i := 0; i < depth; i++ {
 		mr := m.dev.RegisterMemory(maxMsg)
@@ -85,7 +124,110 @@ func NewMessengerDepth(qp QueuePair, maxMsg, depth int) (*Messenger, error) {
 			return nil, err
 		}
 	}
+	m.sendWindow = make(chan struct{}, MessengerSendWindow)
+	m.sendPend = make(chan sendTicket, MessengerSendWindow)
+	go m.sendDispatch()
 	return m, nil
+}
+
+// post acquires a window slot, posts the send under the order lock, and
+// enqueues its ticket. On success the ticket owns cleanup/done — they
+// run from the dispatcher when the completion lands. On error nothing
+// was posted and the caller keeps ownership of its buffers.
+func (m *Messenger) post(send func() error, cleanup func(), done func(error)) error {
+	select {
+	case m.sendWindow <- struct{}{}:
+	case <-m.qp.Done():
+		return ErrClosed
+	}
+	m.sendMu.Lock()
+	select {
+	case <-m.qp.Done():
+		// Checked under sendMu: the dispatcher's post-close drain also
+		// takes sendMu, so a ticket enqueued here could be orphaned.
+		m.sendMu.Unlock()
+		<-m.sendWindow
+		return ErrClosed
+	default:
+	}
+	if err := send(); err != nil {
+		m.sendMu.Unlock()
+		<-m.sendWindow
+		return err
+	}
+	m.sendPend <- sendTicket{cleanup: cleanup, done: done}
+	m.sendMu.Unlock()
+	return nil
+}
+
+// sendDispatch pairs wire completions with posted tickets, in order. It
+// exits when the queue pair shuts down, first draining any completions
+// that raced with the close and then failing leftover tickets so no
+// caller waits forever and no refcounted buffer leaks.
+func (m *Messenger) sendDispatch() {
+	for {
+		select {
+		case c, ok := <-m.qp.SendCompletions():
+			if !ok {
+				m.failPending()
+				return
+			}
+			m.finish(c.Err)
+		case <-m.qp.Done():
+			for {
+				select {
+				case c, ok := <-m.qp.SendCompletions():
+					if ok {
+						m.finish(c.Err)
+						continue
+					}
+				default:
+				}
+				m.failPending()
+				return
+			}
+		}
+	}
+}
+
+// finish retires the oldest in-flight send with the given wire error.
+func (m *Messenger) finish(err error) {
+	select {
+	case t := <-m.sendPend:
+		<-m.sendWindow
+		if t.cleanup != nil {
+			t.cleanup()
+		}
+		if t.done != nil {
+			t.done(err)
+		}
+	default:
+		// A completion with no pending ticket: the backend emitted an
+		// abort notification for a send it never accepted. Drop it.
+	}
+}
+
+// failPending retires every remaining ticket with ErrClosed. Runs after
+// Done is closed; taking sendMu orders it against post(), which rejects
+// new sends once Done is observable, so nothing is enqueued after the
+// drain.
+func (m *Messenger) failPending() {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	for {
+		select {
+		case t := <-m.sendPend:
+			<-m.sendWindow
+			if t.cleanup != nil {
+				t.cleanup()
+			}
+			if t.done != nil {
+				t.done(ErrClosed)
+			}
+		default:
+			return
+		}
+	}
 }
 
 // MaxMessage reports the configured message size bound.
@@ -95,6 +237,17 @@ func (m *Messenger) MaxMessage() int { return m.maxMsg }
 // how many of them found every region busy and had to block.
 func (m *Messenger) PoolStats() (acquires, waits int64) {
 	return atomic.LoadInt64(&m.poolAcquires), atomic.LoadInt64(&m.poolWaits)
+}
+
+// WireCounters reports the underlying queue pair's syscall-layer
+// counters when the backend keeps them (tcp and uring do; the
+// in-process provider reports ok=false — it makes no syscalls).
+func (m *Messenger) WireCounters() (c WireCounters, ok bool) {
+	ws, ok := m.qp.(WireStatter)
+	if !ok {
+		return WireCounters{}, false
+	}
+	return ws.WireCounters(), true
 }
 
 // acquireRegion takes a free send region, counting contention.
@@ -130,6 +283,26 @@ func (m *Messenger) Send(data []byte) error {
 // it actually wrote. Concurrent senders encode into distinct pool
 // regions in parallel and serialize only on the wire.
 func (m *Messenger) SendEncoded(size int, encode func(dst []byte) int) error {
+	ch := make(chan error, 1)
+	if err := m.SendEncodedAsync(size, encode, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-m.qp.Done():
+		return ErrClosed
+	}
+}
+
+// SendEncodedAsync is SendEncoded that returns once the message is
+// posted to the wire instead of waiting for its completion: done(err)
+// runs later, from the completion dispatcher, in send order. Up to
+// MessengerSendWindow posts may be in flight, which is what lets a
+// burst of hop envelopes reach the transport as one submission batch;
+// when the window is full the call blocks (backpressure), preserving
+// the bounded-memory property of the blocking path.
+func (m *Messenger) SendEncodedAsync(size int, encode func(dst []byte) int, done func(error)) error {
 	if size > m.maxMsg {
 		return ErrTooLarge
 	}
@@ -140,35 +313,33 @@ func (m *Messenger) SendEncoded(size int, encode func(dst []byte) int) error {
 	if err != nil {
 		return err
 	}
-	defer func() { m.sendFree <- mr }()
 	n := encode(mr.Bytes()[:size])
 	if n < 0 || n > size {
+		m.sendFree <- mr
 		return fmt.Errorf("rdma: encoder wrote %d bytes into a %d-byte window", n, size)
 	}
-	m.sendMu.Lock()
-	defer m.sendMu.Unlock()
-	if err := m.qp.PostSend(mr, n); err != nil {
-		return err
+	err = m.post(
+		func() error { return m.qp.PostSend(mr, n) },
+		func() { m.sendFree <- mr },
+		done,
+	)
+	if err != nil {
+		m.sendFree <- mr
 	}
-	select {
-	case c := <-m.qp.SendCompletions():
-		return c.Err
-	case <-m.qp.Done():
-		return ErrClosed
-	}
+	return err
 }
 
-// TrySendEncoded is SendEncoded without any blocking wait: if no send
-// region is free right now, or another sender holds the wire, it
-// returns ErrQueueFull immediately. Control traffic that must never
-// stall behind bulk data — the membership heartbeat multiplexed onto
-// the data link — uses this; a pulse that cannot get through is simply
-// dropped (the next interval sends another, and the failure detector
-// tolerates missed beats by design). The wire TryLock matters as much
-// as the region check: a multi-megabyte send in flight holds sendMu
-// until its completion, and a heartbeat that queued behind it would
-// inherit that latency — long enough, on a loaded single-core box, for
-// the silent sender to be declared dead.
+// TrySendEncoded is SendEncoded without any blocking wait to start: if
+// no send region is free right now, or any send is already in flight
+// on the wire, it returns ErrQueueFull immediately. Control traffic
+// that must never stall behind bulk data — the membership heartbeat
+// multiplexed onto the data link — uses this; a pulse that cannot get
+// through is simply dropped (the next interval sends another, and the
+// failure detector tolerates missed beats by design). The idle-wire
+// check matters as much as the region check: with the pipelined send
+// window, a heartbeat that queued behind megabytes of in-flight hop
+// envelopes would inherit their latency — long enough, on a loaded
+// single-core box, for the silent sender to be declared dead.
 func (m *Messenger) TrySendEncoded(size int, encode func(dst []byte) int) error {
 	if size > m.maxMsg {
 		return ErrTooLarge
@@ -183,21 +354,51 @@ func (m *Messenger) TrySendEncoded(size int, encode func(dst []byte) int) error 
 	default:
 		return ErrQueueFull
 	}
-	defer func() { m.sendFree <- mr }()
 	n := encode(mr.Bytes()[:size])
 	if n < 0 || n > size {
+		m.sendFree <- mr
 		return fmt.Errorf("rdma: encoder wrote %d bytes into a %d-byte window", n, size)
 	}
-	if !m.sendMu.TryLock() {
+	// Claim a window slot without blocking, then insist it is the only
+	// one: a lone slot means the wire was idle, so this pulse's
+	// completion is the next one due. The len check races with
+	// concurrent posts, but a dropped pulse is the designed outcome of
+	// a busy wire either way.
+	select {
+	case m.sendWindow <- struct{}{}:
+	default:
+		m.sendFree <- mr
 		return ErrQueueFull
 	}
-	defer m.sendMu.Unlock()
+	if len(m.sendWindow) > 1 {
+		<-m.sendWindow
+		m.sendFree <- mr
+		return ErrQueueFull
+	}
+	ch := make(chan error, 1)
+	m.sendMu.Lock()
+	select {
+	case <-m.qp.Done():
+		m.sendMu.Unlock()
+		<-m.sendWindow
+		m.sendFree <- mr
+		return ErrClosed
+	default:
+	}
 	if err := m.qp.PostSend(mr, n); err != nil {
+		m.sendMu.Unlock()
+		<-m.sendWindow
+		m.sendFree <- mr
 		return err
 	}
+	m.sendPend <- sendTicket{
+		cleanup: func() { m.sendFree <- mr },
+		done:    func(err error) { ch <- err },
+	}
+	m.sendMu.Unlock()
 	select {
-	case c := <-m.qp.SendCompletions():
-		return c.Err
+	case err := <-ch:
+		return err
 	case <-m.qp.Done():
 		return ErrClosed
 	}
@@ -213,6 +414,26 @@ func (m *Messenger) TrySendEncoded(size int, encode func(dst []byte) int) error 
 // parts into one registered send region. Either way the receiver sees a
 // single contiguous message equal to the concatenation of the parts.
 func (m *Messenger) SendVectored(parts [][]byte) error {
+	ch := make(chan error, 1)
+	if err := m.SendVectoredAsync(parts, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-m.qp.Done():
+		return ErrClosed
+	}
+}
+
+// SendVectoredAsync is SendVectored that returns once the message is
+// posted: the parts must stay valid and unmodified until done(err)
+// runs, from the completion dispatcher, in send order. The hop flush
+// loop uses this so a revolution's worth of envelopes pipelines onto
+// the wire — the uring backend turns the queued run into one linked
+// submission chain per io_uring_enter — instead of paying a full
+// post-complete round trip per envelope.
+func (m *Messenger) SendVectoredAsync(parts [][]byte, done func(error)) error {
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -222,13 +443,13 @@ func (m *Messenger) SendVectored(parts [][]byte) error {
 	}
 	vs, ok := m.qp.(VectoredSender)
 	if !ok {
-		return m.SendEncoded(total, func(dst []byte) int {
+		return m.SendEncodedAsync(total, func(dst []byte) int {
 			off := 0
 			for _, p := range parts {
 				off += copy(dst[off:], p)
 			}
 			return off
-		})
+		}, done)
 	}
 	bufs := make(net.Buffers, 0, len(parts))
 	for _, p := range parts {
@@ -236,17 +457,7 @@ func (m *Messenger) SendVectored(parts [][]byte) error {
 			bufs = append(bufs, p)
 		}
 	}
-	m.sendMu.Lock()
-	defer m.sendMu.Unlock()
-	if err := vs.PostSendVec(bufs); err != nil {
-		return err
-	}
-	select {
-	case c := <-m.qp.SendCompletions():
-		return c.Err
-	case <-m.qp.Done():
-		return ErrClosed
-	}
+	return m.post(func() error { return vs.PostSendVec(bufs) }, nil, done)
 }
 
 // Recv blocks for the next message and returns a copy of its payload.

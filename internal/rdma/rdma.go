@@ -269,6 +269,12 @@ type tcpQP struct {
 	recvPend chan *MemoryRegion
 	done     chan struct{}
 	wg       sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+
+	syscalls int64 // atomic: write/read calls issued (lower bound, see WireCounters)
+	submits  int64 // atomic: gather writes issued
 }
 
 // NewTCP wraps an established connection in a queue pair.
@@ -306,20 +312,40 @@ func (qp *tcpQP) sendLoop() {
 			bufs := make(net.Buffers, 0, len(parts)+1)
 			bufs = append(bufs, hdr[:])
 			bufs = append(bufs, parts...)
+			atomic.AddInt64(&qp.syscalls, 1) // ≥1 writev; WriteTo loops on short writes
+			atomic.AddInt64(&qp.submits, 1)
 			if _, err := bufs.WriteTo(qp.conn); err != nil {
+				// A short or failed gather write leaves the peer mid-frame
+				// with no way to resynchronize the length-prefixed stream:
+				// fail the pending completion with the cause and tear the
+				// pair down rather than carry on corrupting it.
 				qp.sendCQ <- Completion{Err: err}
-				continue
+				qp.abort()
+				return
 			}
 			qp.sendCQ <- Completion{Bytes: total}
 		}
 	}
 }
 
+// countingReader counts every Read call on the wire — each one is a
+// kernel read — so frames assembled by io.ReadFull report their true
+// syscall cost instead of a flat one-per-ReadFull guess. (Still a lower
+// bound overall: reads that park on the netpoller retry after an epoll
+// wake this layer cannot see.)
+type countingReader struct{ qp *tcpQP }
+
+func (r countingReader) Read(p []byte) (int, error) {
+	atomic.AddInt64(&r.qp.syscalls, 1)
+	return r.qp.conn.Read(p)
+}
+
 func (qp *tcpQP) recvLoop() {
 	defer qp.wg.Done()
+	cr := countingReader{qp}
 	var hdr [4]byte
 	for {
-		if _, err := io.ReadFull(qp.conn, hdr[:]); err != nil {
+		if _, err := io.ReadFull(cr, hdr[:]); err != nil {
 			qp.failPendingRecv(err)
 			return
 		}
@@ -332,11 +358,11 @@ func (qp *tcpQP) recvLoop() {
 		}
 		if n > len(mr.buf) {
 			// Drain and report.
-			io.CopyN(io.Discard, qp.conn, int64(n))
+			io.CopyN(io.Discard, cr, int64(n))
 			qp.recvCQ <- Completion{Err: ErrTooLarge}
 			continue
 		}
-		if _, err := io.ReadFull(qp.conn, mr.buf[:n]); err != nil {
+		if _, err := io.ReadFull(cr, mr.buf[:n]); err != nil {
 			qp.recvCQ <- Completion{Err: err}
 			return
 		}
@@ -419,19 +445,39 @@ func (qp *tcpQP) SendCompletions() <-chan Completion { return qp.sendCQ }
 func (qp *tcpQP) RecvCompletions() <-chan Completion { return qp.recvCQ }
 func (qp *tcpQP) Done() <-chan struct{}              { return qp.done }
 
-func (qp *tcpQP) Close() error {
+// WireCounters implements WireStatter. The numbers are the write/read
+// calls this layer issues, a lower bound on true kernel crossings: the
+// netpoller's epoll_pwait and futex wakeups under each blocking read
+// come on top and are not visible from here.
+func (qp *tcpQP) WireCounters() WireCounters {
+	return WireCounters{
+		Syscalls: atomic.LoadInt64(&qp.syscalls),
+		Submits:  atomic.LoadInt64(&qp.submits),
+	}
+}
+
+// abort tears the wire down without waiting for the loops, so the send
+// loop can invoke it on a write failure (waiting there would deadlock on
+// its own exit). Idempotent; Close finishes the teardown.
+func (qp *tcpQP) abort() {
 	qp.mu.Lock()
 	if qp.closed {
 		qp.mu.Unlock()
-		return nil
+		return
 	}
 	qp.closed = true
 	qp.mu.Unlock()
 	close(qp.done)
-	err := qp.conn.Close() // unblocks the receive loop
-	qp.wg.Wait()
-	close(qp.recvCQ)
-	return err
+	qp.closeErr = qp.conn.Close() // unblocks the receive loop
+}
+
+func (qp *tcpQP) Close() error {
+	qp.abort()
+	qp.closeOnce.Do(func() {
+		qp.wg.Wait()
+		close(qp.recvCQ)
+	})
+	return qp.closeErr
 }
 
 // ---------------------------------------------------------------------

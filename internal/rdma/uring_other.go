@@ -1,0 +1,24 @@
+//go:build !linux
+
+package rdma
+
+import (
+	"errors"
+	"net"
+)
+
+// errNoUring is returned on platforms without io_uring. The backend
+// selector turns this into a tcp fallback (auto) or a configuration
+// error (explicit uring).
+var errNoUring = errors.New("rdma: io_uring backend requires linux")
+
+// NewUring is unavailable off Linux; callers go through NewConnQP,
+// which falls back to the tcp provider.
+func NewUring(conn net.Conn, maxMsg int) (QueuePair, error) {
+	return nil, errNoUring
+}
+
+// probeUring reports that the backend can never run here.
+func probeUring() (bool, string) {
+	return false, errNoUring.Error()
+}

@@ -44,6 +44,11 @@ type Config struct {
 	MaxFrame int
 	// DrainTimeout bounds how long Close waits for in-flight queries.
 	DrainTimeout time.Duration
+	// MetricsAddr, when non-empty, serves the per-node counters in
+	// Prometheus text format at http://MetricsAddr/metrics (port 0
+	// binds an ephemeral port; MetricsAddr() reports it). Empty
+	// disables the endpoint.
+	MetricsAddr string
 }
 
 // DefaultConfig suits loopback serving.
@@ -103,6 +108,19 @@ type NodeStats struct {
 	PoolAcquires   int64
 	PoolWaits      int64
 
+	// Wire backend of the served ring's data links (see live.HopStats):
+	// which transport backend carries hops, why auto fell back to tcp
+	// (empty when it didn't), and syscall-layer accounting —
+	// WireSyscalls/HopMsgs is the syscalls-per-hop figure the uring
+	// benchmark gates on. CqeBatch histograms completions reaped per
+	// io_uring_enter (buckets 1, 2, 3-4, 5-8, ..., >64); all-zero on
+	// the tcp backend.
+	Backend         string
+	BackendFallback string
+	WireSyscalls    int64
+	WireSubmits     int64
+	CqeBatch        [8]int64
+
 	// Membership/failover counters of the served ring node (see
 	// live.MembershipStats): the failure detector's view, replica
 	// placement and lag, and the failover outcome counters. All zero
@@ -146,8 +164,8 @@ func (s NodeStats) String() string {
 // Server serves every node of a live ring — or, via ServeRouter, every
 // node of every ring of a tiered runtime.
 type Server struct {
-	cfg   Config
-	ring  *live.Ring
+	cfg  Config
+	ring *live.Ring
 	// router is set only by ServeRouter: the listener list then spans
 	// all tiers (hot ring first) and the handshake advertises each
 	// node's ring label. nil for a plain single-ring server, whose
@@ -159,6 +177,10 @@ type Server struct {
 	// brings a joined ring node online (live.Ring.Join).
 	nodesMu sync.RWMutex
 	nodes   []*nodeServer
+
+	// metrics is the optional /metrics HTTP listener (nil unless
+	// Config.MetricsAddr was set); see metrics.go.
+	metrics *metricsServer
 
 	wg        sync.WaitGroup // accept loops + connection handlers
 	closeOnce sync.Once
@@ -205,6 +227,10 @@ func Serve(ring *live.Ring, cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if err := s.startMetrics(); err != nil {
+		s.Close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -232,6 +258,10 @@ func ServeRouter(rtr *live.Router, cfg Config) (*Server, error) {
 			}
 			global++
 		}
+	}
+	if err := s.startMetrics(); err != nil {
+		s.Close()
+		return nil, err
 	}
 	return s, nil
 }
@@ -412,6 +442,11 @@ func (s *Server) Stats(i int) NodeStats {
 	st.HopUnparked = hs.Unparked
 	st.PoolAcquires = hs.PoolAcquires
 	st.PoolWaits = hs.PoolWaits
+	st.Backend = hs.Backend
+	st.BackendFallback = hs.BackendFallback
+	st.WireSyscalls = hs.WireSyscalls
+	st.WireSubmits = hs.WireSubmits
+	st.CqeBatch = hs.CqeBatch
 	ms := ns.node.MembershipStats()
 	st.MembEnabled = ms.Enabled
 	st.MembViewVersion = ms.ViewVersion
@@ -458,6 +493,9 @@ func (s *Server) KillNode(i int) {
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.drain)
+		if s.metrics != nil {
+			s.metrics.close()
+		}
 		nodes := s.nodeServers()
 		for _, ns := range nodes {
 			ns.ln.Close()
@@ -497,6 +535,16 @@ func (ns *nodeServer) acceptLoop() {
 		conn, err := ns.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		// Query traffic is strict request/response: the client blocks on
+		// the frame we are about to send, so letting Nagle's algorithm
+		// hold a small result or error frame behind an un-ACKed segment
+		// only adds RTTs of latency. Flushes here mark complete protocol
+		// frames — push them to the wire at once. (Go enables NODELAY by
+		// default; set it explicitly so the latency contract survives a
+		// stdlib default change and is visible in the code.)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
 		}
 		ns.connMu.Lock()
 		ns.conns[conn] = struct{}{}

@@ -122,3 +122,10 @@ if [ "$SHORT" -eq 1 ]; then
 else
   go run ./cmd/dctier -out BENCH_tier.json
 fi
+
+echo "== wire backend sweep (tcp vs io_uring) =="
+if [ "$SHORT" -eq 1 ]; then
+  go run ./cmd/dcuring -short -out BENCH_uring.json
+else
+  go run ./cmd/dcuring -out BENCH_uring.json
+fi
